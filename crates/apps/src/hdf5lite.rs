@@ -1,0 +1,237 @@
+//! A miniature HDF5-like container format ("H5L") over the POSIX layer.
+//!
+//! FLASH-IO writes its checkpoints through HDF5. For the *real-execution*
+//! path (examples and integration tests that drive the actual LDPLFS shim
+//! rather than the simulator) we need a self-describing scientific file
+//! format whose writer issues the same kind of call pattern: a superblock,
+//! per-dataset headers, then large contiguous data slabs. This module
+//! implements one, plus a reader that validates round-trips.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! superblock:  "H5L\0" | version: u32 | ndatasets: u32 | reserved: u32
+//! per dataset: name_len: u32 | name bytes | dtype: u32 | nelems: u64 | data
+//! ```
+
+use ldplfs::{CFile, Errno, PosixLayer, PosixResult};
+use std::sync::Arc;
+
+/// Magic prefix of an H5L file.
+pub const MAGIC: &[u8; 4] = b"H5L\0";
+/// Format version.
+pub const VERSION: u32 = 1;
+
+/// Element types supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dtype {
+    /// 64-bit IEEE float (FLASH's unknowns).
+    F64,
+    /// Raw bytes.
+    U8,
+}
+
+impl Dtype {
+    fn code(self) -> u32 {
+        match self {
+            Dtype::F64 => 1,
+            Dtype::U8 => 2,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<Dtype> {
+        match c {
+            1 => Some(Dtype::F64),
+            2 => Some(Dtype::U8),
+            _ => None,
+        }
+    }
+
+    /// Bytes per element.
+    pub fn size(self) -> usize {
+        match self {
+            Dtype::F64 => 8,
+            Dtype::U8 => 1,
+        }
+    }
+}
+
+/// One dataset to write.
+pub struct Dataset<'a> {
+    /// Dataset name (e.g. "dens", "pres").
+    pub name: &'a str,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Raw little-endian element bytes.
+    pub data: &'a [u8],
+}
+
+/// Write an H5L file with the given datasets.
+pub fn write(layer: &Arc<dyn PosixLayer>, path: &str, datasets: &[Dataset<'_>]) -> PosixResult<()> {
+    let mut f = CFile::open(layer.clone(), path, "w")?;
+    f.write(MAGIC)?;
+    f.write(&VERSION.to_le_bytes())?;
+    f.write(&(datasets.len() as u32).to_le_bytes())?;
+    f.write(&0u32.to_le_bytes())?;
+    for ds in datasets {
+        if ds.data.len() % ds.dtype.size() != 0 {
+            return Err(Errno::EINVAL);
+        }
+        let name = ds.name.as_bytes();
+        f.write(&(name.len() as u32).to_le_bytes())?;
+        f.write(name)?;
+        f.write(&ds.dtype.code().to_le_bytes())?;
+        let nelems = (ds.data.len() / ds.dtype.size()) as u64;
+        f.write(&nelems.to_le_bytes())?;
+        f.write(ds.data)?;
+    }
+    f.close()
+}
+
+/// A dataset read back from an H5L file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedDataset {
+    /// Dataset name.
+    pub name: String,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Raw element bytes.
+    pub data: Vec<u8>,
+}
+
+fn read_exact(f: &mut CFile, buf: &mut [u8]) -> PosixResult<()> {
+    let n = f.read(buf)?;
+    if n != buf.len() {
+        return Err(Errno::EIO);
+    }
+    Ok(())
+}
+
+/// Read and validate a whole H5L file.
+pub fn read(layer: &Arc<dyn PosixLayer>, path: &str) -> PosixResult<Vec<OwnedDataset>> {
+    let mut f = CFile::open(layer.clone(), path, "r")?;
+    let mut hdr = [0u8; 16];
+    read_exact(&mut f, &mut hdr)?;
+    if &hdr[0..4] != MAGIC {
+        return Err(Errno::EINVAL);
+    }
+    let version = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(Errno::EINVAL);
+    }
+    let n = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let mut len4 = [0u8; 4];
+        read_exact(&mut f, &mut len4)?;
+        let name_len = u32::from_le_bytes(len4) as usize;
+        if name_len > 4096 {
+            return Err(Errno::EINVAL);
+        }
+        let mut name = vec![0u8; name_len];
+        read_exact(&mut f, &mut name)?;
+        let mut meta = [0u8; 12];
+        read_exact(&mut f, &mut meta)?;
+        let dtype = Dtype::from_code(u32::from_le_bytes(meta[0..4].try_into().unwrap()))
+            .ok_or(Errno::EINVAL)?;
+        let nelems = u64::from_le_bytes(meta[4..12].try_into().unwrap());
+        let mut data = vec![0u8; nelems as usize * dtype.size()];
+        read_exact(&mut f, &mut data)?;
+        out.push(OwnedDataset {
+            name: String::from_utf8(name).map_err(|_| Errno::EINVAL)?,
+            dtype,
+            data,
+        });
+    }
+    f.close()?;
+    Ok(out)
+}
+
+/// Convenience: pack a slice of f64s into little-endian bytes.
+pub fn pack_f64(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldplfs::{LdPlfsBuilder, PosixLayer, RealPosix};
+    use plfs::{MemBacking, Plfs};
+
+    fn shim(name: &str) -> Arc<dyn PosixLayer> {
+        let dir = std::env::temp_dir().join(format!("apps-h5l-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let under = Arc::new(RealPosix::rooted(dir).unwrap());
+        Arc::new(
+            LdPlfsBuilder::new(under)
+                .mount("/plfs", Plfs::new(Arc::new(MemBacking::new())))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_on_plfs_container() {
+        let l = shim("rt");
+        let dens = pack_f64(&[1.0, 2.5, -3.75]);
+        let flags = vec![1u8, 0, 1, 1];
+        write(
+            &l,
+            "/plfs/chk_0000",
+            &[
+                Dataset { name: "dens", dtype: Dtype::F64, data: &dens },
+                Dataset { name: "flags", dtype: Dtype::U8, data: &flags },
+            ],
+        )
+        .unwrap();
+        let back = read(&l, "/plfs/chk_0000").unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "dens");
+        assert_eq!(back[0].dtype, Dtype::F64);
+        assert_eq!(back[0].data, dens);
+        assert_eq!(back[1].name, "flags");
+        assert_eq!(back[1].data, flags);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_misaligned_data() {
+        let l = shim("bad");
+        {
+            let mut f = CFile::open(l.clone(), "/plfs/garbage", "w").unwrap();
+            f.write(b"NOPEnope").unwrap();
+            f.close().unwrap();
+        }
+        assert_eq!(read(&l, "/plfs/garbage"), Err(Errno::EIO));
+        let odd = [1u8, 2, 3];
+        assert_eq!(
+            write(&l, "/plfs/bad", &[Dataset { name: "x", dtype: Dtype::F64, data: &odd }]),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn identical_bytes_on_plain_and_plfs() {
+        let l = shim("same");
+        let data = pack_f64(&(0..1000).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
+        let ds = [Dataset { name: "u", dtype: Dtype::F64, data: &data }];
+        write(&l, "/plfs/a.h5l", &ds).unwrap();
+        write(&l, "/plain.h5l", &ds).unwrap();
+        let a = crate::unix_tools::md5sum(&l, "/plfs/a.h5l").unwrap();
+        let b = crate::unix_tools::md5sum(&l, "/plain.h5l").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_file_is_eio() {
+        let l = shim("trunc");
+        let data = pack_f64(&[1.0, 2.0]);
+        write(&l, "/plfs/t.h5l", &[Dataset { name: "d", dtype: Dtype::F64, data: &data }]).unwrap();
+        // Chop the tail off.
+        l.truncate("/plfs/t.h5l", 20).unwrap();
+        assert_eq!(read(&l, "/plfs/t.h5l"), Err(Errno::EIO));
+    }
+}

@@ -1,0 +1,293 @@
+//! An IOR-style parameterised I/O benchmark.
+//!
+//! IOR is the community's standard parallel I/O benchmark; the paper's
+//! MPI-IO Test is one fixed point in IOR's parameter space. This generator
+//! exposes the axes IOR sweeps — API (collective/independent), file layout
+//! (shared / file-per-process), transfer size, block size, access order —
+//! so the repo can explore beyond the paper's configurations (and the
+//! harness can sanity-check the simulator against intuition: e.g.
+//! file-per-process on POSIX should behave like PLFS's partitioning).
+
+use crate::result::{BenchPoint, IoTimer};
+use mpiio::{Access, Job, Method, MpiFile, MpiInfo, RankIo};
+use simfs::{Platform, SimFs, SimResult};
+
+/// How ranks address the file(s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileLayout {
+    /// All ranks share one file (N-to-1), segmented: rank r owns the
+    /// contiguous segment `[r·blocks·xfer, (r+1)·blocks·xfer)`.
+    SharedSegmented,
+    /// All ranks share one file, strided: block `b` of rank `r` lands at
+    /// `(b·ranks + r)·xfer`.
+    SharedStrided,
+    /// One file per process (N-to-N) — what PLFS builds transparently.
+    FilePerProcess,
+}
+
+/// Independent or collective data calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiMode {
+    /// `MPI_File_write_at` per rank.
+    Independent,
+    /// `MPI_File_write_at_all` (two-phase collective).
+    Collective,
+}
+
+/// One IOR run description.
+#[derive(Debug, Clone, Copy)]
+pub struct IorConfig {
+    /// Ranks.
+    pub procs: usize,
+    /// Processes per node.
+    pub ppn: usize,
+    /// Transfer size per call (IOR `-t`).
+    pub transfer: u64,
+    /// Transfers per block (IOR `-b` = transfer × this).
+    pub transfers_per_block: u64,
+    /// File layout.
+    pub layout: FileLayout,
+    /// API mode.
+    pub api: ApiMode,
+    /// PLFS hostdirs for PLFS-backed methods.
+    pub num_hostdirs: u32,
+}
+
+impl IorConfig {
+    /// Bytes each rank moves.
+    pub fn bytes_per_proc(&self) -> u64 {
+        self.transfer * self.transfers_per_block
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_proc() * self.procs as u64
+    }
+}
+
+/// Run the write phase of an IOR configuration. Bandwidth covers the write
+/// calls plus the close (so cache-absorbed runs are bounded by the drain,
+/// like a durable checkpoint).
+pub fn run_write(platform: &Platform, cfg: &IorConfig, method: Method) -> SimResult<BenchPoint> {
+    let mut fs = SimFs::new(platform.clone());
+    let mut job = Job::new(cfg.procs, cfg.ppn);
+    let mut timer = IoTimer::new(cfg.procs);
+
+    match cfg.layout {
+        FileLayout::FilePerProcess => {
+            // N files: open one per rank (all through the same method).
+            let mut files: Vec<MpiFile> = Vec::with_capacity(cfg.procs);
+            for r in 0..cfg.procs {
+                // Each "file" opened by a single-rank communicator slice;
+                // model with a fresh single-rank job clock carried in the
+                // main job.
+                let mut solo = Job::new(1, 1);
+                solo.set_time(0, job.time(r));
+                let f = MpiFile::open(
+                    &mut fs,
+                    &mut solo,
+                    &format!("/ior.{r:06}"),
+                    true,
+                    method,
+                    MpiInfo::default(),
+                    cfg.num_hostdirs,
+                )?;
+                job.set_time(r, solo.time(0));
+                files.push(f);
+            }
+            job.barrier();
+            for t in 0..cfg.transfers_per_block {
+                for r in 0..cfg.procs {
+                    let t0 = job.time(r);
+                    // Write through the main job so the rank keeps its real
+                    // node; PLFS drivers create the rank's stream lazily.
+                    let c = files[r].write_at(
+                        &mut fs,
+                        &mut job,
+                        r,
+                        t * cfg.transfer,
+                        cfg.transfer,
+                        Access::Contiguous,
+                    )?;
+                    timer.add(r, t0, c);
+                }
+            }
+            let t0 = job.max_time();
+            for f in files {
+                f.close(&mut fs, &mut job)?;
+            }
+            timer.add_all(t0, job.max_time());
+        }
+        shared => {
+            let mut file = MpiFile::open(
+                &mut fs,
+                &mut job,
+                "/ior.shared",
+                true,
+                method,
+                MpiInfo::default(),
+                cfg.num_hostdirs,
+            )?;
+            for t in 0..cfg.transfers_per_block {
+                match cfg.api {
+                    ApiMode::Collective => {
+                        let ios: Vec<RankIo> = (0..cfg.procs)
+                            .map(|r| RankIo {
+                                offset: offset_of(shared, cfg, r, t),
+                                len: cfg.transfer,
+                            })
+                            .collect();
+                        let t0 = job.max_time();
+                        let release = file.write_at_all(&mut fs, &mut job, &ios)?;
+                        timer.add_all(t0, release);
+                    }
+                    ApiMode::Independent => {
+                        for r in 0..cfg.procs {
+                            let t0 = job.time(r);
+                            let access = match shared {
+                                FileLayout::SharedStrided => Access::Strided,
+                                _ => Access::Contiguous,
+                            };
+                            let c = file.write_at(
+                                &mut fs,
+                                &mut job,
+                                r,
+                                offset_of(shared, cfg, r, t),
+                                cfg.transfer,
+                                access,
+                            )?;
+                            timer.add(r, t0, c);
+                        }
+                    }
+                }
+            }
+            let t0 = job.max_time();
+            file.close(&mut fs, &mut job)?;
+            timer.add_all(t0, job.max_time());
+        }
+    }
+
+    Ok(BenchPoint {
+        method: method.label().to_string(),
+        procs: cfg.procs,
+        nodes: cfg.procs.div_ceil(cfg.ppn),
+        bytes: cfg.total_bytes(),
+        seconds: timer.max(),
+    })
+}
+
+fn offset_of(layout: FileLayout, cfg: &IorConfig, rank: usize, transfer: u64) -> u64 {
+    match layout {
+        FileLayout::SharedSegmented => {
+            rank as u64 * cfg.bytes_per_proc() + transfer * cfg.transfer
+        }
+        FileLayout::SharedStrided => {
+            (transfer * cfg.procs as u64 + rank as u64) * cfg.transfer
+        }
+        FileLayout::FilePerProcess => transfer * cfg.transfer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::presets;
+
+    fn cfg(layout: FileLayout, api: ApiMode) -> IorConfig {
+        IorConfig {
+            procs: 8,
+            ppn: 2,
+            transfer: 1 << 20,
+            transfers_per_block: 4,
+            layout,
+            api,
+            num_hostdirs: 8,
+        }
+    }
+
+    #[test]
+    fn offsets_partition_the_file() {
+        let c = cfg(FileLayout::SharedSegmented, ApiMode::Independent);
+        // Segmented: all (rank, transfer) offsets are distinct and tile
+        // [0, total).
+        let mut offs: Vec<u64> = (0..c.procs)
+            .flat_map(|r| (0..c.transfers_per_block).map(move |t| (r, t)))
+            .map(|(r, t)| offset_of(c.layout, &c, r, t))
+            .collect();
+        offs.sort_unstable();
+        let expect: Vec<u64> = (0..(c.procs as u64 * c.transfers_per_block))
+            .map(|i| i * c.transfer)
+            .collect();
+        assert_eq!(offs, expect);
+
+        // Strided also tiles the same range.
+        let c = cfg(FileLayout::SharedStrided, ApiMode::Independent);
+        let mut offs: Vec<u64> = (0..c.procs)
+            .flat_map(|r| (0..c.transfers_per_block).map(move |t| (r, t)))
+            .map(|(r, t)| offset_of(c.layout, &c, r, t))
+            .collect();
+        offs.sort_unstable();
+        assert_eq!(offs, expect);
+    }
+
+    #[test]
+    fn all_layouts_move_all_bytes() {
+        let p = presets::toy();
+        for layout in [
+            FileLayout::SharedSegmented,
+            FileLayout::SharedStrided,
+            FileLayout::FilePerProcess,
+        ] {
+            let c = cfg(layout, ApiMode::Independent);
+            let b = run_write(&p, &c, Method::MpiIo).unwrap();
+            assert_eq!(b.bytes, c.total_bytes(), "{layout:?}");
+            assert!(b.seconds > 0.0, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn file_per_process_beats_shared_strided_on_posix() {
+        // The PLFS premise, visible in plain IOR: N-N over N-1 strided —
+        // sharpest with small transfers, where strided shared writes fall
+        // into data-sieving read-modify-write.
+        let p = presets::sierra();
+        let mut c = cfg(FileLayout::SharedStrided, ApiMode::Independent);
+        c.procs = 24;
+        c.ppn = 12;
+        c.transfer = 64 << 10;
+        let shared = run_write(&p, &c, Method::MpiIo).unwrap();
+        c.layout = FileLayout::FilePerProcess;
+        let fpp = run_write(&p, &c, Method::MpiIo).unwrap();
+        assert!(
+            fpp.bandwidth_mbs() > shared.bandwidth_mbs(),
+            "N-N {} <= N-1 {}",
+            fpp.bandwidth_mbs(),
+            shared.bandwidth_mbs()
+        );
+    }
+
+    #[test]
+    fn plfs_closes_the_gap_on_shared_strided() {
+        // PLFS makes shared-strided behave like file-per-process.
+        let p = presets::sierra();
+        let mut c = cfg(FileLayout::SharedStrided, ApiMode::Independent);
+        c.procs = 24;
+        c.ppn = 12;
+        c.transfer = 64 << 10;
+        let posix_shared = run_write(&p, &c, Method::MpiIo).unwrap();
+        let plfs_shared = run_write(&p, &c, Method::Ldplfs).unwrap();
+        c.layout = FileLayout::FilePerProcess;
+        let posix_fpp = run_write(&p, &c, Method::MpiIo).unwrap();
+        assert!(plfs_shared.bandwidth_mbs() > posix_shared.bandwidth_mbs());
+        // Within 2x of native file-per-process.
+        assert!(plfs_shared.bandwidth_mbs() > posix_fpp.bandwidth_mbs() / 2.0);
+    }
+
+    #[test]
+    fn collective_mode_runs() {
+        let p = presets::toy();
+        let c = cfg(FileLayout::SharedStrided, ApiMode::Collective);
+        let b = run_write(&p, &c, Method::Romio).unwrap();
+        assert!(b.bandwidth_mbs().is_finite());
+    }
+}

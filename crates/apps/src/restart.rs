@@ -1,0 +1,183 @@
+//! Checkpoint–restart: write a checkpoint with N ranks, read it back with M.
+//!
+//! The paper's §II (citing Polte et al., PDSW'09 — "…And Eat It Too")
+//! claims PLFS's partitioning *increases* read bandwidth "when the data is
+//! being read back on the same number of nodes used to write the file",
+//! while the log-structure alone would hurt reads. This workload measures
+//! exactly that: an N-writer checkpoint restarted by M readers, on both the
+//! simulator (bandwidth shapes) and — in the crate tests — the real
+//! container code (byte correctness for N ≠ M re-decomposition).
+
+use crate::result::{BenchPoint, IoTimer};
+use mpiio::{Access, Job, Method, MpiFile, MpiInfo, RankIo};
+use simfs::{Platform, SimFs, SimResult};
+
+/// Configuration of one checkpoint–restart run.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartConfig {
+    /// Ranks that wrote the checkpoint.
+    pub writers: usize,
+    /// Ranks that read it back.
+    pub readers: usize,
+    /// Processes per node (both phases).
+    pub ppn: usize,
+    /// Bytes per writer.
+    pub bytes_per_writer: u64,
+    /// PLFS hostdirs.
+    pub num_hostdirs: u32,
+}
+
+impl RestartConfig {
+    /// Total checkpoint bytes.
+    pub fn total(&self) -> u64 {
+        self.bytes_per_writer * self.writers as u64
+    }
+}
+
+/// Run the restart *read* phase (the checkpoint write is set up untimed)
+/// and report read bandwidth.
+pub fn run_read(platform: &Platform, cfg: &RestartConfig, method: Method) -> SimResult<BenchPoint> {
+    let mut fs = SimFs::new(platform.clone());
+
+    // Phase 1 (untimed): N writers produce the checkpoint collectively.
+    let mut wjob = Job::new(cfg.writers, cfg.ppn);
+    let mut file = MpiFile::open(
+        &mut fs,
+        &mut wjob,
+        "/restart.ckpt",
+        true,
+        method,
+        MpiInfo::default(),
+        cfg.num_hostdirs,
+    )?;
+    let ios: Vec<RankIo> = (0..cfg.writers)
+        .map(|r| RankIo {
+            offset: r as u64 * cfg.bytes_per_writer,
+            len: cfg.bytes_per_writer,
+        })
+        .collect();
+    file.write_at_all(&mut fs, &mut wjob, &ios)?;
+    file.close(&mut fs, &mut wjob)?;
+
+    // Phase 2 (timed): M readers re-decompose the same bytes.
+    let mut rjob = Job::new(cfg.readers, cfg.ppn);
+    let mut timer = IoTimer::new(cfg.readers);
+    let mut file = MpiFile::open(
+        &mut fs,
+        &mut rjob,
+        "/restart.ckpt",
+        false,
+        method,
+        MpiInfo::default(),
+        cfg.num_hostdirs,
+    )?;
+    let per_reader = cfg.total() / cfg.readers as u64;
+    for r in 0..cfg.readers {
+        let t0 = rjob.time(r);
+        let c = file.read_at(
+            &mut fs,
+            &mut rjob,
+            r,
+            r as u64 * per_reader,
+            per_reader,
+            Access::Contiguous,
+        )?;
+        timer.add(r, t0, c);
+    }
+    file.close(&mut fs, &mut rjob)?;
+
+    Ok(BenchPoint {
+        method: method.label().to_string(),
+        procs: cfg.readers,
+        nodes: cfg.readers.div_ceil(cfg.ppn),
+        bytes: cfg.total(),
+        seconds: timer.max(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::presets;
+
+    fn cfg(writers: usize, readers: usize) -> RestartConfig {
+        RestartConfig {
+            writers,
+            readers,
+            ppn: 12,
+            bytes_per_writer: 16 << 20,
+            num_hostdirs: 16,
+        }
+    }
+
+    #[test]
+    fn same_n_restart_favors_plfs() {
+        // §II: PLFS read-back on the same decomposition beats the shared
+        // file (per-dropping streams, no seek interference).
+        let p = presets::sierra();
+        let plfs = run_read(&p, &cfg(48, 48), Method::Ldplfs).unwrap();
+        let posix = run_read(&p, &cfg(48, 48), Method::MpiIo).unwrap();
+        assert!(
+            plfs.bandwidth_mbs() > posix.bandwidth_mbs(),
+            "PLFS restart {} <= MPI-IO {}",
+            plfs.bandwidth_mbs(),
+            posix.bandwidth_mbs()
+        );
+    }
+
+    #[test]
+    fn restart_runs_at_other_decompositions() {
+        let p = presets::sierra();
+        for readers in [24usize, 48, 96] {
+            let b = run_read(&p, &cfg(48, readers), Method::Ldplfs).unwrap();
+            assert!(b.bandwidth_mbs().is_finite() && b.bandwidth_mbs() > 0.0);
+            assert_eq!(b.bytes, 48 * (16 << 20));
+        }
+    }
+
+    /// The correctness half, on the *real* container code: a checkpoint
+    /// written by N pids reads back byte-identical under any M-way
+    /// re-decomposition (the global index hides the original layout).
+    #[test]
+    fn real_container_redecomposes_correctly() {
+        use plfs::{MemBacking, OpenFlags, Plfs};
+        use std::sync::Arc;
+        let plfs = Plfs::new(Arc::new(MemBacking::new()));
+        let writers = 6u64;
+        let block = 1000u64;
+        let fd = plfs
+            .open("/ckpt", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+            .unwrap();
+        for w in 0..writers {
+            fd.add_ref(w);
+            plfs.write(&fd, &vec![w as u8 + 1; block as usize], w * block, w)
+                .unwrap();
+        }
+        for w in 0..writers {
+            let _ = plfs.close(&fd, w);
+        }
+        plfs.close(&fd, 0).unwrap();
+
+        // Re-read with 4 "ranks" (uneven split of 6000 bytes).
+        let total = writers * block;
+        let readers = 4u64;
+        let fd = plfs.open("/ckpt", OpenFlags::RDONLY, 99).unwrap();
+        let mut reassembled = vec![0u8; total as usize];
+        for r in 0..readers {
+            let start = r * total / readers;
+            let end = (r + 1) * total / readers;
+            let mut buf = vec![0u8; (end - start) as usize];
+            let n = plfs.read(&fd, &mut buf, start).unwrap();
+            assert_eq!(n as u64, end - start);
+            reassembled[start as usize..end as usize].copy_from_slice(&buf);
+        }
+        for w in 0..writers as usize {
+            assert!(
+                reassembled[w * 1000..(w + 1) * 1000]
+                    .iter()
+                    .all(|&b| b == w as u8 + 1),
+                "writer {w}'s region intact under re-decomposition"
+            );
+        }
+    }
+}

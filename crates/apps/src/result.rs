@@ -1,0 +1,90 @@
+//! Benchmark result records shared by all workloads.
+
+/// One measured point: a method at a scale.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// I/O path label ("MPI-IO", "FUSE", "ROMIO", "LDPLFS").
+    pub method: String,
+    /// Total processes.
+    pub procs: usize,
+    /// Occupied nodes.
+    pub nodes: usize,
+    /// Bytes moved by the measured phase.
+    pub bytes: u64,
+    /// Seconds attributed to I/O (the benchmark's own accounting).
+    pub seconds: f64,
+}
+
+impl BenchPoint {
+    /// Achieved bandwidth in MB/s (decimal megabytes, like the paper).
+    pub fn bandwidth_mbs(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.bytes as f64 / self.seconds / 1.0e6
+    }
+}
+
+/// Accumulates per-rank I/O time the way the mini-applications report it:
+/// each rank sums the durations of its own I/O calls; the job's I/O time is
+/// the slowest rank; bandwidth is total bytes over that.
+#[derive(Debug, Clone, Default)]
+pub struct IoTimer {
+    per_rank: Vec<f64>,
+}
+
+impl IoTimer {
+    /// Timer for `ranks` processes.
+    pub fn new(ranks: usize) -> IoTimer {
+        IoTimer {
+            per_rank: vec![0.0; ranks],
+        }
+    }
+
+    /// Charge `rank` with an I/O interval.
+    pub fn add(&mut self, rank: usize, start: f64, end: f64) {
+        debug_assert!(end >= start);
+        self.per_rank[rank] += end - start;
+    }
+
+    /// Charge every rank with the same collective interval.
+    pub fn add_all(&mut self, start: f64, end: f64) {
+        for v in &mut self.per_rank {
+            *v += end - start;
+        }
+    }
+
+    /// The job's I/O time: the slowest rank.
+    pub fn max(&self) -> f64 {
+        self.per_rank.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_arithmetic() {
+        let p = BenchPoint {
+            method: "LDPLFS".into(),
+            procs: 4,
+            nodes: 2,
+            bytes: 100_000_000,
+            seconds: 2.0,
+        };
+        assert!((p.bandwidth_mbs() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_timer_takes_slowest_rank() {
+        let mut t = IoTimer::new(3);
+        t.add(0, 0.0, 1.0);
+        t.add(1, 0.0, 3.0);
+        t.add(1, 5.0, 6.0);
+        t.add(2, 0.0, 0.5);
+        assert!((t.max() - 4.0).abs() < 1e-12);
+        t.add_all(0.0, 1.0);
+        assert!((t.max() - 5.0).abs() < 1e-12);
+    }
+}

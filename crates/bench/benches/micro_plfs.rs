@@ -1,0 +1,192 @@
+//! Micro-benchmarks of the PLFS substrate: index merge and resolution,
+//! the log-structured write path, the reassembling read path, flatten.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plfs::{ContainerParams, GlobalIndex, IndexEntry, MemBacking, OpenFlags, Plfs};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn entry(i: u64, stride: u64) -> IndexEntry {
+    IndexEntry {
+        logical_offset: (i * 7919) % (stride * 1024),
+        length: stride,
+        physical_offset: i * stride,
+        dropping_id: (i % 16) as u32,
+        timestamp: i + 1,
+        pid: i % 8,
+    }
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index");
+    for n in [1_000u64, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("merge_scattered", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut idx = GlobalIndex::default();
+                for i in 0..n {
+                    idx.insert(entry(i, 64));
+                }
+                black_box(idx.segments())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("merge_sequential", n), &n, |b, &n| {
+            // Sequential appends coalesce into one segment: the fast path.
+            b.iter(|| {
+                let mut idx = GlobalIndex::default();
+                for i in 0..n {
+                    idx.insert(IndexEntry {
+                        logical_offset: i * 64,
+                        length: 64,
+                        physical_offset: i * 64,
+                        dropping_id: 0,
+                        timestamp: i + 1,
+                        pid: 0,
+                    });
+                }
+                black_box(idx.segments())
+            });
+        });
+    }
+    // Resolution against a large merged index.
+    let mut idx = GlobalIndex::default();
+    for i in 0..100_000 {
+        idx.insert(entry(i, 64));
+    }
+    g.bench_function("resolve_4k_of_100k_segments", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 4096) % idx.eof().max(1);
+            black_box(idx.resolve(off, 4096))
+        });
+    });
+    g.finish();
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_path");
+    for size in [4096u64, 65_536, 1 << 20] {
+        g.throughput(Throughput::Bytes(size));
+        g.bench_with_input(BenchmarkId::new("plfs_write", size), &size, |b, &size| {
+            let plfs = Plfs::new(Arc::new(MemBacking::new()));
+            let fd = plfs
+                .open("/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0)
+                .unwrap();
+            let data = vec![7u8; size as usize];
+            let mut off = 0u64;
+            b.iter(|| {
+                plfs.write(&fd, &data, off, 0).unwrap();
+                off += size;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_path");
+    // Container written by 16 interleaved writers, read back sequentially.
+    let plfs = Plfs::new(Arc::new(MemBacking::new())).with_params(ContainerParams {
+        num_hostdirs: 8,
+        mode: plfs::LayoutMode::Both,
+    });
+    let fd = plfs
+        .open("/f", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+        .unwrap();
+    let block = 64 * 1024u64;
+    for pid in 0..16u64 {
+        fd.add_ref(pid);
+        let data = vec![pid as u8; block as usize];
+        for row in 0..32u64 {
+            plfs.write(&fd, &data, (row * 16 + pid) * block, pid).unwrap();
+        }
+    }
+    let total = 16 * 32 * block;
+    g.throughput(Throughput::Bytes(block));
+    g.bench_function("pread_64k_interleaved_16_writers", |b| {
+        let mut buf = vec![0u8; block as usize];
+        let mut off = 0u64;
+        b.iter(|| {
+            let n = plfs.read(&fd, &mut buf, off).unwrap();
+            off = (off + block) % total;
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let backing = Arc::new(MemBacking::new());
+    let plfs = Plfs::new(backing.clone());
+    let fd = plfs
+        .open("/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0)
+        .unwrap();
+    for pid in 0..8u64 {
+        fd.add_ref(pid);
+        plfs.write(&fd, &vec![pid as u8; 128 * 1024], pid * 128 * 1024, pid)
+            .unwrap();
+        plfs.close(&fd, pid).unwrap();
+    }
+    plfs.close(&fd, 0).unwrap();
+    let mut g = c.benchmark_group("flatten");
+    g.throughput(Throughput::Bytes(8 * 128 * 1024));
+    g.bench_function("flatten_1mb_8_droppings", |b| {
+        b.iter(|| black_box(plfs::flatten::flatten_to_vec(backing.as_ref(), "/f").unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_pattern_compression(c: &mut Criterion) {
+    use plfs::index::encode_compressed;
+    let mut g = c.benchmark_group("index_compression");
+    // The BT shape: thousands of strided entries.
+    let strided: Vec<IndexEntry> = (0..10_000u64)
+        .map(|i| IndexEntry {
+            logical_offset: i * 4096,
+            length: 1024,
+            physical_offset: i * 1024,
+            dropping_id: 0,
+            timestamp: i + 1,
+            pid: 1,
+        })
+        .collect();
+    g.bench_function("encode_10k_strided", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            black_box(encode_compressed(&strided, 3, &mut out))
+        });
+    });
+    // Irregular entries: worst case, plain records.
+    let irregular: Vec<IndexEntry> = (0..10_000u64)
+        .map(|i| IndexEntry {
+            logical_offset: (i * 7919) % 1_000_000,
+            length: 100 + (i % 97),
+            physical_offset: i * 1200,
+            dropping_id: 0,
+            timestamp: i + 1,
+            pid: 1,
+        })
+        .collect();
+    g.bench_function("encode_10k_irregular", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            black_box(encode_compressed(&irregular, 3, &mut out))
+        });
+    });
+    // Decode (expansion) of the compressed strided batch.
+    let mut compressed = Vec::new();
+    encode_compressed(&strided, 3, &mut compressed);
+    g.bench_function("decode_compressed_strided", |b| {
+        b.iter(|| black_box(IndexEntry::decode_all(&compressed).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index,
+    bench_write_path,
+    bench_read_path,
+    bench_flatten,
+    bench_pattern_compression
+);
+criterion_main!(benches);

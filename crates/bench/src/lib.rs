@@ -1,0 +1,561 @@
+//! # bench — the figure/table regeneration harness
+//!
+//! Library behind the `paperbench` binary: one function per table/figure of
+//! the paper, each returning structured data that the binary renders as
+//! aligned text tables (and optionally JSON for EXPERIMENTS.md).
+//!
+//! Every experiment can run at `Scale::Paper` (the exact sweep of the
+//! paper) or `Scale::Quick` (same shapes, smaller volumes — used by CI and
+//! the criterion benches).
+
+#![warn(missing_docs)]
+
+use apps::flash_io::{self, FlashConfig};
+use apps::mpi_io_test::{self, MpiIoTestConfig, Phase};
+use apps::nas_bt::{self, BtClass, BtConfig};
+use apps::unix_tools::sim::{tool_time, FileKind, Tool};
+use mpiio::Method;
+use rayon::prelude::*;
+use serde::Serialize;
+use simfs::{presets, Platform};
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's exact volumes and sweeps.
+    Paper,
+    /// Reduced volumes (same process sweeps) for fast iteration.
+    Quick,
+}
+
+impl Scale {
+    fn divide(self, bytes: u64, by: u64) -> u64 {
+        match self {
+            Scale::Paper => bytes,
+            Scale::Quick => (bytes / by).max(1 << 20),
+        }
+    }
+}
+
+/// One plotted series: method label plus (x, MB/s) points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, bandwidth MB/s)` points; x is nodes or cores per the figure.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// A whole panel (one sub-figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Panel title, e.g. "Write (1 Proc/Node)".
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// The series, in legend order.
+    pub series: Vec<Series>,
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: MPI-IO Test on Minerva.
+// ---------------------------------------------------------------------------
+
+/// Node counts of Figure 3.
+pub const FIG3_NODES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Processes-per-node variants of Figure 3.
+pub const FIG3_PPN: [usize; 3] = [1, 2, 4];
+
+/// Regenerate Figure 3: 6 panels (write/read × 1/2/4 ppn), 4 methods each.
+pub fn fig3(scale: Scale) -> Vec<Panel> {
+    let platform = presets::minerva();
+    let phases = [Phase::Write, Phase::Read];
+    let mut jobs = Vec::new();
+    for &phase in &phases {
+        for &ppn in &FIG3_PPN {
+            jobs.push((phase, ppn));
+        }
+    }
+    jobs.par_iter()
+        .map(|&(phase, ppn)| {
+            let series = Method::ALL
+                .iter()
+                .map(|&m| {
+                    let points = FIG3_NODES
+                        .iter()
+                        .map(|&nodes| {
+                            let mut cfg = MpiIoTestConfig::paper(nodes, ppn);
+                            cfg.bytes_per_proc = scale.divide(cfg.bytes_per_proc, 16);
+                            let b = mpi_io_test::run(&platform, &cfg, m, phase)
+                                .expect("fig3 run");
+                            (nodes, b.bandwidth_mbs())
+                        })
+                        .collect();
+                    Series {
+                        label: m.label().to_string(),
+                        points,
+                    }
+                })
+                .collect();
+            Panel {
+                title: format!(
+                    "{} ({} Proc/Node)",
+                    match phase {
+                        Phase::Write => "Write",
+                        Phase::Read => "Read",
+                    },
+                    ppn
+                ),
+                xlabel: "Nodes".to_string(),
+                series,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table II: serial UNIX tools.
+// ---------------------------------------------------------------------------
+
+/// One row of Table II.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Tool label.
+    pub tool: String,
+    /// Seconds on the PLFS container (through LDPLFS).
+    pub plfs_secs: f64,
+    /// Seconds on a standard flat file.
+    pub standard_secs: f64,
+}
+
+/// Regenerate Table II at `size` bytes (the paper uses 4 GB) on the
+/// simulated login node. The container carries 16 droppings, a typical
+/// parallel-job output.
+pub fn table2(size: u64) -> Vec<Table2Row> {
+    let platform = presets::login_node();
+    Tool::ALL
+        .iter()
+        .map(|&tool| {
+            let plfs = tool_time(
+                &platform,
+                tool,
+                FileKind::PlfsContainer { droppings: 16 },
+                size,
+            )
+            .expect("table2 plfs");
+            let std_ = tool_time(&platform, tool, FileKind::Standard, size).expect("table2 std");
+            Table2Row {
+                tool: tool.label().to_string(),
+                plfs_secs: plfs,
+                standard_secs: std_,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: NAS BT on Sierra.
+// ---------------------------------------------------------------------------
+
+/// Methods shown in Figures 4 and 5 (no FUSE on Sierra — the paper could
+/// not install the kernel module there, which is LDPLFS's selling point).
+pub const SIERRA_METHODS: [Method; 3] = [Method::MpiIo, Method::Romio, Method::Ldplfs];
+
+/// Regenerate one Figure 4 panel (class C or D).
+pub fn fig4(class: BtClass, scale: Scale) -> Panel {
+    let platform = presets::sierra();
+    let series: Vec<Series> = SIERRA_METHODS
+        .par_iter()
+        .map(|&m| {
+            let points = class
+                .core_sweep()
+                .iter()
+                .map(|&cores| {
+                    let cfg = BtConfig::paper(class, cores);
+                    let _ = scale; // BT volumes are fixed by problem class
+                    let b = nas_bt::run(&platform, &cfg, m).expect("fig4 run");
+                    (cores, b.bandwidth_mbs())
+                })
+                .collect();
+            Series {
+                label: m.label().to_string(),
+                points,
+            }
+        })
+        .collect();
+    Panel {
+        title: format!("BT Problem Class {}", class.label()),
+        xlabel: "Cores".to_string(),
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: FLASH-IO on Sierra.
+// ---------------------------------------------------------------------------
+
+/// Regenerate Figure 5, optionally overriding the PLFS hostdir count (the
+/// paper's future-work knob for taming the MDS storm).
+pub fn fig5_with(num_hostdirs: u32, scale: Scale) -> Panel {
+    let platform = presets::sierra();
+    let series: Vec<Series> = SIERRA_METHODS
+        .par_iter()
+        .map(|&m| {
+            let points = FlashConfig::core_sweep()
+                .iter()
+                .map(|&cores| {
+                    let mut cfg = FlashConfig::paper(cores);
+                    cfg.num_hostdirs = num_hostdirs;
+                    let _ = scale;
+                    let b = flash_io::run(&platform, &cfg, m).expect("fig5 run");
+                    (cores, b.bandwidth_mbs())
+                })
+                .collect();
+            Series {
+                label: m.label().to_string(),
+                points,
+            }
+        })
+        .collect();
+    Panel {
+        title: "FLASH-IO (weak scaled, 24³ blocks)".to_string(),
+        xlabel: "Cores".to_string(),
+        series,
+    }
+}
+
+/// Figure 5 with the paper's default 32 hostdirs.
+pub fn fig5(scale: Scale) -> Panel {
+    fig5_with(32, scale)
+}
+
+// ---------------------------------------------------------------------------
+// Beyond the paper: the crossover finder it proposes as future work.
+// ---------------------------------------------------------------------------
+
+/// Result of the PLFS-benefit crossover search on a platform.
+#[derive(Debug, Clone, Serialize)]
+pub struct Crossover {
+    /// Platform name.
+    pub platform: String,
+    /// Core counts examined.
+    pub cores: Vec<usize>,
+    /// LDPLFS-over-MPI-IO speedup at each core count.
+    pub speedup: Vec<f64>,
+    /// First core count where PLFS hurts (speedup < 1), if any.
+    pub harmful_at: Option<usize>,
+}
+
+/// Sweep FLASH-IO on a platform and report where PLFS stops helping — the
+/// performance-model use the paper's §V.A proposes ("highlight systems
+/// where PLFS may have a negative effect").
+pub fn crossover(platform: &Platform, label: &str) -> Crossover {
+    let cores: Vec<usize> = FlashConfig::core_sweep()
+        .iter()
+        .copied()
+        .filter(|&c| c <= platform.cluster.nodes * platform.cluster.cores_per_node)
+        .collect();
+    let speedup: Vec<f64> = cores
+        .par_iter()
+        .map(|&c| {
+            let cfg = FlashConfig::paper(c);
+            let base = flash_io::run(platform, &cfg, Method::MpiIo).expect("crossover base");
+            let plfs = flash_io::run(platform, &cfg, Method::Ldplfs).expect("crossover plfs");
+            plfs.bandwidth_mbs() / base.bandwidth_mbs()
+        })
+        .collect();
+    let harmful_at = cores
+        .iter()
+        .zip(&speedup)
+        .find(|(_, &s)| s < 1.0)
+        .map(|(&c, _)| c);
+    Crossover {
+        platform: label.to_string(),
+        cores,
+        speedup,
+        harmful_at,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Beyond the paper: Zest-style staging tier (related work, §II).
+// ---------------------------------------------------------------------------
+
+/// One row of the staging comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct StagingRow {
+    /// Core count.
+    pub cores: usize,
+    /// Plain MPI-IO on Lustre (MB/s).
+    pub lustre_mpiio: f64,
+    /// LDPLFS/PLFS on Lustre (MB/s).
+    pub lustre_plfs: f64,
+    /// MPI-IO over the Zest-style staging tier (MB/s, as the *application*
+    /// observes — durability drains later, like Zest's delayed copy-out).
+    pub staging: f64,
+}
+
+/// Compare FLASH-IO on plain Lustre, PLFS, and a Zest-style staging tier
+/// (the related-work design the paper contrasts PLFS against: log-writes
+/// to a no-read-back staging area, drained at non-critical times).
+pub fn staging_comparison() -> Vec<StagingRow> {
+    let lustre = presets::sierra();
+    let zest = presets::zest_staging();
+    FlashConfig::core_sweep()
+        .iter()
+        .take(7) // up to 768 cores keeps this quick
+        .map(|&cores| {
+            let cfg = FlashConfig::paper(cores);
+            let lustre_mpiio = flash_io::run(&lustre, &cfg, Method::MpiIo)
+                .expect("staging base")
+                .bandwidth_mbs();
+            let lustre_plfs = flash_io::run(&lustre, &cfg, Method::Ldplfs)
+                .expect("staging plfs")
+                .bandwidth_mbs();
+            let staging = flash_io::run(&zest, &cfg, Method::MpiIo)
+                .expect("staging zest")
+                .bandwidth_mbs();
+            StagingRow {
+                cores,
+                lustre_mpiio,
+                lustre_plfs,
+                staging,
+            }
+        })
+        .collect()
+}
+
+/// Render the staging comparison.
+pub fn render_staging(rows: &[StagingRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}{:>14}{:>14}{:>16}
+",
+        "Cores", "Lustre MPI-IO", "Lustre PLFS", "Zest staging"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}{:>14.1}{:>14.1}{:>16.1}
+",
+            r.cores, r.lustre_mpiio, r.lustre_plfs, r.staging
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Beyond the paper: IOR parameter sweep.
+// ---------------------------------------------------------------------------
+
+/// One row of the IOR exploration table.
+#[derive(Debug, Clone, Serialize)]
+pub struct IorRow {
+    /// Layout label.
+    pub layout: String,
+    /// API label.
+    pub api: String,
+    /// Transfer size (bytes).
+    pub transfer: u64,
+    /// Plain POSIX bandwidth (MB/s).
+    pub mpiio: f64,
+    /// LDPLFS bandwidth (MB/s).
+    pub ldplfs: f64,
+}
+
+/// Sweep IOR layouts/APIs/transfer-sizes on Sierra, comparing plain MPI-IO
+/// with LDPLFS — the generalisation of the paper's fixed workloads.
+pub fn ior_sweep(procs: usize) -> Vec<IorRow> {
+    use apps::ior::{run_write, ApiMode, FileLayout, IorConfig};
+    let platform = presets::sierra();
+    let mut rows = Vec::new();
+    let layouts = [
+        ("shared-segmented", FileLayout::SharedSegmented),
+        ("shared-strided", FileLayout::SharedStrided),
+        ("file-per-process", FileLayout::FilePerProcess),
+    ];
+    let apis = [
+        ("independent", ApiMode::Independent),
+        ("collective", ApiMode::Collective),
+    ];
+    for &(lname, layout) in &layouts {
+        for &(aname, api) in &apis {
+            if layout == FileLayout::FilePerProcess && api == ApiMode::Collective {
+                continue; // no collective over per-process files
+            }
+            for transfer in [64 << 10u64, 1 << 20, 8 << 20] {
+                let cfg = IorConfig {
+                    procs,
+                    ppn: 12,
+                    transfer,
+                    transfers_per_block: 8,
+                    layout,
+                    api,
+                    num_hostdirs: 32,
+                };
+                let mpiio = run_write(&platform, &cfg, Method::MpiIo)
+                    .expect("ior mpiio")
+                    .bandwidth_mbs();
+                let ldplfs = run_write(&platform, &cfg, Method::Ldplfs)
+                    .expect("ior ldplfs")
+                    .bandwidth_mbs();
+                rows.push(IorRow {
+                    layout: lname.to_string(),
+                    api: aname.to_string(),
+                    transfer,
+                    mpiio,
+                    ldplfs,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Render the IOR sweep.
+pub fn render_ior(rows: &[IorRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18}{:<13}{:>10}{:>12}{:>12}{:>10}
+",
+        "layout", "api", "transfer", "MPI-IO", "LDPLFS", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18}{:<13}{:>10}{:>12.1}{:>12.1}{:>9.2}x
+",
+            r.layout,
+            r.api,
+            r.transfer,
+            r.mpiio,
+            r.ldplfs,
+            r.ldplfs / r.mpiio
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rendering helpers.
+// ---------------------------------------------------------------------------
+
+/// Render a panel as an aligned text table (methods as columns).
+pub fn render_panel(p: &Panel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {}\n", p.title));
+    out.push_str(&format!("{:>8}", p.xlabel));
+    for s in &p.series {
+        out.push_str(&format!("{:>12}", s.label));
+    }
+    out.push('\n');
+    let xs: Vec<usize> = p.series[0].points.iter().map(|&(x, _)| x).collect();
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x:>8}"));
+        for s in &p.series {
+            out.push_str(&format!("{:>12.1}", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table II in the paper's layout.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12}{:>16}{:>20}\n",
+        "", "PLFS Container", "Standard UNIX File"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}{:>16.3}{:>20.3}\n",
+            r.tool, r.plfs_secs, r.standard_secs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig3_has_all_panels_and_methods() {
+        let panels = fig3(Scale::Quick);
+        assert_eq!(panels.len(), 6);
+        for p in &panels {
+            assert_eq!(p.series.len(), 4);
+            for s in &p.series {
+                assert_eq!(s.points.len(), FIG3_NODES.len());
+                for &(_, bw) in &s.points {
+                    assert!(bw.is_finite() && bw > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quick_fig3_headline_claims() {
+        let panels = fig3(Scale::Quick);
+        // On the 4-ppn write panel at 16+ nodes: LDPLFS ≈ ROMIO, both beat
+        // FUSE, and PLFS beats plain MPI-IO (the paper's ~2×).
+        let write4 = panels
+            .iter()
+            .find(|p| p.title == "Write (4 Proc/Node)")
+            .unwrap();
+        let get = |label: &str| {
+            write4
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .points
+                .iter()
+                .find(|&&(x, _)| x == 16)
+                .unwrap()
+                .1
+        };
+        let (mpiio, fuse, romio, ldplfs) =
+            (get("MPI-IO"), get("FUSE"), get("ROMIO"), get("LDPLFS"));
+        assert!(ldplfs > mpiio, "PLFS should beat MPI-IO: {ldplfs} vs {mpiio}");
+        assert!(ldplfs > fuse, "LDPLFS should beat FUSE: {ldplfs} vs {fuse}");
+        let ratio = ldplfs / romio;
+        assert!((0.85..1.15).contains(&ratio), "LDPLFS≈ROMIO, got {ratio}");
+    }
+
+    #[test]
+    fn table2_rows_and_relationships() {
+        let rows = table2(1 << 30); // 1 GB keeps the test quick
+        assert_eq!(rows.len(), 5);
+        let by = |name: &str| rows.iter().find(|r| r.tool == name).unwrap();
+        // CPU-bound tools: layout-independent.
+        let grep = by("grep");
+        assert!((grep.plfs_secs / grep.standard_secs - 1.0).abs() < 0.05);
+        // grep much slower than cat (31 MB/s vs ~160 MB/s).
+        assert!(grep.standard_secs > by("cat").standard_secs * 2.0);
+        // cp write-bound: slower than cat.
+        assert!(by("cp (read)").standard_secs > by("cat").standard_secs);
+        // PLFS never catastrophically slower serially.
+        for r in &rows {
+            assert!(r.plfs_secs < r.standard_secs * 1.2, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn render_helpers_produce_tables() {
+        let rows = table2(64 << 20);
+        let txt = render_table2(&rows);
+        assert!(txt.contains("md5sum"));
+        assert!(txt.contains("PLFS Container"));
+        let p = Panel {
+            title: "T".into(),
+            xlabel: "Nodes".into(),
+            series: vec![Series {
+                label: "A".into(),
+                points: vec![(1, 10.0), (2, 20.0)],
+            }],
+        };
+        let txt = render_panel(&p);
+        assert!(txt.contains("Nodes"));
+        assert!(txt.contains("10.0"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Shim construction helpers.
+//!
+//! The real LDPLFS is configured by exporting a single environment variable
+//! and reading the system `plfsrc`. [`LdPlfsBuilder`] is the programmatic
+//! equivalent; [`from_plfsrc`] wires a parsed `plfsrc` to backing stores
+//! produced by a caller-supplied factory (real directories, in-memory, or
+//! simulated).
+
+use crate::posix::{Errno, PosixLayer, PosixResult};
+use crate::shim::{LdPlfs, ShimMount};
+use plfs::{Backing, MountSpec, Plfs, PlfsRc, SpreadBacking};
+use std::sync::Arc;
+
+/// Incremental builder for an [`LdPlfs`] shim.
+pub struct LdPlfsBuilder {
+    under: Arc<dyn PosixLayer>,
+    mounts: Vec<ShimMount>,
+}
+
+impl LdPlfsBuilder {
+    /// Start from the underlying ("real libc") layer.
+    pub fn new(under: Arc<dyn PosixLayer>) -> LdPlfsBuilder {
+        LdPlfsBuilder {
+            under,
+            mounts: Vec::new(),
+        }
+    }
+
+    /// Add a mount serving `mount_point` with an existing [`Plfs`].
+    pub fn mount(mut self, mount_point: impl Into<String>, plfs: Plfs) -> LdPlfsBuilder {
+        self.mounts.push(ShimMount {
+            mount_point: mount_point.into().trim_end_matches('/').to_string(),
+            plfs,
+        });
+        self
+    }
+
+    /// Finish, creating the scratch directory on the underlying layer.
+    pub fn build(self) -> PosixResult<LdPlfs> {
+        if self.mounts.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        LdPlfs::new(self.under, self.mounts)
+    }
+}
+
+/// Build a [`Plfs`] instance for one parsed [`MountSpec`], resolving backend
+/// paths through `backing_for`.
+pub fn plfs_for_spec(
+    spec: &MountSpec,
+    backing_for: &mut dyn FnMut(&str) -> Arc<dyn Backing>,
+) -> PosixResult<Plfs> {
+    let backing: Arc<dyn Backing> = if spec.backends.len() == 1 {
+        backing_for(&spec.backends[0])
+    } else {
+        let backends: Vec<Arc<dyn Backing>> =
+            spec.backends.iter().map(|b| backing_for(b)).collect();
+        Arc::new(SpreadBacking::new(backends).map_err(Errno::from)?)
+    };
+    Ok(Plfs::new(backing)
+        .with_params(spec.params)
+        .with_index_buffer(spec.index_buffer_entries))
+}
+
+/// Build a shim from `plfsrc` text. `backing_for` maps each backend path in
+/// the file to a backing store.
+pub fn from_plfsrc(
+    under: Arc<dyn PosixLayer>,
+    plfsrc: &str,
+    mut backing_for: impl FnMut(&str) -> Arc<dyn Backing>,
+) -> PosixResult<LdPlfs> {
+    let rc = PlfsRc::parse(plfsrc).map_err(Errno::from)?;
+    let mut builder = LdPlfsBuilder::new(under);
+    for spec in &rc.mounts {
+        let plfs = plfs_for_spec(spec, &mut backing_for)?
+            .with_threads(rc.threadpool_size.max(1));
+        builder = builder.mount(spec.mount_point.clone(), plfs);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posix::{OpenFlags, PosixLayer};
+    use crate::realposix::RealPosix;
+    use plfs::MemBacking;
+
+    fn under(name: &str) -> Arc<dyn PosixLayer> {
+        let dir = std::env::temp_dir().join(format!(
+            "ldplfs-config-{}-{}",
+            name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(RealPosix::rooted(dir).unwrap())
+    }
+
+    #[test]
+    fn builder_requires_a_mount() {
+        assert!(LdPlfsBuilder::new(under("empty")).build().is_err());
+    }
+
+    #[test]
+    fn builder_trims_trailing_slash() {
+        let s = LdPlfsBuilder::new(under("trim"))
+            .mount("/plfs/", Plfs::new(Arc::new(MemBacking::new())))
+            .build()
+            .unwrap();
+        assert_eq!(s.mounts()[0].mount_point, "/plfs");
+        let fd = s
+            .open("/plfs/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
+        s.close(fd).unwrap();
+        assert!(s.mounts()[0].plfs.is_container("/f"));
+    }
+
+    #[test]
+    fn from_plfsrc_builds_all_mounts() {
+        let rc = "mount_point /ckpt\nbackends /be1\nnum_hostdirs 4\n\
+                  mount_point /viz\nbackends /be2,/be3\n";
+        let s = from_plfsrc(under("rc"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        assert_eq!(s.mounts().len(), 2);
+        assert_eq!(s.mounts()[0].plfs.defaults().num_hostdirs, 4);
+        // The two-backend mount got a spread backing; writing works.
+        let fd = s
+            .open("/viz/dump", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
+        s.write(fd, b"spread").unwrap();
+        s.close(fd).unwrap();
+        assert_eq!(s.stat("/viz/dump").unwrap().size, 6);
+    }
+
+    #[test]
+    fn from_plfsrc_rejects_bad_config() {
+        assert!(from_plfsrc(under("bad"), "mount_point /x\n", |_| {
+            Arc::new(MemBacking::new())
+        })
+        .is_err());
+    }
+}

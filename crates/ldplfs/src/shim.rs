@@ -1,0 +1,742 @@
+//! The LDPLFS shim: POSIX calls retargeted to PLFS.
+//!
+//! [`LdPlfs`] wraps an underlying [`PosixLayer`] (the stand-in for libc) and
+//! a set of PLFS mounts. Any path falling inside a mount point is retargeted
+//! to the PLFS API; everything else forwards untouched. Applications
+//! written against `PosixLayer` cannot tell the difference — that is the
+//! paper's whole point.
+//!
+//! The two bookkeeping duties from §III.A are implemented faithfully:
+//!
+//! * **fd synthesis** — each PLFS open also opens a throwaway *scratch file*
+//!   on the underlying layer (the paper uses `/dev/random`), whose genuine
+//!   descriptor is handed to the application and keyed into a lookup table.
+//! * **cursor maintenance** — the PLFS API is positional, POSIX is
+//!   cursor-based. The cursor is kept in the scratch descriptor itself via
+//!   `lseek`: before each op the shim reads it with `lseek(fd, 0, SEEK_CUR)`,
+//!   and after the op it advances it with `lseek(fd, new, SEEK_SET)`. Because
+//!   `dup(2)` shares the open file description, dup'd descriptors share the
+//!   PLFS cursor for free, exactly like real files.
+
+use crate::posix::{
+    Errno, Fd, OpenFlags, PosixDirent, PosixLayer, PosixResult, PosixStat, Whence,
+};
+use crate::stats::{OpClass, ShimStats};
+use parking_lot::RwLock;
+use plfs::mount::path_has_prefix;
+use plfs::{Plfs, PlfsFd};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    static VIRTUAL_PID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Override the pid this thread presents to PLFS (real LDPLFS uses
+/// `getpid()`; simulated ranks on threads each set their own).
+pub fn set_virtual_pid(pid: u64) {
+    VIRTUAL_PID.with(|c| c.set(Some(pid)));
+}
+
+/// Clear the thread's pid override.
+pub fn clear_virtual_pid() {
+    VIRTUAL_PID.with(|c| c.set(None));
+}
+
+/// The pid PLFS operations run under for this thread.
+pub fn current_pid() -> u64 {
+    VIRTUAL_PID.with(|c| c.get()).unwrap_or(std::process::id() as u64)
+}
+
+/// One configured mount.
+pub struct ShimMount {
+    /// Logical mount-point prefix.
+    pub mount_point: String,
+    /// The PLFS file system serving it.
+    pub plfs: Plfs,
+}
+
+/// Shared state of one PLFS open (shared between dup'd descriptors).
+struct OpenState {
+    mount: usize,
+    plfs_fd: Arc<PlfsFd>,
+    /// Mount-relative logical path (for ftruncate-by-path).
+    logical: String,
+    scratch_path: String,
+    append: bool,
+    /// Live descriptors sharing this state; last close unlinks the scratch.
+    fds: AtomicU32,
+}
+
+/// One shim descriptor: the reserved underlying fd plus the shared state.
+struct Entry {
+    under_fd: Fd,
+    state: Arc<OpenState>,
+    pid: u64,
+}
+
+/// The interposing POSIX layer (the `libldplfs` analogue).
+pub struct LdPlfs {
+    under: Arc<dyn PosixLayer>,
+    mounts: Vec<ShimMount>,
+    table: RwLock<HashMap<Fd, Entry>>,
+    stats: Arc<ShimStats>,
+    scratch_dir: String,
+    scratch_seq: AtomicU64,
+}
+
+impl LdPlfs {
+    /// Build a shim over `under` with the given mounts. Creates the scratch
+    /// directory used for fd reservation.
+    pub fn new(under: Arc<dyn PosixLayer>, mounts: Vec<ShimMount>) -> PosixResult<LdPlfs> {
+        let scratch_dir = "/.ldplfs_scratch".to_string();
+        match under.mkdir(&scratch_dir, 0o700) {
+            Ok(()) | Err(Errno(17)) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(LdPlfs {
+            under,
+            mounts,
+            table: RwLock::new(HashMap::new()),
+            stats: Arc::new(ShimStats::default()),
+            scratch_dir,
+            scratch_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Interception counters.
+    pub fn stats(&self) -> &ShimStats {
+        &self.stats
+    }
+
+    /// The underlying POSIX layer.
+    pub fn underlying(&self) -> &Arc<dyn PosixLayer> {
+        &self.under
+    }
+
+    /// The configured mounts.
+    pub fn mounts(&self) -> &[ShimMount] {
+        &self.mounts
+    }
+
+    /// Which mount (if any) serves `path`; returns `(mount index,
+    /// mount-relative logical path)`. Longest prefix wins.
+    fn match_mount<'p>(&self, path: &'p str) -> Option<(usize, String)> {
+        let mut best: Option<(usize, &str)> = None;
+        for (i, m) in self.mounts.iter().enumerate() {
+            if path_has_prefix(path, &m.mount_point)
+                && best.is_none_or(|(b, _)| m.mount_point.len() > self.mounts[b].mount_point.len())
+            {
+                best = Some((i, &m.mount_point));
+            }
+        }
+        best.map(|(i, mp)| {
+            let rel = &path[mp.len()..];
+            let rel = if rel.is_empty() { "/" } else { rel };
+            (i, rel.to_string())
+        })
+    }
+
+    fn entry_state(&self, fd: Fd) -> Option<(Arc<OpenState>, u64)> {
+        let table = self.table.read();
+        table.get(&fd).map(|e| (e.state.clone(), e.pid))
+    }
+
+    /// Read the PLFS cursor from the reserved descriptor
+    /// (`lseek(fd, 0, SEEK_CUR)`, as in the paper).
+    fn cursor(&self, fd: Fd) -> PosixResult<u64> {
+        self.under.lseek(fd, 0, Whence::Cur)
+    }
+
+    /// Store the PLFS cursor back into the reserved descriptor.
+    fn set_cursor(&self, fd: Fd, off: u64) -> PosixResult<()> {
+        if off > i64::MAX as u64 {
+            return Err(Errno::EINVAL);
+        }
+        self.under.lseek(fd, off as i64, Whence::Set)?;
+        Ok(())
+    }
+
+    fn open_plfs(&self, mount: usize, logical: &str, flags: OpenFlags) -> PosixResult<Fd> {
+        let pid = current_pid();
+        let plfs_fd = self.mounts[mount].plfs.open(logical, flags, pid)?;
+        // Reserve a genuine descriptor by opening a scratch file.
+        let scratch_path = format!(
+            "{}/fd.{}.{}",
+            self.scratch_dir,
+            pid,
+            self.scratch_seq.fetch_add(1, Ordering::Relaxed)
+        );
+        let under_fd = match self.under.open(
+            &scratch_path,
+            OpenFlags::RDWR | OpenFlags::CREAT,
+            0o600,
+        ) {
+            Ok(fd) => fd,
+            Err(e) => {
+                let _ = plfs_fd.close(pid);
+                return Err(e);
+            }
+        };
+        let state = Arc::new(OpenState {
+            mount,
+            plfs_fd,
+            logical: logical.to_string(),
+            scratch_path,
+            append: flags.append(),
+            fds: AtomicU32::new(1),
+        });
+        self.table.write().insert(
+            under_fd,
+            Entry {
+                under_fd,
+                state,
+                pid,
+            },
+        );
+        Ok(under_fd)
+    }
+}
+
+impl PosixLayer for LdPlfs {
+    fn open(&self, path: &str, flags: OpenFlags, mode: u32) -> PosixResult<Fd> {
+        match self.match_mount(path) {
+            Some((m, rel)) => {
+                self.stats.hit(OpClass::Open);
+                self.open_plfs(m, &rel, flags)
+            }
+            None => {
+                self.stats.miss(OpClass::Open);
+                self.under.open(path, flags, mode)
+            }
+        }
+    }
+
+    fn close(&self, fd: Fd) -> PosixResult<()> {
+        let entry = self.table.write().remove(&fd);
+        match entry {
+            Some(e) => {
+                self.stats.hit(OpClass::Close);
+                e.state.plfs_fd.close(e.pid)?;
+                self.under.close(e.under_fd)?;
+                if e.state.fds.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let _ = self.under.unlink(&e.state.scratch_path);
+                }
+                Ok(())
+            }
+            None => {
+                self.stats.miss(OpClass::Close);
+                self.under.close(fd)
+            }
+        }
+    }
+
+    fn read(&self, fd: Fd, buf: &mut [u8]) -> PosixResult<usize> {
+        match self.entry_state(fd) {
+            Some((st, _pid)) => {
+                self.stats.hit(OpClass::Read);
+                let off = self.cursor(fd)?;
+                let n = st.plfs_fd.read(buf, off)?;
+                self.set_cursor(fd, off + n as u64)?;
+                Ok(n)
+            }
+            None => {
+                self.stats.miss(OpClass::Read);
+                self.under.read(fd, buf)
+            }
+        }
+    }
+
+    fn write(&self, fd: Fd, buf: &[u8]) -> PosixResult<usize> {
+        match self.entry_state(fd) {
+            Some((st, _open_pid)) => {
+                self.stats.hit(OpClass::Write);
+                let pid = current_pid();
+                let off = if st.append {
+                    st.plfs_fd.size()?
+                } else {
+                    self.cursor(fd)?
+                };
+                let n = st.plfs_fd.write(buf, off, pid)?;
+                self.set_cursor(fd, off + n as u64)?;
+                Ok(n)
+            }
+            None => {
+                self.stats.miss(OpClass::Write);
+                self.under.write(fd, buf)
+            }
+        }
+    }
+
+    fn pread(&self, fd: Fd, buf: &mut [u8], off: u64) -> PosixResult<usize> {
+        match self.entry_state(fd) {
+            Some((st, _)) => {
+                self.stats.hit(OpClass::Read);
+                Ok(st.plfs_fd.read(buf, off)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Read);
+                self.under.pread(fd, buf, off)
+            }
+        }
+    }
+
+    fn pwrite(&self, fd: Fd, buf: &[u8], off: u64) -> PosixResult<usize> {
+        match self.entry_state(fd) {
+            Some((st, _open_pid)) => {
+                self.stats.hit(OpClass::Write);
+                let pid = current_pid();
+                Ok(st.plfs_fd.write(buf, off, pid)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Write);
+                self.under.pwrite(fd, buf, off)
+            }
+        }
+    }
+
+    fn lseek(&self, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
+        match self.entry_state(fd) {
+            Some((st, _)) => {
+                self.stats.hit(OpClass::Seek);
+                // SEEK_END must use the *logical* PLFS size, not the scratch
+                // file's (which is empty); resolve here, then store.
+                let cur = self.cursor(fd)?;
+                let size = st.plfs_fd.size()?;
+                let target = crate::posix::seek_target(cur, size, offset, whence)?;
+                self.set_cursor(fd, target)?;
+                Ok(target)
+            }
+            None => {
+                self.stats.miss(OpClass::Seek);
+                self.under.lseek(fd, offset, whence)
+            }
+        }
+    }
+
+    fn fsync(&self, fd: Fd) -> PosixResult<()> {
+        match self.entry_state(fd) {
+            Some((st, _open_pid)) => {
+                self.stats.hit(OpClass::Meta);
+                let pid = current_pid();
+                Ok(st.plfs_fd.sync(pid)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.fsync(fd)
+            }
+        }
+    }
+
+    fn dup(&self, fd: Fd) -> PosixResult<Fd> {
+        let entry = {
+            let table = self.table.read();
+            table.get(&fd).map(|e| (e.state.clone(), e.pid))
+        };
+        match entry {
+            Some((state, pid)) => {
+                self.stats.hit(OpClass::Meta);
+                // dup the reserved descriptor: the new fd shares the cursor.
+                let new_under = self.under.dup(fd)?;
+                state.plfs_fd.add_ref(pid);
+                state.fds.fetch_add(1, Ordering::AcqRel);
+                self.table.write().insert(
+                    new_under,
+                    Entry {
+                        under_fd: new_under,
+                        state,
+                        pid,
+                    },
+                );
+                Ok(new_under)
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.dup(fd)
+            }
+        }
+    }
+
+    fn stat(&self, path: &str) -> PosixResult<PosixStat> {
+        match self.match_mount(path) {
+            Some((m, rel)) => {
+                self.stats.hit(OpClass::Meta);
+                let st = self.mounts[m].plfs.getattr(&rel)?;
+                Ok(PosixStat {
+                    size: st.size,
+                    is_dir: st.is_dir,
+                })
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.stat(path)
+            }
+        }
+    }
+
+    fn fstat(&self, fd: Fd) -> PosixResult<PosixStat> {
+        match self.entry_state(fd) {
+            Some((st, _)) => {
+                self.stats.hit(OpClass::Meta);
+                Ok(PosixStat {
+                    size: st.plfs_fd.size()?,
+                    is_dir: false,
+                })
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.fstat(fd)
+            }
+        }
+    }
+
+    fn unlink(&self, path: &str) -> PosixResult<()> {
+        match self.match_mount(path) {
+            Some((m, rel)) => {
+                self.stats.hit(OpClass::Meta);
+                Ok(self.mounts[m].plfs.unlink(&rel)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.unlink(path)
+            }
+        }
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> PosixResult<()> {
+        match self.match_mount(path) {
+            Some((m, rel)) => {
+                self.stats.hit(OpClass::Meta);
+                Ok(self.mounts[m].plfs.mkdir(&rel)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.mkdir(path, mode)
+            }
+        }
+    }
+
+    fn rmdir(&self, path: &str) -> PosixResult<()> {
+        match self.match_mount(path) {
+            Some((m, rel)) => {
+                self.stats.hit(OpClass::Meta);
+                Ok(self.mounts[m].plfs.rmdir(&rel)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.rmdir(path)
+            }
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> PosixResult<()> {
+        match (self.match_mount(from), self.match_mount(to)) {
+            (Some((mf, rf)), Some((mt, rt))) => {
+                self.stats.hit(OpClass::Meta);
+                if mf != mt {
+                    return Err(Errno::EXDEV);
+                }
+                Ok(self.mounts[mf].plfs.rename(&rf, &rt)?)
+            }
+            (None, None) => {
+                self.stats.miss(OpClass::Meta);
+                self.under.rename(from, to)
+            }
+            // Crossing the mount boundary is a different "device".
+            _ => Err(Errno::EXDEV),
+        }
+    }
+
+    fn access(&self, path: &str) -> PosixResult<()> {
+        match self.match_mount(path) {
+            Some((m, rel)) => {
+                self.stats.hit(OpClass::Meta);
+                Ok(self.mounts[m].plfs.access(&rel)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.access(path)
+            }
+        }
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> PosixResult<()> {
+        match self.match_mount(path) {
+            Some((m, rel)) => {
+                self.stats.hit(OpClass::Meta);
+                Ok(self.mounts[m].plfs.trunc(&rel, len)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.truncate(path, len)
+            }
+        }
+    }
+
+    fn ftruncate(&self, fd: Fd, len: u64) -> PosixResult<()> {
+        match self.entry_state(fd) {
+            Some((st, _)) => {
+                self.stats.hit(OpClass::Meta);
+                // Quiesce this process's writers before rewriting droppings.
+                st.plfs_fd.reset_writers()?;
+                Ok(self.mounts[st.mount].plfs.trunc(&st.logical, len)?)
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.ftruncate(fd, len)
+            }
+        }
+    }
+
+    fn readdir(&self, path: &str) -> PosixResult<Vec<PosixDirent>> {
+        match self.match_mount(path) {
+            Some((m, rel)) => {
+                self.stats.hit(OpClass::Meta);
+                let ents = self.mounts[m].plfs.readdir(&rel)?;
+                Ok(ents
+                    .into_iter()
+                    .map(|d| PosixDirent {
+                        name: d.name,
+                        is_dir: d.is_dir,
+                    })
+                    .collect())
+            }
+            None => {
+                self.stats.miss(OpClass::Meta);
+                self.under.readdir(path)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realposix::RealPosix;
+    use plfs::{MemBacking, Plfs};
+
+    const CREATE_RW: OpenFlags = OpenFlags(0o2 | 0o100);
+
+    fn shim() -> LdPlfs {
+        let dir = std::env::temp_dir().join(format!(
+            "ldplfs-shim-{}-{}",
+            std::process::id(),
+            plfs::index::next_timestamp()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let under = Arc::new(RealPosix::rooted(dir).unwrap());
+        let plfs = Plfs::new(Arc::new(MemBacking::new()));
+        LdPlfs::new(
+            under,
+            vec![ShimMount {
+                mount_point: "/plfs".to_string(),
+                plfs,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn open_inside_mount_is_intercepted() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        assert_eq!(s.stats().intercepted(OpClass::Open), 1);
+        s.write(fd, b"via shim").unwrap();
+        s.close(fd).unwrap();
+        // The container lives on the PLFS backing, not the real FS.
+        assert!(s.mounts()[0].plfs.is_container("/f"));
+        // And the logical file stats correctly through the shim.
+        assert_eq!(s.stat("/plfs/f").unwrap().size, 8);
+    }
+
+    #[test]
+    fn open_outside_mount_passes_through() {
+        let s = shim();
+        let fd = s.open("/normal.txt", CREATE_RW, 0o644).unwrap();
+        assert_eq!(s.stats().passthrough(OpClass::Open), 1);
+        s.write(fd, b"plain").unwrap();
+        s.close(fd).unwrap();
+        assert_eq!(s.underlying().stat("/normal.txt").unwrap().size, 5);
+        assert!(!s.mounts()[0].plfs.is_container("/normal.txt"));
+    }
+
+    #[test]
+    fn cursor_semantics_match_posix() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"0123456789").unwrap();
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 10);
+        s.lseek(fd, 2, Whence::Set).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(fd, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"2345");
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 6);
+        // SEEK_END uses the logical PLFS size.
+        assert_eq!(s.lseek(fd, -3, Whence::End).unwrap(), 7);
+        s.read(fd, &mut buf[..3]).unwrap();
+        assert_eq!(&buf[..3], b"789");
+        s.close(fd).unwrap();
+    }
+
+    #[test]
+    fn interleaved_read_write_via_cursor() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"aaaa").unwrap();
+        s.lseek(fd, 0, Whence::Set).unwrap();
+        let mut b2 = [0u8; 2];
+        s.read(fd, &mut b2).unwrap();
+        s.write(fd, b"XX").unwrap(); // overwrite bytes 2..4
+        s.lseek(fd, 0, Whence::Set).unwrap();
+        let mut all = [0u8; 4];
+        s.read(fd, &mut all).unwrap();
+        assert_eq!(&all, b"aaXX");
+        s.close(fd).unwrap();
+    }
+
+    #[test]
+    fn pread_pwrite_do_not_move_cursor() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"base").unwrap();
+        s.pwrite(fd, b"zz", 10).unwrap();
+        let mut buf = [0u8; 2];
+        s.pread(fd, &mut buf, 10).unwrap();
+        assert_eq!(&buf, b"zz");
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 4, "cursor still after write");
+        s.close(fd).unwrap();
+    }
+
+    #[test]
+    fn append_mode_writes_at_logical_eof() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"head", ).unwrap();
+        s.close(fd).unwrap();
+        let fd = s
+            .open("/plfs/f", OpenFlags::WRONLY | OpenFlags::APPEND, 0o644)
+            .unwrap();
+        s.write(fd, b"+tail").unwrap();
+        s.close(fd).unwrap();
+        assert_eq!(s.stat("/plfs/f").unwrap().size, 9);
+    }
+
+    #[test]
+    fn dup_shares_plfs_cursor() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"abcdef").unwrap();
+        s.lseek(fd, 0, Whence::Set).unwrap();
+        let fd2 = s.dup(fd).unwrap();
+        let mut buf = [0u8; 2];
+        s.read(fd, &mut buf).unwrap();
+        assert_eq!(s.lseek(fd2, 0, Whence::Cur).unwrap(), 2, "shared cursor");
+        s.close(fd).unwrap();
+        s.read(fd2, &mut buf).unwrap();
+        assert_eq!(&buf, b"cd", "fd2 alive after fd close");
+        s.close(fd2).unwrap();
+    }
+
+    #[test]
+    fn scratch_files_are_cleaned_up() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        let fd2 = s.dup(fd).unwrap();
+        assert_eq!(s.underlying().readdir("/.ldplfs_scratch").unwrap().len(), 1);
+        s.close(fd).unwrap();
+        assert_eq!(
+            s.underlying().readdir("/.ldplfs_scratch").unwrap().len(),
+            1,
+            "scratch survives while a dup is open"
+        );
+        s.close(fd2).unwrap();
+        assert_eq!(s.underlying().readdir("/.ldplfs_scratch").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn metadata_ops_route_by_mount() {
+        let s = shim();
+        s.mkdir("/plfs/dir", 0o755).unwrap();
+        s.mkdir("/outside", 0o755).unwrap();
+        assert!(s.mounts()[0].plfs.getattr("/dir").unwrap().is_dir);
+        assert!(s.underlying().stat("/outside").unwrap().is_dir);
+        assert!(s.underlying().stat("/plfs").is_err(), "mount dir not on real FS");
+        s.rmdir("/plfs/dir").unwrap();
+        assert!(s.access("/plfs/dir").is_err());
+    }
+
+    #[test]
+    fn rename_within_and_across_mounts() {
+        let s = shim();
+        let fd = s.open("/plfs/a", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"x").unwrap();
+        s.close(fd).unwrap();
+        s.rename("/plfs/a", "/plfs/b").unwrap();
+        assert_eq!(s.stat("/plfs/b").unwrap().size, 1);
+        assert_eq!(s.rename("/plfs/b", "/outside"), Err(Errno::EXDEV));
+    }
+
+    #[test]
+    fn unlink_removes_container() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        s.close(fd).unwrap();
+        s.unlink("/plfs/f").unwrap();
+        assert_eq!(s.access("/plfs/f"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn truncate_and_ftruncate() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"0123456789").unwrap();
+        s.ftruncate(fd, 4).unwrap();
+        assert_eq!(s.fstat(fd).unwrap().size, 4);
+        // Writes after ftruncate land in fresh droppings.
+        s.pwrite(fd, b"ZZ", 4).unwrap();
+        assert_eq!(s.fstat(fd).unwrap().size, 6);
+        s.close(fd).unwrap();
+        s.truncate("/plfs/f", 2).unwrap();
+        assert_eq!(s.stat("/plfs/f").unwrap().size, 2);
+    }
+
+    #[test]
+    fn readdir_mixes_containers_and_dirs() {
+        let s = shim();
+        s.mkdir("/plfs/sub", 0o755).unwrap();
+        let fd = s.open("/plfs/file", CREATE_RW, 0o644).unwrap();
+        s.close(fd).unwrap();
+        let ents = s.readdir("/plfs").unwrap();
+        let names: Vec<_> = ents.iter().map(|e| (e.name.as_str(), e.is_dir)).collect();
+        assert!(names.contains(&("file", false)), "container looks like a file");
+        assert!(names.contains(&("sub", true)));
+    }
+
+    #[test]
+    fn virtual_pids_separate_writers() {
+        let s = shim();
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        set_virtual_pid(11);
+        s.pwrite(fd, b"aa", 0).unwrap();
+        set_virtual_pid(22);
+        s.pwrite(fd, b"bb", 2).unwrap();
+        clear_virtual_pid();
+        let mut buf = [0u8; 4];
+        s.pread(fd, &mut buf, 0).unwrap();
+        assert_eq!(&buf, b"aabb");
+        s.close(fd).unwrap();
+        // Two pids → at least two data droppings.
+        let b = s.mounts()[0].plfs.backing().clone();
+        let d = plfs::container::list_droppings(b.as_ref(), "/f").unwrap();
+        assert!(d.len() >= 2, "expected >=2 droppings, got {}", d.len());
+    }
+
+    #[test]
+    fn ebadf_on_unknown_fd_passthrough() {
+        let s = shim();
+        let mut buf = [0u8; 1];
+        assert_eq!(s.read(424242, &mut buf), Err(Errno::EBADF));
+    }
+}

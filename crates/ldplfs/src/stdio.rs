@@ -1,0 +1,355 @@
+//! A C-stdio-style buffered file over any [`PosixLayer`].
+//!
+//! The UNIX tools of the paper's Table II (`cp`, `cat`, `grep`, `md5sum`)
+//! are stdio programs: they call `fopen`/`fread`/`fgets`, which libc
+//! implements over `open`/`read`. [`CFile`] supplies that layer, so our tool
+//! reimplementations exercise the shim through the same call pattern the
+//! real tools would.
+
+use crate::posix::{Errno, Fd, OpenFlags, PosixLayer, PosixResult, Whence};
+use std::sync::Arc;
+
+/// Default stdio buffer size (glibc's BUFSIZ).
+pub const BUFSIZ: usize = 8192;
+
+/// Buffered file handle (`FILE*` analogue).
+pub struct CFile {
+    layer: Arc<dyn PosixLayer>,
+    fd: Fd,
+    /// Read buffer with a valid window `[rd_pos, rd_len)`.
+    rbuf: Vec<u8>,
+    rd_pos: usize,
+    rd_len: usize,
+    /// Write buffer; flushed when full or on `fflush`/`fclose`.
+    wbuf: Vec<u8>,
+    eof: bool,
+    writable: bool,
+    readable: bool,
+}
+
+/// Parse a C `fopen` mode string into open flags.
+pub fn parse_mode(mode: &str) -> PosixResult<OpenFlags> {
+    let plus = mode.contains('+');
+    Ok(match mode.chars().next() {
+        Some('r') if plus => OpenFlags::RDWR,
+        Some('r') => OpenFlags::RDONLY,
+        Some('w') if plus => OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::TRUNC,
+        Some('w') => OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC,
+        Some('a') if plus => OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::APPEND,
+        Some('a') => OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::APPEND,
+        _ => return Err(Errno::EINVAL),
+    })
+}
+
+impl CFile {
+    /// `fopen`.
+    pub fn open(layer: Arc<dyn PosixLayer>, path: &str, mode: &str) -> PosixResult<CFile> {
+        let flags = parse_mode(mode)?;
+        let fd = layer.open(path, flags, 0o644)?;
+        Ok(CFile {
+            layer,
+            fd,
+            rbuf: vec![0; BUFSIZ],
+            rd_pos: 0,
+            rd_len: 0,
+            wbuf: Vec::with_capacity(BUFSIZ),
+            eof: false,
+            writable: flags.writable(),
+            readable: flags.readable(),
+        })
+    }
+
+    /// `fread`: fill as much of `out` as possible; returns bytes read
+    /// (0 at EOF).
+    pub fn read(&mut self, out: &mut [u8]) -> PosixResult<usize> {
+        if !self.readable {
+            return Err(Errno::EBADF);
+        }
+        self.flush()?;
+        let mut copied = 0;
+        while copied < out.len() {
+            if self.rd_pos == self.rd_len {
+                if self.eof {
+                    break;
+                }
+                // Large reads bypass the buffer, like glibc.
+                if out.len() - copied >= self.rbuf.len() {
+                    let n = self.layer.read(self.fd, &mut out[copied..])?;
+                    if n == 0 {
+                        self.eof = true;
+                        break;
+                    }
+                    copied += n;
+                    continue;
+                }
+                let n = self.layer.read(self.fd, &mut self.rbuf)?;
+                if n == 0 {
+                    self.eof = true;
+                    break;
+                }
+                self.rd_pos = 0;
+                self.rd_len = n;
+            }
+            let take = (self.rd_len - self.rd_pos).min(out.len() - copied);
+            out[copied..copied + take]
+                .copy_from_slice(&self.rbuf[self.rd_pos..self.rd_pos + take]);
+            self.rd_pos += take;
+            copied += take;
+        }
+        Ok(copied)
+    }
+
+    /// `fgets`-alike: read up to and including the next `\n` into `line`
+    /// (cleared first). Returns false at EOF with nothing read.
+    pub fn read_line(&mut self, line: &mut Vec<u8>) -> PosixResult<bool> {
+        line.clear();
+        loop {
+            if self.rd_pos == self.rd_len {
+                if self.eof {
+                    return Ok(!line.is_empty());
+                }
+                self.flush()?;
+                let n = self.layer.read(self.fd, &mut self.rbuf)?;
+                if n == 0 {
+                    self.eof = true;
+                    return Ok(!line.is_empty());
+                }
+                self.rd_pos = 0;
+                self.rd_len = n;
+            }
+            let window = &self.rbuf[self.rd_pos..self.rd_len];
+            match window.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&window[..=i]);
+                    self.rd_pos += i + 1;
+                    return Ok(true);
+                }
+                None => {
+                    line.extend_from_slice(window);
+                    self.rd_pos = self.rd_len;
+                }
+            }
+        }
+    }
+
+    /// `fwrite`: buffer `data`, flushing full buffers through the layer.
+    pub fn write(&mut self, data: &[u8]) -> PosixResult<usize> {
+        if !self.writable {
+            return Err(Errno::EBADF);
+        }
+        self.discard_read_buffer()?;
+        if self.wbuf.len() + data.len() >= BUFSIZ {
+            self.flush()?;
+            if data.len() >= BUFSIZ {
+                // Large writes bypass the buffer.
+                let mut done = 0;
+                while done < data.len() {
+                    done += self.layer.write(self.fd, &data[done..])?;
+                }
+                return Ok(data.len());
+            }
+        }
+        self.wbuf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    /// `fflush`.
+    pub fn flush(&mut self) -> PosixResult<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        let mut done = 0;
+        while done < self.wbuf.len() {
+            done += self.layer.write(self.fd, &self.wbuf[done..])?;
+        }
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// If we buffered ahead on reads, rewind the underlying cursor so a
+    /// write lands where the application thinks the stream is.
+    fn discard_read_buffer(&mut self) -> PosixResult<()> {
+        let ahead = (self.rd_len - self.rd_pos) as i64;
+        if ahead > 0 {
+            self.layer.lseek(self.fd, -ahead, Whence::Cur)?;
+        }
+        self.rd_pos = 0;
+        self.rd_len = 0;
+        self.eof = false;
+        Ok(())
+    }
+
+    /// `fseek`; clears EOF and buffers.
+    pub fn seek(&mut self, offset: i64, whence: Whence) -> PosixResult<u64> {
+        self.flush()?;
+        // Account for read-ahead when seeking relative to "current".
+        let logical_adjust = match whence {
+            Whence::Cur => (self.rd_len - self.rd_pos) as i64,
+            _ => 0,
+        };
+        self.rd_pos = 0;
+        self.rd_len = 0;
+        self.eof = false;
+        self.layer.lseek(self.fd, offset - logical_adjust, whence)
+    }
+
+    /// `ftell`: logical stream position (cursor minus read-ahead).
+    pub fn tell(&mut self) -> PosixResult<u64> {
+        let cur = self.layer.lseek(self.fd, 0, Whence::Cur)?;
+        Ok(cur - (self.rd_len - self.rd_pos) as u64 + self.wbuf.len() as u64)
+    }
+
+    /// `feof`.
+    pub fn is_eof(&self) -> bool {
+        self.eof && self.rd_pos == self.rd_len
+    }
+
+    /// `fclose`: flush and close. Also called from `Drop`.
+    pub fn close(mut self) -> PosixResult<()> {
+        self.flush()?;
+        let r = self.layer.close(self.fd);
+        self.fd = -1;
+        r
+    }
+}
+
+impl Drop for CFile {
+    fn drop(&mut self) {
+        if self.fd >= 0 {
+            let _ = self.flush();
+            let _ = self.layer.close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realposix::RealPosix;
+
+    fn layer(name: &str) -> Arc<dyn PosixLayer> {
+        let dir = std::env::temp_dir().join(format!(
+            "ldplfs-stdio-{}-{}",
+            name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(RealPosix::rooted(dir).unwrap())
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(parse_mode("r").unwrap(), OpenFlags::RDONLY);
+        assert!(parse_mode("w").unwrap().trunc());
+        assert!(parse_mode("a").unwrap().append());
+        assert!(parse_mode("r+").unwrap().writable());
+        assert!(parse_mode("w+").unwrap().readable());
+        assert!(parse_mode("x").is_err());
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let l = layer("wr");
+        let mut f = CFile::open(l.clone(), "/f", "w").unwrap();
+        f.write(b"hello stdio\n").unwrap();
+        f.close().unwrap();
+        let mut f = CFile::open(l, "/f", "r").unwrap();
+        let mut buf = [0u8; 64];
+        let n = f.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello stdio\n");
+        assert_eq!(f.read(&mut buf).unwrap(), 0);
+        assert!(f.is_eof());
+    }
+
+    #[test]
+    fn buffering_delays_small_writes() {
+        let l = layer("buf");
+        let mut f = CFile::open(l.clone(), "/f", "w").unwrap();
+        f.write(b"tiny").unwrap();
+        assert_eq!(l.stat("/f").unwrap().size, 0, "still buffered");
+        f.flush().unwrap();
+        assert_eq!(l.stat("/f").unwrap().size, 4);
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn large_write_bypasses_buffer() {
+        let l = layer("big");
+        let mut f = CFile::open(l.clone(), "/f", "w").unwrap();
+        let big = vec![7u8; BUFSIZ * 3];
+        f.write(&big).unwrap();
+        assert_eq!(l.stat("/f").unwrap().size, (BUFSIZ * 3) as u64);
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn read_line_splits_on_newlines() {
+        let l = layer("lines");
+        let mut f = CFile::open(l.clone(), "/f", "w").unwrap();
+        f.write(b"alpha\nbeta\ngamma").unwrap();
+        f.close().unwrap();
+        let mut f = CFile::open(l, "/f", "r").unwrap();
+        let mut line = Vec::new();
+        assert!(f.read_line(&mut line).unwrap());
+        assert_eq!(line, b"alpha\n");
+        assert!(f.read_line(&mut line).unwrap());
+        assert_eq!(line, b"beta\n");
+        assert!(f.read_line(&mut line).unwrap());
+        assert_eq!(line, b"gamma", "final unterminated line");
+        assert!(!f.read_line(&mut line).unwrap());
+    }
+
+    #[test]
+    fn seek_and_tell_account_for_buffers() {
+        let l = layer("seek");
+        let mut f = CFile::open(l.clone(), "/f", "w+").unwrap();
+        f.write(b"0123456789").unwrap();
+        assert_eq!(f.tell().unwrap(), 10, "tell sees buffered bytes");
+        f.seek(0, Whence::Set).unwrap();
+        let mut two = [0u8; 2];
+        f.read(&mut two).unwrap();
+        assert_eq!(f.tell().unwrap(), 2, "tell subtracts read-ahead");
+        f.seek(2, Whence::Cur).unwrap();
+        f.read(&mut two).unwrap();
+        assert_eq!(&two, b"45");
+        f.close().unwrap();
+    }
+
+    #[test]
+    fn append_mode_appends() {
+        let l = layer("app");
+        let mut f = CFile::open(l.clone(), "/f", "w").unwrap();
+        f.write(b"AB").unwrap();
+        f.close().unwrap();
+        let mut f = CFile::open(l.clone(), "/f", "a").unwrap();
+        f.write(b"CD").unwrap();
+        f.close().unwrap();
+        assert_eq!(l.stat("/f").unwrap().size, 4);
+    }
+
+    #[test]
+    fn write_after_read_lands_at_stream_position() {
+        let l = layer("rw");
+        let mut f = CFile::open(l.clone(), "/f", "w+").unwrap();
+        f.write(b"abcdef").unwrap();
+        f.seek(0, Whence::Set).unwrap();
+        let mut two = [0u8; 2];
+        f.read(&mut two).unwrap();
+        f.write(b"XX").unwrap();
+        f.close().unwrap();
+        let mut f = CFile::open(l, "/f", "r").unwrap();
+        let mut buf = [0u8; 6];
+        f.read(&mut buf).unwrap();
+        assert_eq!(&buf, b"abXXef");
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let l = layer("drop");
+        {
+            let mut f = CFile::open(l.clone(), "/f", "w").unwrap();
+            f.write(b"pending").unwrap();
+        }
+        assert_eq!(l.stat("/f").unwrap().size, 7);
+    }
+}

@@ -1,0 +1,39 @@
+//! Workload-level access descriptions handed to the I/O layer.
+
+/// How an independent request lands on the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Contiguous with respect to the file (sequential region).
+    Contiguous,
+    /// Part of an interleaved/strided pattern (triggers data sieving on
+    /// shared-file POSIX paths).
+    Strided,
+}
+
+/// One rank's contribution to a collective or independent operation.
+#[derive(Debug, Clone, Copy)]
+pub struct RankIo {
+    /// File offset.
+    pub offset: u64,
+    /// Byte count (0 = the rank participates but moves no data).
+    pub len: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_is_copy_and_eq() {
+        let a = Access::Strided;
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(Access::Strided, Access::Contiguous);
+    }
+
+    #[test]
+    fn rank_io_holds_extents() {
+        let r = RankIo { offset: 8, len: 4 };
+        assert_eq!(r.offset + r.len, 12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: file-view arithmetic and job-clock invariants.
+
+use mpiio::{FileView, Job};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// map_region tiles the requested view range exactly: lengths sum to
+    /// the request and physical offsets are strictly increasing extents.
+    #[test]
+    fn view_regions_tile_exactly(
+        rank in 0usize..8,
+        ranks in 1usize..9,
+        block in 1u64..4096,
+        view_off in 0u64..100_000,
+        len in 1u64..50_000,
+    ) {
+        let rank = rank % ranks;
+        let v = FileView::interleaved(rank, ranks, block);
+        let regions = v.map_region(view_off, len);
+        let total: u64 = regions.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, len);
+        // Extents ordered and non-overlapping.
+        let mut prev_end = 0u64;
+        for (i, &(off, l)) in regions.iter().enumerate() {
+            prop_assert!(l > 0);
+            if i > 0 {
+                prop_assert!(off >= prev_end, "overlap at extent {i}");
+            }
+            prev_end = off + l;
+        }
+        // Endpoint arithmetic agrees with physical().
+        prop_assert_eq!(regions[0].0, v.physical(view_off));
+        let last = regions.last().unwrap();
+        prop_assert_eq!(last.0 + last.1 - 1, v.physical(view_off + len - 1));
+    }
+
+    /// Byte-level check on small cases: every view byte maps to the extent
+    /// list exactly where physical() says.
+    #[test]
+    fn view_bytes_match_physical(
+        ranks in 1usize..5,
+        block in 1u64..32,
+        len in 1u64..200,
+    ) {
+        for rank in 0..ranks {
+            let v = FileView::interleaved(rank, ranks, block);
+            let regions = v.map_region(0, len);
+            let mut flat = Vec::new();
+            for (off, l) in regions {
+                for i in 0..l {
+                    flat.push(off + i);
+                }
+            }
+            for (i, &phys) in flat.iter().enumerate() {
+                prop_assert_eq!(phys, v.physical(i as u64));
+            }
+        }
+    }
+
+    /// Distinct ranks' views never overlap physically.
+    #[test]
+    fn rank_views_are_disjoint(
+        ranks in 2usize..6,
+        block in 1u64..64,
+        len in 1u64..500,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..ranks {
+            let v = FileView::interleaved(rank, ranks, block);
+            for (off, l) in v.map_region(0, len) {
+                for b in off..off + l {
+                    prop_assert!(seen.insert(b), "byte {b} claimed twice");
+                }
+            }
+        }
+    }
+
+    /// Barriers align all clocks to at least the prior maximum, and
+    /// collective latency grows monotonically with scale.
+    #[test]
+    fn barrier_invariants(
+        ranks in 1usize..64,
+        ppn in 1usize..13,
+        bumps in prop::collection::vec((0usize..64, 0.0f64..10.0), 1..16),
+    ) {
+        let mut j = Job::new(ranks, ppn);
+        for (r, dt) in bumps {
+            j.compute(r % ranks, dt);
+        }
+        let before_max = j.max_time();
+        let release = j.barrier();
+        prop_assert!(release >= before_max);
+        for r in 0..ranks {
+            prop_assert_eq!(j.time(r), release);
+        }
+        prop_assert_eq!(j.nodes(), ranks.div_ceil(ppn));
+    }
+}

@@ -1,0 +1,483 @@
+//! The PLFS API: the Rust analogue of `plfs.h`.
+//!
+//! [`Plfs`] represents one mounted PLFS file system: a backing store plus
+//! container defaults. Method names and semantics track the C entry points
+//! from the paper's Listing 1 (`plfs_open`, `plfs_read`, `plfs_write`, …):
+//! positional I/O with explicit pids, no cursors — cursor bookkeeping is
+//! exactly what the LDPLFS shim adds on top.
+//!
+//! Paths passed to these methods are *mount-relative* logical paths
+//! (`/checkpoint/dump.0001`), mapped onto backend paths internally.
+
+use crate::backing::{join, Backing};
+use crate::container::{self, ContainerParams};
+use crate::error::{Error, Result};
+use crate::flags::OpenFlags;
+use crate::fd::PlfsFd;
+use crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES;
+use std::sync::Arc;
+
+/// stat(2)-shaped metadata for a logical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// Logical size in bytes (0 for directories).
+    pub size: u64,
+    /// True if the path is a directory (a real directory, not a container).
+    pub is_dir: bool,
+    /// Total physical bytes in droppings (files only; diagnostic).
+    pub physical_bytes: u64,
+}
+
+/// Directory entry type as seen through the mount.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dirent {
+    /// Entry name.
+    pub name: String,
+    /// True for sub-directories, false for (container) files.
+    pub is_dir: bool,
+}
+
+/// One mounted PLFS file system.
+pub struct Plfs {
+    backing: Arc<dyn Backing>,
+    defaults: ContainerParams,
+    index_buffer_entries: usize,
+    read_threads: usize,
+}
+
+impl Plfs {
+    /// Mount over a backing store with default container parameters.
+    pub fn new(backing: Arc<dyn Backing>) -> Plfs {
+        Plfs {
+            backing,
+            defaults: ContainerParams::default(),
+            index_buffer_entries: DEFAULT_INDEX_BUFFER_ENTRIES,
+            read_threads: 1,
+        }
+    }
+
+    /// Override container parameters used for newly created files.
+    pub fn with_params(mut self, params: ContainerParams) -> Plfs {
+        self.defaults = params;
+        self
+    }
+
+    /// Override the index write-buffer size (entries per flush).
+    pub fn with_index_buffer(mut self, entries: usize) -> Plfs {
+        self.index_buffer_entries = entries.max(1);
+        self
+    }
+
+    /// Fan container reads out over a worker pool (the plfsrc
+    /// `threadpool_size` knob). 1 = serial reads.
+    pub fn with_threads(mut self, threads: usize) -> Plfs {
+        self.read_threads = threads.max(1);
+        self
+    }
+
+    /// The backing store (exposed for flatten/tool helpers).
+    pub fn backing(&self) -> &Arc<dyn Backing> {
+        &self.backing
+    }
+
+    /// Default parameters for new containers.
+    pub fn defaults(&self) -> ContainerParams {
+        self.defaults
+    }
+
+    fn backend_path(&self, logical: &str) -> String {
+        // Mount-relative logical path == backend-relative path; normalisation
+        // happens in the backing.
+        if logical.starts_with('/') {
+            logical.to_string()
+        } else {
+            format!("/{logical}")
+        }
+    }
+
+    /// `plfs_open`: open (optionally creating) a container.
+    pub fn open(&self, path: &str, flags: OpenFlags, pid: u64) -> Result<Arc<PlfsFd>> {
+        let bp = self.backend_path(path);
+        let exists = self.backing.exists(&bp);
+        if exists && !container::is_container(self.backing.as_ref(), &bp) {
+            let st = self.backing.stat(&bp)?;
+            if st.is_dir {
+                return Err(Error::IsDir(path.to_string()));
+            }
+            return Err(Error::NotContainer(path.to_string()));
+        }
+        if !exists {
+            if !flags.create() {
+                return Err(Error::NotFound(path.to_string()));
+            }
+            container::create_container(self.backing.as_ref(), &bp, &self.defaults, flags.excl())?;
+        } else if flags.create() && flags.excl() {
+            return Err(Error::Exists(path.to_string()));
+        } else if flags.trunc() {
+            self.trunc_backend(&bp, 0)?;
+        }
+        let params = container::read_params(self.backing.as_ref(), &bp)?;
+        Ok(Arc::new(PlfsFd::new(
+            self.backing.clone(),
+            bp,
+            params,
+            flags,
+            self.index_buffer_entries,
+            pid,
+        )
+        .with_read_threads(self.read_threads)))
+    }
+
+    /// `plfs_create`: create a container without holding it open.
+    pub fn create(&self, path: &str, excl: bool) -> Result<()> {
+        container::create_container(
+            self.backing.as_ref(),
+            &self.backend_path(path),
+            &self.defaults,
+            excl,
+        )
+    }
+
+    /// `plfs_write`: positional write on behalf of `pid`.
+    pub fn write(&self, fd: &PlfsFd, buf: &[u8], offset: u64, pid: u64) -> Result<usize> {
+        fd.write(buf, offset, pid)
+    }
+
+    /// `plfs_read`: positional read.
+    pub fn read(&self, fd: &PlfsFd, buf: &mut [u8], offset: u64) -> Result<usize> {
+        fd.read(buf, offset)
+    }
+
+    /// `plfs_sync`: flush `pid`'s buffered index and sync droppings.
+    pub fn sync(&self, fd: &PlfsFd, pid: u64) -> Result<()> {
+        fd.sync(pid)
+    }
+
+    /// `plfs_close`: release one reference; returns remaining refs.
+    pub fn close(&self, fd: &PlfsFd, pid: u64) -> Result<u32> {
+        fd.close(pid)
+    }
+
+    /// `plfs_getattr`: stat a logical path.
+    pub fn getattr(&self, path: &str) -> Result<Stat> {
+        let bp = self.backend_path(path);
+        let st = self.backing.stat(&bp)?;
+        if !st.is_dir {
+            return Err(Error::NotContainer(path.to_string()));
+        }
+        if !container::is_container(self.backing.as_ref(), &bp) {
+            return Ok(Stat {
+                size: 0,
+                is_dir: true,
+                physical_bytes: 0,
+            });
+        }
+        // Fast path: closed containers answer from meta drops.
+        let open = container::open_writers(self.backing.as_ref(), &bp)?;
+        if open == 0 {
+            if let Some((eof, bytes)) = container::read_meta(self.backing.as_ref(), &bp)? {
+                return Ok(Stat {
+                    size: eof,
+                    is_dir: false,
+                    physical_bytes: bytes,
+                });
+            }
+        }
+        // Slow path: merge indices.
+        let (idx, droppings) = container::build_global_index(self.backing.as_ref(), &bp)?;
+        let mut phys = 0;
+        for d in &droppings {
+            phys += self.backing.stat(&d.data_path)?.size;
+        }
+        Ok(Stat {
+            size: idx.eof(),
+            is_dir: false,
+            physical_bytes: phys,
+        })
+    }
+
+    /// `plfs_access`: does the logical path exist?
+    pub fn access(&self, path: &str) -> Result<()> {
+        let bp = self.backend_path(path);
+        if self.backing.exists(&bp) {
+            Ok(())
+        } else {
+            Err(Error::NotFound(path.to_string()))
+        }
+    }
+
+    /// `plfs_unlink`: remove a container (or an empty plain file path).
+    pub fn unlink(&self, path: &str) -> Result<()> {
+        let bp = self.backend_path(path);
+        if container::is_container(self.backing.as_ref(), &bp) {
+            container::remove_container(self.backing.as_ref(), &bp)
+        } else {
+            let st = self.backing.stat(&bp)?;
+            if st.is_dir {
+                return Err(Error::IsDir(path.to_string()));
+            }
+            self.backing.unlink(&bp)
+        }
+    }
+
+    /// `plfs_rename`: rename a container or directory within the mount.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let f = self.backend_path(from);
+        let t = self.backend_path(to);
+        if container::is_container(self.backing.as_ref(), &t) {
+            container::remove_container(self.backing.as_ref(), &t)?;
+        }
+        self.backing.rename(&f, &t)
+    }
+
+    /// `plfs_trunc` by path.
+    pub fn trunc(&self, path: &str, len: u64) -> Result<()> {
+        self.trunc_backend(&self.backend_path(path), len)
+    }
+
+    fn trunc_backend(&self, bp: &str, len: u64) -> Result<()> {
+        if !container::is_container(self.backing.as_ref(), bp) {
+            return Err(Error::NotContainer(bp.to_string()));
+        }
+        let params = container::read_params(self.backing.as_ref(), bp)?;
+        if len == 0 {
+            // Drop every dropping and meta entry, keep the skeleton.
+            let names = self.backing.readdir(bp)?;
+            for n in names {
+                if n.starts_with(container::HOSTDIR_PREFIX) {
+                    crate::backing::remove_tree(self.backing.as_ref(), &join(bp, &n))?;
+                }
+            }
+            for m in self.backing.readdir(&join(bp, container::META_DIR))? {
+                self.backing.unlink(&join(&join(bp, container::META_DIR), &m))?;
+            }
+            return Ok(());
+        }
+        // Shrink/extend to a nonzero length: rewrite the logical prefix into
+        // a fresh dropping set. Simpler than physically trimming shared logs
+        // and matches observable POSIX semantics.
+        let reader = crate::reader::ReadFile::open(self.backing.as_ref(), bp)?;
+        let keep = reader.eof().min(len) as usize;
+        let mut data = vec![0u8; keep];
+        if keep > 0 {
+            reader.pread(self.backing.as_ref(), &mut data, 0)?;
+        }
+        drop(reader);
+        self.trunc_backend(bp, 0)?;
+        let mut w = crate::writer::WriteFile::open(
+            self.backing.as_ref(),
+            bp,
+            &params,
+            0,
+            self.index_buffer_entries,
+        )?;
+        if !data.is_empty() {
+            w.write(&data, 0)?;
+        }
+        if (len as usize) > keep {
+            // Extend with an explicit zero tail marker: write one zero byte
+            // at len-1 so EOF lands at len (holes read as zeros).
+            w.write(&[0], len - 1)?;
+        }
+        w.sync()?;
+        container::drop_meta(self.backing.as_ref(), bp, len, data.len() as u64, 0)?;
+        Ok(())
+    }
+
+    /// `plfs_mkdir`: create a plain directory inside the mount.
+    pub fn mkdir(&self, path: &str) -> Result<()> {
+        self.backing.mkdir(&self.backend_path(path))
+    }
+
+    /// `plfs_rmdir`: remove an empty plain directory.
+    pub fn rmdir(&self, path: &str) -> Result<()> {
+        let bp = self.backend_path(path);
+        if container::is_container(self.backing.as_ref(), &bp) {
+            return Err(Error::NotDir(path.to_string()));
+        }
+        self.backing.rmdir(&bp)
+    }
+
+    /// `plfs_readdir`: list a mount directory; containers appear as files.
+    pub fn readdir(&self, path: &str) -> Result<Vec<Dirent>> {
+        let bp = self.backend_path(path);
+        if container::is_container(self.backing.as_ref(), &bp) {
+            return Err(Error::NotDir(path.to_string()));
+        }
+        let mut out = Vec::new();
+        for name in self.backing.readdir(&bp)? {
+            let child = join(&bp, &name);
+            let st = self.backing.stat(&child)?;
+            let is_dir = st.is_dir && !container::is_container(self.backing.as_ref(), &child);
+            out.push(Dirent { name, is_dir });
+        }
+        Ok(out)
+    }
+
+    /// Is the logical path a PLFS container?
+    pub fn is_container(&self, path: &str) -> bool {
+        container::is_container(self.backing.as_ref(), &self.backend_path(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemBacking;
+
+    fn plfs() -> Plfs {
+        Plfs::new(Arc::new(MemBacking::new()))
+    }
+
+    const CREATE_RW: OpenFlags = OpenFlags(0o2 | 0o100); // RDWR|CREAT
+
+    #[test]
+    fn open_create_write_read_close() {
+        let p = plfs();
+        let fd = p.open("/f", CREATE_RW, 1).unwrap();
+        assert_eq!(p.write(&fd, b"data", 0, 1).unwrap(), 4);
+        let mut buf = [0u8; 4];
+        assert_eq!(p.read(&fd, &mut buf, 0).unwrap(), 4);
+        assert_eq!(&buf, b"data");
+        assert_eq!(p.close(&fd, 1).unwrap(), 0);
+        assert_eq!(p.getattr("/f").unwrap().size, 4);
+    }
+
+    #[test]
+    fn open_without_create_fails_on_missing() {
+        let p = plfs();
+        assert!(matches!(
+            p.open("/missing", OpenFlags::RDONLY, 1),
+            Err(Error::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn open_excl_fails_on_existing() {
+        let p = plfs();
+        p.create("/f", true).unwrap();
+        let flags = OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::EXCL;
+        assert!(matches!(p.open("/f", flags, 1), Err(Error::Exists(_))));
+    }
+
+    #[test]
+    fn open_trunc_clears_content() {
+        let p = plfs();
+        let fd = p.open("/f", CREATE_RW, 1).unwrap();
+        p.write(&fd, b"old content", 0, 1).unwrap();
+        p.close(&fd, 1).unwrap();
+        let flags = OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::TRUNC;
+        let fd = p.open("/f", flags, 1).unwrap();
+        assert_eq!(fd.size().unwrap(), 0);
+        p.close(&fd, 1).unwrap();
+    }
+
+    #[test]
+    fn getattr_fast_path_after_close() {
+        let p = plfs();
+        let fd = p.open("/f", CREATE_RW, 5).unwrap();
+        p.write(&fd, &[7u8; 1000], 0, 5).unwrap();
+        p.close(&fd, 5).unwrap();
+        let st = p.getattr("/f").unwrap();
+        assert_eq!(st.size, 1000);
+        assert_eq!(st.physical_bytes, 1000);
+        assert!(!st.is_dir);
+    }
+
+    #[test]
+    fn getattr_on_plain_dir() {
+        let p = plfs();
+        p.mkdir("/d").unwrap();
+        let st = p.getattr("/d").unwrap();
+        assert!(st.is_dir);
+    }
+
+    #[test]
+    fn unlink_removes_container() {
+        let p = plfs();
+        p.create("/f", true).unwrap();
+        p.unlink("/f").unwrap();
+        assert!(p.access("/f").is_err());
+    }
+
+    #[test]
+    fn rename_replaces_destination() {
+        let p = plfs();
+        let fd = p.open("/a", CREATE_RW, 1).unwrap();
+        p.write(&fd, b"A", 0, 1).unwrap();
+        p.close(&fd, 1).unwrap();
+        p.create("/b", true).unwrap();
+        p.rename("/a", "/b").unwrap();
+        assert!(p.access("/a").is_err());
+        assert_eq!(p.getattr("/b").unwrap().size, 1);
+    }
+
+    #[test]
+    fn trunc_to_zero_empties_but_keeps_container() {
+        let p = plfs();
+        let fd = p.open("/f", CREATE_RW, 1).unwrap();
+        p.write(&fd, &[1u8; 100], 0, 1).unwrap();
+        p.close(&fd, 1).unwrap();
+        p.trunc("/f", 0).unwrap();
+        assert!(p.is_container("/f"));
+        assert_eq!(p.getattr("/f").unwrap().size, 0);
+    }
+
+    #[test]
+    fn trunc_shrinks_content() {
+        let p = plfs();
+        let fd = p.open("/f", CREATE_RW, 1).unwrap();
+        p.write(&fd, b"0123456789", 0, 1).unwrap();
+        p.close(&fd, 1).unwrap();
+        p.trunc("/f", 4).unwrap();
+        let fd = p.open("/f", OpenFlags::RDONLY, 1).unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(p.read(&fd, &mut buf, 0).unwrap(), 4);
+        assert_eq!(&buf[..4], b"0123");
+    }
+
+    #[test]
+    fn trunc_extends_with_zero_fill() {
+        let p = plfs();
+        let fd = p.open("/f", CREATE_RW, 1).unwrap();
+        p.write(&fd, b"ab", 0, 1).unwrap();
+        p.close(&fd, 1).unwrap();
+        p.trunc("/f", 6).unwrap();
+        assert_eq!(p.getattr("/f").unwrap().size, 6);
+        let fd = p.open("/f", OpenFlags::RDONLY, 1).unwrap();
+        let mut buf = [0xffu8; 6];
+        assert_eq!(p.read(&fd, &mut buf, 0).unwrap(), 6);
+        assert_eq!(&buf, b"ab\0\0\0\0");
+    }
+
+    #[test]
+    fn readdir_shows_containers_as_files() {
+        let p = plfs();
+        p.mkdir("/sub").unwrap();
+        p.create("/file1", true).unwrap();
+        let mut ents = p.readdir("/").unwrap();
+        ents.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(ents.len(), 2);
+        assert_eq!(ents[0].name, "file1");
+        assert!(!ents[0].is_dir);
+        assert_eq!(ents[1].name, "sub");
+        assert!(ents[1].is_dir);
+    }
+
+    #[test]
+    fn readdir_of_container_is_notdir() {
+        let p = plfs();
+        p.create("/f", true).unwrap();
+        assert!(matches!(p.readdir("/f"), Err(Error::NotDir(_))));
+    }
+
+    #[test]
+    fn open_plain_dir_as_file_fails() {
+        let p = plfs();
+        p.mkdir("/d").unwrap();
+        assert!(matches!(
+            p.open("/d", OpenFlags::RDONLY, 1),
+            Err(Error::IsDir(_))
+        ));
+    }
+}

@@ -1,0 +1,504 @@
+//! Container integrity checking and repair (`plfs_check` analogue).
+//!
+//! Real PLFS ships recovery tooling because a container is many files whose
+//! mutual consistency can break: an index dropping can be torn by a crash
+//! mid-append, data droppings can be shorter than their index claims,
+//! droppings can be orphaned, and the fast-stat metadata can go stale.
+//! [`check`] diagnoses all of these; [`repair`] fixes what can be fixed
+//! mechanically (truncating torn indices to whole records, trimming index
+//! entries that overrun their data, rebuilding `meta/`), and reports what
+//! cannot (missing data).
+
+use crate::backing::{join, Backing};
+use crate::container::{self, DroppingRef};
+use crate::error::{Error, Result};
+use crate::index::{IndexEntry, RECORD_SIZE};
+use std::fmt;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (e.g. stale meta cache); no data at risk.
+    Note,
+    /// Repairable inconsistency.
+    Repairable,
+    /// Data loss has occurred or cannot be ruled out.
+    DataLoss,
+}
+
+/// One finding from a container check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// The path is not a container at all.
+    NotAContainer,
+    /// An index dropping's size is not a whole number of records; the tail
+    /// was torn (crash mid-append). Repair truncates to whole records.
+    TornIndex {
+        /// Index dropping path.
+        path: String,
+        /// Bytes beyond the last whole record.
+        excess: u64,
+    },
+    /// An index record has a bad magic number (corruption, not tearing).
+    CorruptIndexRecord {
+        /// Index dropping path.
+        path: String,
+        /// Record position within the dropping.
+        record: u64,
+    },
+    /// A data dropping without a paired index: its bytes are unreachable.
+    OrphanData {
+        /// Data dropping path.
+        path: String,
+    },
+    /// An index dropping without a paired data dropping.
+    OrphanIndex {
+        /// Index dropping path.
+        path: String,
+    },
+    /// Index entries reference bytes beyond the end of the data dropping
+    /// (data lost or never flushed). Repair trims the entries.
+    IndexOverrun {
+        /// Data dropping path.
+        path: String,
+        /// Entries affected.
+        entries: u64,
+    },
+    /// The `meta/` fast-stat cache disagrees with the merged index.
+    StaleMeta {
+        /// Size according to meta drops.
+        cached: u64,
+        /// Size according to the merged index.
+        actual: u64,
+    },
+    /// Writers appear to still hold the container open (openhosts entries).
+    /// Expected during use; suspicious after a crash.
+    OpenWriters {
+        /// Marker count.
+        count: usize,
+    },
+}
+
+impl Finding {
+    /// Severity classification.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Finding::NotAContainer => Severity::DataLoss,
+            Finding::TornIndex { .. } => Severity::Repairable,
+            Finding::CorruptIndexRecord { .. } => Severity::DataLoss,
+            Finding::OrphanData { .. } => Severity::DataLoss,
+            Finding::OrphanIndex { .. } => Severity::Repairable,
+            Finding::IndexOverrun { .. } => Severity::DataLoss,
+            Finding::StaleMeta { .. } => Severity::Note,
+            Finding::OpenWriters { .. } => Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::NotAContainer => write!(f, "not a PLFS container"),
+            Finding::TornIndex { path, excess } => {
+                write!(f, "torn index {path}: {excess} trailing bytes")
+            }
+            Finding::CorruptIndexRecord { path, record } => {
+                write!(f, "corrupt record {record} in {path}")
+            }
+            Finding::OrphanData { path } => write!(f, "orphan data dropping {path}"),
+            Finding::OrphanIndex { path } => write!(f, "orphan index dropping {path}"),
+            Finding::IndexOverrun { path, entries } => {
+                write!(f, "{entries} index entries overrun data in {path}")
+            }
+            Finding::StaleMeta { cached, actual } => {
+                write!(f, "stale meta cache: cached size {cached}, actual {actual}")
+            }
+            Finding::OpenWriters { count } => write!(f, "{count} open-writer markers"),
+        }
+    }
+}
+
+/// Report from [`check`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Droppings examined.
+    pub droppings: usize,
+    /// Index records validated.
+    pub records: u64,
+}
+
+impl CheckReport {
+    /// The worst severity present (None if the container is clean).
+    pub fn worst(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity()).max()
+    }
+
+    /// True if nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+fn read_all(b: &dyn Backing, path: &str) -> Result<Vec<u8>> {
+    let f = b.open(path, false)?;
+    let size = f.size()? as usize;
+    let mut buf = vec![0u8; size];
+    let n = f.pread(&mut buf, 0)?;
+    buf.truncate(n);
+    Ok(buf)
+}
+
+fn index_path_of(d: &DroppingRef) -> Option<&str> {
+    d.index_path.as_deref()
+}
+
+/// Examine a container and report inconsistencies. Read-only.
+pub fn check(b: &dyn Backing, path: &str) -> Result<CheckReport> {
+    let mut report = CheckReport::default();
+    if !container::is_container(b, path) {
+        report.findings.push(Finding::NotAContainer);
+        return Ok(report);
+    }
+
+    // Open-writer markers.
+    let writers = container::open_writers(b, path)?;
+    if writers > 0 {
+        report.findings.push(Finding::OpenWriters { count: writers });
+    }
+
+    let droppings = container::list_droppings(b, path)?;
+    report.droppings = droppings.len();
+    let mut eof = 0u64;
+
+    for d in &droppings {
+        let Some(ip) = index_path_of(d) else {
+            report.findings.push(Finding::OrphanData {
+                path: d.data_path.clone(),
+            });
+            continue;
+        };
+        let raw = read_all(b, ip)?;
+        let whole = (raw.len() / RECORD_SIZE) * RECORD_SIZE;
+        if whole != raw.len() {
+            report.findings.push(Finding::TornIndex {
+                path: ip.to_string(),
+                excess: (raw.len() - whole) as u64,
+            });
+        }
+        let data_size = b.stat(&d.data_path)?.size;
+        let mut overruns = 0u64;
+        for (i, rec) in raw[..whole].chunks_exact(RECORD_SIZE).enumerate() {
+            match IndexEntry::decode(rec) {
+                Ok(e) => {
+                    report.records += 1;
+                    if e.physical_offset + e.length > data_size {
+                        overruns += 1;
+                    } else {
+                        eof = eof.max(e.logical_end());
+                    }
+                }
+                Err(_) => {
+                    report.findings.push(Finding::CorruptIndexRecord {
+                        path: ip.to_string(),
+                        record: i as u64,
+                    });
+                }
+            }
+        }
+        if overruns > 0 {
+            report.findings.push(Finding::IndexOverrun {
+                path: d.data_path.clone(),
+                entries: overruns,
+            });
+        }
+    }
+
+    // Index droppings with no data partner.
+    let hostdirs: Vec<String> = b
+        .readdir(path)?
+        .into_iter()
+        .filter(|n| n.starts_with(container::HOSTDIR_PREFIX))
+        .collect();
+    for hd in hostdirs {
+        let hd_path = join(path, &hd);
+        let names = b.readdir(&hd_path)?;
+        for n in &names {
+            if let Some(suffix) = n.strip_prefix(container::INDEX_PREFIX) {
+                let data_name = format!("{}{}", container::DATA_PREFIX, suffix);
+                if !names.iter().any(|m| m == &data_name) {
+                    report.findings.push(Finding::OrphanIndex {
+                        path: join(&hd_path, n),
+                    });
+                }
+            }
+        }
+    }
+
+    // Meta cache consistency (only meaningful with no open writers).
+    if writers == 0 {
+        if let Some((cached_eof, _)) = container::read_meta(b, path)? {
+            if cached_eof != eof {
+                report.findings.push(Finding::StaleMeta {
+                    cached: cached_eof,
+                    actual: eof,
+                });
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// Actions taken by [`repair`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Index droppings truncated to whole records.
+    pub indices_truncated: usize,
+    /// Overrunning index entries dropped (rewritten without them).
+    pub entries_dropped: u64,
+    /// Orphan index droppings removed.
+    pub orphan_indices_removed: usize,
+    /// Stale open-writer markers cleared.
+    pub markers_cleared: usize,
+    /// Whether the meta cache was rebuilt.
+    pub meta_rebuilt: bool,
+    /// Findings that could not be repaired (data loss).
+    pub unrepairable: Vec<Finding>,
+}
+
+/// Repair what can be repaired. `clear_markers` also removes open-writer
+/// markers (only safe when no process holds the container open).
+pub fn repair(b: &dyn Backing, path: &str, clear_markers: bool) -> Result<RepairReport> {
+    let before = check(b, path)?;
+    if before.findings.iter().any(|f| *f == Finding::NotAContainer) {
+        return Err(Error::NotContainer(path.to_string()));
+    }
+    let mut report = RepairReport::default();
+
+    for finding in &before.findings {
+        match finding {
+            Finding::TornIndex { path: ip, .. } => {
+                let size = b.stat(ip)?.size;
+                b.truncate(ip, (size / RECORD_SIZE as u64) * RECORD_SIZE as u64)?;
+                report.indices_truncated += 1;
+            }
+            Finding::OrphanIndex { path: ip } => {
+                b.unlink(ip)?;
+                report.orphan_indices_removed += 1;
+            }
+            Finding::OpenWriters { count } if clear_markers => {
+                let oh = join(path, container::OPENHOSTS_DIR);
+                for name in b.readdir(&oh)? {
+                    b.unlink(&join(&oh, &name))?;
+                }
+                report.markers_cleared += count;
+            }
+            Finding::CorruptIndexRecord { .. }
+            | Finding::OrphanData { .. } => {
+                report.unrepairable.push(finding.clone());
+            }
+            _ => {}
+        }
+    }
+
+    // Drop overrunning entries by rewriting affected index droppings.
+    let droppings = container::list_droppings(b, path)?;
+    for d in &droppings {
+        let Some(ip) = index_path_of(d) else { continue };
+        let raw = read_all(b, ip)?;
+        let data_size = b.stat(&d.data_path)?.size;
+        let mut kept = Vec::with_capacity(raw.len());
+        let mut dropped = 0u64;
+        for rec in raw.chunks_exact(RECORD_SIZE) {
+            match IndexEntry::decode(rec) {
+                Ok(e) if e.physical_offset + e.length > data_size => dropped += 1,
+                Ok(_) => kept.extend_from_slice(rec),
+                // Corrupt records are unrepairable; keep them out of the
+                // rewritten index so readers stop tripping on them.
+                Err(_) => dropped += 1,
+            }
+        }
+        if dropped > 0 {
+            let f = b.create(ip, false)?;
+            if !kept.is_empty() {
+                f.pwrite(&kept, 0)?;
+            }
+            report.entries_dropped += dropped;
+        }
+    }
+
+    // Rebuild the meta cache from the repaired indices.
+    let meta_dir = join(path, container::META_DIR);
+    for name in b.readdir(&meta_dir)? {
+        b.unlink(&join(&meta_dir, &name))?;
+    }
+    let (idx, _) = container::build_global_index(b, path)?;
+    container::drop_meta(b, path, idx.eof(), 0, 0)?;
+    report.meta_rebuilt = true;
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Plfs;
+    use crate::backing::MemBacking;
+    use crate::flags::OpenFlags;
+    use std::sync::Arc;
+
+    fn written_container() -> Arc<MemBacking> {
+        let backing = Arc::new(MemBacking::new());
+        let plfs = Plfs::new(backing.clone());
+        let fd = plfs
+            .open("/c", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+            .unwrap();
+        for pid in 0..3u64 {
+            fd.add_ref(pid);
+            plfs.write(&fd, &[pid as u8 + 1; 100], pid * 100, pid).unwrap();
+        }
+        for pid in 0..3 {
+            let _ = plfs.close(&fd, pid);
+        }
+        plfs.close(&fd, 0).unwrap();
+        backing
+    }
+
+    fn first_index(b: &dyn Backing) -> String {
+        container::list_droppings(b, "/c").unwrap()[0]
+            .index_path
+            .clone()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_container_checks_clean() {
+        let b = written_container();
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.droppings, 3);
+        assert!(r.records >= 3);
+    }
+
+    #[test]
+    fn non_container_is_flagged() {
+        let b = MemBacking::new();
+        b.mkdir("/d").unwrap();
+        let r = check(&b, "/d").unwrap();
+        assert_eq!(r.findings, vec![Finding::NotAContainer]);
+        assert_eq!(r.worst(), Some(Severity::DataLoss));
+    }
+
+    #[test]
+    fn torn_index_detected_and_repaired() {
+        let b = written_container();
+        let ip = first_index(b.as_ref());
+        // Tear: append half a record.
+        let f = b.open(&ip, true).unwrap();
+        f.append(&[0xde; RECORD_SIZE / 2]).unwrap();
+        drop(f);
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::TornIndex { excess, .. } if *excess == RECORD_SIZE as u64 / 2)));
+
+        let rep = repair(b.as_ref(), "/c", false).unwrap();
+        assert_eq!(rep.indices_truncated, 1);
+        assert!(check(b.as_ref(), "/c").unwrap().is_clean());
+        // Content still reads back.
+        let flat = crate::flatten::flatten_to_vec(b.as_ref(), "/c").unwrap();
+        assert_eq!(flat.len(), 300);
+    }
+
+    #[test]
+    fn index_overrun_detected_and_trimmed() {
+        let b = written_container();
+        let d = &container::list_droppings(b.as_ref(), "/c").unwrap()[0];
+        // Truncate the data dropping so its index overruns.
+        b.truncate(&d.data_path, 10).unwrap();
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::IndexOverrun { entries: 1, .. })));
+        assert_eq!(r.worst(), Some(Severity::DataLoss));
+
+        let rep = repair(b.as_ref(), "/c", false).unwrap();
+        assert_eq!(rep.entries_dropped, 1);
+        // The remaining 200 bytes from the other writers survive.
+        let after = check(b.as_ref(), "/c").unwrap();
+        assert!(after.is_clean(), "{:?}", after.findings);
+    }
+
+    #[test]
+    fn corrupt_record_is_unrepairable_but_quarantined() {
+        let b = written_container();
+        let ip = first_index(b.as_ref());
+        let f = b.open(&ip, true).unwrap();
+        f.pwrite(&[0xff; 4], 0).unwrap(); // smash the magic
+        drop(f);
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::CorruptIndexRecord { record: 0, .. })));
+        let rep = repair(b.as_ref(), "/c", false).unwrap();
+        assert!(!rep.unrepairable.is_empty());
+        // After repair the bad record is gone and reads work again.
+        assert!(crate::reader::ReadFile::open(b.as_ref(), "/c").is_ok());
+    }
+
+    #[test]
+    fn orphan_index_removed() {
+        let b = written_container();
+        let d = &container::list_droppings(b.as_ref(), "/c").unwrap()[0];
+        let hd = d.data_path.rsplit_once('/').unwrap().0.to_string();
+        b.create(&format!("{hd}/dropping.index.999.0"), true).unwrap();
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r.findings.iter().any(|f| matches!(f, Finding::OrphanIndex { .. })));
+        let rep = repair(b.as_ref(), "/c", false).unwrap();
+        assert_eq!(rep.orphan_indices_removed, 1);
+        assert!(check(b.as_ref(), "/c").unwrap().is_clean());
+    }
+
+    #[test]
+    fn orphan_data_is_data_loss() {
+        let b = written_container();
+        let d = &container::list_droppings(b.as_ref(), "/c").unwrap()[0];
+        b.unlink(d.index_path.as_ref().unwrap()).unwrap();
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r.findings.iter().any(|f| matches!(f, Finding::OrphanData { .. })));
+        assert_eq!(r.worst(), Some(Severity::DataLoss));
+    }
+
+    #[test]
+    fn stale_markers_cleared_on_request() {
+        let b = written_container();
+        container::mark_open(b.as_ref(), "/c", 77).unwrap();
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r.findings.iter().any(|f| matches!(f, Finding::OpenWriters { count: 1 })));
+        let rep = repair(b.as_ref(), "/c", true).unwrap();
+        assert_eq!(rep.markers_cleared, 1);
+        assert!(check(b.as_ref(), "/c").unwrap().is_clean());
+    }
+
+    #[test]
+    fn repair_rebuilds_meta() {
+        let b = written_container();
+        // Poison the meta cache.
+        let meta = join("/c", container::META_DIR);
+        for n in b.readdir(&meta).unwrap() {
+            b.unlink(&join(&meta, &n)).unwrap();
+        }
+        container::drop_meta(b.as_ref(), "/c", 999_999, 1, 0).unwrap();
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r.findings.iter().any(|f| matches!(f, Finding::StaleMeta { .. })));
+        let rep = repair(b.as_ref(), "/c", false).unwrap();
+        assert!(rep.meta_rebuilt);
+        let plfs = Plfs::new(b.clone());
+        assert_eq!(plfs.getattr("/c").unwrap().size, 300);
+    }
+}

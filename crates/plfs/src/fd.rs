@@ -1,0 +1,316 @@
+//! `Plfs_fd`: the open-file state machine.
+//!
+//! Mirrors the C library's `Plfs_fd`: one struct per open logical file,
+//! reference-counted per pid (the ROMIO driver opens once and adds a
+//! reference per rank), holding one [`WriteFile`] per writing pid and a
+//! lazily built, write-invalidated [`ReadFile`].
+
+use crate::backing::Backing;
+use crate::container::{self, ContainerParams};
+use crate::error::{Error, Result};
+use crate::flags::OpenFlags;
+use crate::reader::ReadFile;
+use crate::writer::WriteFile;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct FdInner {
+    writers: HashMap<u64, WriteFile>,
+    refs: HashMap<u64, u32>,
+    reader: Option<Arc<ReadFile>>,
+    /// Set on every write; forces the reader to be rebuilt so reads observe
+    /// this process's own writes (read-your-writes, as LDPLFS needs for the
+    /// UNIX-tool use case).
+    dirty: bool,
+}
+
+/// An open PLFS file (the Rust analogue of `Plfs_fd`).
+pub struct PlfsFd {
+    backing: Arc<dyn Backing>,
+    container: String,
+    params: ContainerParams,
+    flags: OpenFlags,
+    index_buffer_entries: usize,
+    read_threads: usize,
+    inner: Mutex<FdInner>,
+}
+
+impl PlfsFd {
+    pub(crate) fn new(
+        backing: Arc<dyn Backing>,
+        container: String,
+        params: ContainerParams,
+        flags: OpenFlags,
+        index_buffer_entries: usize,
+        pid: u64,
+    ) -> PlfsFd {
+        let mut refs = HashMap::new();
+        refs.insert(pid, 1);
+        PlfsFd {
+            backing,
+            container,
+            params,
+            flags,
+            index_buffer_entries,
+            read_threads: 1,
+            inner: Mutex::new(FdInner {
+                writers: HashMap::new(),
+                refs,
+                reader: None,
+                dirty: false,
+            }),
+        }
+    }
+
+    /// Set the reader thread-pool size (builder style, pre-Arc).
+    pub fn with_read_threads(mut self, threads: usize) -> PlfsFd {
+        self.read_threads = threads.max(1);
+        self
+    }
+
+    /// Backend path of the container.
+    pub fn container_path(&self) -> &str {
+        &self.container
+    }
+
+    /// Flags the file was opened with.
+    pub fn flags(&self) -> OpenFlags {
+        self.flags
+    }
+
+    /// Layout parameters of the container.
+    pub fn params(&self) -> ContainerParams {
+        self.params
+    }
+
+    /// Add a reference for `pid` (another opener sharing this fd).
+    pub fn add_ref(&self, pid: u64) {
+        let mut inner = self.inner.lock();
+        *inner.refs.entry(pid).or_insert(0) += 1;
+    }
+
+    /// Total outstanding references across all pids.
+    pub fn ref_count(&self) -> u32 {
+        self.inner.lock().refs.values().sum()
+    }
+
+    /// Write `buf` at `offset` on behalf of `pid`.
+    pub fn write(&self, buf: &[u8], offset: u64, pid: u64) -> Result<usize> {
+        if !self.flags.writable() {
+            return Err(Error::BadMode("file not open for writing"));
+        }
+        let mut inner = self.inner.lock();
+        if !inner.writers.contains_key(&pid) {
+            let w = WriteFile::open(
+                self.backing.as_ref(),
+                &self.container,
+                &self.params,
+                pid,
+                self.index_buffer_entries,
+            )?;
+            container::mark_open(self.backing.as_ref(), &self.container, pid)?;
+            inner.writers.insert(pid, w);
+        }
+        let n = inner.writers.get_mut(&pid).unwrap().write(buf, offset)?;
+        inner.dirty = true;
+        inner.reader = None;
+        Ok(n)
+    }
+
+    /// Read into `buf` from `offset`. Reads observe this process's writes:
+    /// pending index buffers are flushed and the reader rebuilt when dirty.
+    pub fn read(&self, buf: &mut [u8], offset: u64) -> Result<usize> {
+        if !self.flags.readable() {
+            return Err(Error::BadMode("file not open for reading"));
+        }
+        let reader = self.reader()?;
+        if self.read_threads > 1 {
+            reader.pread_parallel(self.backing.as_ref(), buf, offset, self.read_threads)
+        } else {
+            reader.pread(self.backing.as_ref(), buf, offset)
+        }
+    }
+
+    /// Get (building if necessary) the merged read view.
+    pub fn reader(&self) -> Result<Arc<ReadFile>> {
+        let mut inner = self.inner.lock();
+        if inner.dirty {
+            for w in inner.writers.values_mut() {
+                w.flush_index()?;
+            }
+            inner.reader = None;
+            inner.dirty = false;
+        }
+        if let Some(r) = &inner.reader {
+            return Ok(r.clone());
+        }
+        let r = Arc::new(ReadFile::open(self.backing.as_ref(), &self.container)?);
+        inner.reader = Some(r.clone());
+        Ok(r)
+    }
+
+    /// Flush `pid`'s index buffer and sync its droppings.
+    pub fn sync(&self, pid: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(w) = inner.writers.get_mut(&pid) {
+            w.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Logical size as visible through this fd right now.
+    pub fn size(&self) -> Result<u64> {
+        Ok(self.reader()?.eof())
+    }
+
+    /// Flush and drop every pid's write stream. The next write per pid
+    /// reopens a fresh dropping pair. Used by truncate-while-open: after the
+    /// container is rewritten, stale writer handles must not keep appending
+    /// to unlinked droppings.
+    pub fn reset_writers(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let writers = std::mem::take(&mut inner.writers);
+        for (pid, mut w) in writers {
+            w.sync()?;
+            container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
+        }
+        inner.reader = None;
+        inner.dirty = false;
+        Ok(())
+    }
+
+    /// Drop one reference for `pid`; when the pid's last reference goes,
+    /// its writer is flushed, a metadata drop is left for fast stat, and the
+    /// open marker is removed. Returns remaining references across all pids
+    /// (the C `plfs_close` contract).
+    pub fn close(&self, pid: u64) -> Result<u32> {
+        let mut inner = self.inner.lock();
+        let remaining_for_pid = {
+            let r = inner
+                .refs
+                .get_mut(&pid)
+                .ok_or(Error::BadMode("close of pid that never opened"))?;
+            *r = r.saturating_sub(1);
+            *r
+        };
+        if remaining_for_pid == 0 {
+            inner.refs.remove(&pid);
+            if let Some(mut w) = inner.writers.remove(&pid) {
+                w.sync()?;
+                container::drop_meta(
+                    self.backing.as_ref(),
+                    &self.container,
+                    w.max_eof(),
+                    w.bytes_written(),
+                    pid,
+                )?;
+                container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
+            }
+        }
+        Ok(inner.refs.values().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemBacking;
+    use crate::container::create_container;
+
+    fn open_fd(flags: OpenFlags) -> (Arc<dyn Backing>, Arc<PlfsFd>) {
+        let b: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let params = ContainerParams::default();
+        create_container(b.as_ref(), "/f", &params, true).unwrap();
+        let fd = Arc::new(PlfsFd::new(
+            b.clone(),
+            "/f".to_string(),
+            params,
+            flags,
+            64,
+            100,
+        ));
+        (b, fd)
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let (_b, fd) = open_fd(OpenFlags::RDWR);
+        fd.write(b"hello", 0, 100).unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(fd.read(&mut buf, 0).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        // And writes after a read invalidate the cached reader.
+        fd.write(b"HELLO", 0, 100).unwrap();
+        fd.read(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"HELLO");
+    }
+
+    #[test]
+    fn write_on_readonly_fd_fails() {
+        let (_b, fd) = open_fd(OpenFlags::RDONLY);
+        assert!(matches!(
+            fd.write(b"x", 0, 100),
+            Err(Error::BadMode(_))
+        ));
+    }
+
+    #[test]
+    fn read_on_writeonly_fd_fails() {
+        let (_b, fd) = open_fd(OpenFlags::WRONLY);
+        fd.write(b"x", 0, 100).unwrap();
+        let mut buf = [0u8; 1];
+        assert!(matches!(fd.read(&mut buf, 0), Err(Error::BadMode(_))));
+    }
+
+    #[test]
+    fn refcounting_matches_c_contract() {
+        let (_b, fd) = open_fd(OpenFlags::RDWR);
+        fd.add_ref(200);
+        fd.add_ref(100);
+        assert_eq!(fd.ref_count(), 3);
+        assert_eq!(fd.close(100).unwrap(), 2);
+        assert_eq!(fd.close(200).unwrap(), 1);
+        assert_eq!(fd.close(100).unwrap(), 0);
+    }
+
+    #[test]
+    fn close_of_unknown_pid_is_error() {
+        let (_b, fd) = open_fd(OpenFlags::RDWR);
+        assert!(fd.close(42).is_err());
+    }
+
+    #[test]
+    fn close_drops_meta_and_open_marker() {
+        let (b, fd) = open_fd(OpenFlags::RDWR);
+        fd.write(b"0123456789", 0, 100).unwrap();
+        assert_eq!(container::open_writers(b.as_ref(), "/f").unwrap(), 1);
+        fd.close(100).unwrap();
+        assert_eq!(container::open_writers(b.as_ref(), "/f").unwrap(), 0);
+        assert_eq!(
+            container::read_meta(b.as_ref(), "/f").unwrap(),
+            Some((10, 10))
+        );
+    }
+
+    #[test]
+    fn multiple_pids_write_distinct_droppings() {
+        let (b, fd) = open_fd(OpenFlags::RDWR);
+        fd.add_ref(200);
+        fd.write(b"aa", 0, 100).unwrap();
+        fd.write(b"bb", 2, 200).unwrap();
+        let mut buf = [0u8; 4];
+        fd.read(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"aabb");
+        let d = container::list_droppings(b.as_ref(), "/f").unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn size_tracks_writes() {
+        let (_b, fd) = open_fd(OpenFlags::RDWR);
+        assert_eq!(fd.size().unwrap(), 0);
+        fd.write(b"xyz", 100, 100).unwrap();
+        assert_eq!(fd.size().unwrap(), 103);
+    }
+}

@@ -1,0 +1,126 @@
+//! Open flags shared by the PLFS API and the LDPLFS shim.
+//!
+//! A minimal, dependency-free bitflag type covering the POSIX flags the
+//! paper's Listing 1 cares about. Numeric values match Linux so the shim can
+//! pass raw `open(2)` flag words straight through.
+
+/// POSIX-style open flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags(pub u32);
+
+impl OpenFlags {
+    /// Open read-only.
+    pub const RDONLY: OpenFlags = OpenFlags(0o0);
+    /// Open write-only.
+    pub const WRONLY: OpenFlags = OpenFlags(0o1);
+    /// Open read-write.
+    pub const RDWR: OpenFlags = OpenFlags(0o2);
+    /// Create if missing.
+    pub const CREAT: OpenFlags = OpenFlags(0o100);
+    /// With `CREAT`, fail if the file exists.
+    pub const EXCL: OpenFlags = OpenFlags(0o200);
+    /// Truncate on open.
+    pub const TRUNC: OpenFlags = OpenFlags(0o1000);
+    /// All writes append to the end of the file.
+    pub const APPEND: OpenFlags = OpenFlags(0o2000);
+
+    const ACCMODE: u32 = 0o3;
+
+    /// Combine flag sets.
+    pub fn union(self, other: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | other.0)
+    }
+
+    /// Test whether all bits of `other` are set (access mode compared
+    /// exactly, since `RDONLY` is zero).
+    pub fn contains(self, other: OpenFlags) -> bool {
+        if other.0 & !Self::ACCMODE == 0 {
+            // Pure access-mode query.
+            self.0 & Self::ACCMODE == other.0
+        } else {
+            self.0 & other.0 == other.0
+        }
+    }
+
+    /// The access mode bits.
+    pub fn access_mode(self) -> u32 {
+        self.0 & Self::ACCMODE
+    }
+
+    /// May this open read?
+    pub fn readable(self) -> bool {
+        matches!(self.access_mode(), 0 | 2)
+    }
+
+    /// May this open write?
+    pub fn writable(self) -> bool {
+        matches!(self.access_mode(), 1 | 2)
+    }
+
+    /// `O_CREAT` present?
+    pub fn create(self) -> bool {
+        self.0 & Self::CREAT.0 != 0
+    }
+
+    /// `O_EXCL` present?
+    pub fn excl(self) -> bool {
+        self.0 & Self::EXCL.0 != 0
+    }
+
+    /// `O_TRUNC` present?
+    pub fn trunc(self) -> bool {
+        self.0 & Self::TRUNC.0 != 0
+    }
+
+    /// `O_APPEND` present?
+    pub fn append(self) -> bool {
+        self.0 & Self::APPEND.0 != 0
+    }
+}
+
+impl std::ops::BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        self.union(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_modes_are_exclusive() {
+        assert!(OpenFlags::RDONLY.readable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+        assert!(OpenFlags::WRONLY.writable());
+        assert!(OpenFlags::RDWR.readable());
+        assert!(OpenFlags::RDWR.writable());
+    }
+
+    #[test]
+    fn contains_distinguishes_access_mode_from_bits() {
+        let f = OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC;
+        assert!(f.contains(OpenFlags::WRONLY));
+        assert!(!f.contains(OpenFlags::RDONLY));
+        assert!(!f.contains(OpenFlags::RDWR));
+        assert!(f.contains(OpenFlags::CREAT));
+        assert!(f.contains(OpenFlags::TRUNC));
+        assert!(!f.contains(OpenFlags::EXCL));
+    }
+
+    #[test]
+    fn numeric_values_match_linux() {
+        assert_eq!(OpenFlags::CREAT.0, 64);
+        assert_eq!(OpenFlags::EXCL.0, 128);
+        assert_eq!(OpenFlags::TRUNC.0, 512);
+        assert_eq!(OpenFlags::APPEND.0, 1024);
+    }
+
+    #[test]
+    fn bitor_accumulates() {
+        let f = OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::EXCL;
+        assert!(f.create() && f.excl() && f.readable() && f.writable());
+    }
+}

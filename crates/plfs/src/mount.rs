@@ -1,0 +1,394 @@
+//! Mount configuration: the `plfsrc` file and backend spreading.
+//!
+//! Real PLFS is configured by a `plfsrc` file naming mount points, backend
+//! directories, and layout knobs. We parse the same line-oriented format:
+//!
+//! ```text
+//! # checkpoint mount
+//! mount_point /plfs
+//! backends /panfs/vol1/be,/panfs/vol2/be
+//! num_hostdirs 32
+//! index_buffer_entries 4096
+//! workload shared_file
+//! ```
+//!
+//! Multiple `mount_point` lines start new mounts. When a mount lists several
+//! backends, containers keep their skeleton on the first (canonical) backend
+//! and hostdirs are spread across all of them — [`SpreadBacking`] implements
+//! that routing as a [`Backing`] decorator, so the container layer is
+//! oblivious.
+
+use crate::backing::{Backing, BackingFile, BackStat};
+use crate::container::{ContainerParams, LayoutMode, HOSTDIR_PREFIX};
+use crate::error::{Error, Result};
+use crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES;
+use std::sync::Arc;
+
+/// Configuration of one PLFS mount.
+#[derive(Debug, Clone)]
+pub struct MountSpec {
+    /// Logical mount point prefix (e.g. `/plfs`).
+    pub mount_point: String,
+    /// Backend directories (host paths for a real backing).
+    pub backends: Vec<String>,
+    /// Container parameters for files created under this mount.
+    pub params: ContainerParams,
+    /// Index write-buffer threshold in entries.
+    pub index_buffer_entries: usize,
+}
+
+impl MountSpec {
+    /// A single-backend mount with default parameters.
+    pub fn simple(mount_point: impl Into<String>, backend: impl Into<String>) -> MountSpec {
+        MountSpec {
+            mount_point: mount_point.into(),
+            backends: vec![backend.into()],
+            params: ContainerParams::default(),
+            index_buffer_entries: DEFAULT_INDEX_BUFFER_ENTRIES,
+        }
+    }
+}
+
+/// Parsed `plfsrc` contents.
+#[derive(Debug, Clone, Default)]
+pub struct PlfsRc {
+    /// All configured mounts, in file order.
+    pub mounts: Vec<MountSpec>,
+    /// Worker threads hint (accepted for compatibility; informational).
+    pub threadpool_size: usize,
+}
+
+impl PlfsRc {
+    /// Parse the line-oriented `plfsrc` format. Unknown keys are ignored
+    /// (like the C parser); malformed values are errors.
+    pub fn parse(text: &str) -> Result<PlfsRc> {
+        let mut rc = PlfsRc {
+            mounts: Vec::new(),
+            threadpool_size: 16,
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = match line.split_once(char::is_whitespace) {
+                Some((k, v)) => (k, v.trim()),
+                None => {
+                    return Err(Error::InvalidArg("plfsrc line missing value"))
+                        .map_err(|e| annotate_line(e, lineno));
+                }
+            };
+            match key {
+                "mount_point" => rc.mounts.push(MountSpec {
+                    mount_point: value.trim_end_matches('/').to_string(),
+                    backends: Vec::new(),
+                    params: ContainerParams::default(),
+                    index_buffer_entries: DEFAULT_INDEX_BUFFER_ENTRIES,
+                }),
+                "threadpool_size" => {
+                    rc.threadpool_size = parse_num(value, lineno)? as usize;
+                }
+                _ => {
+                    let Some(m) = rc.mounts.last_mut() else {
+                        return Err(Error::InvalidArg(
+                            "plfsrc key appears before any mount_point",
+                        ));
+                    };
+                    match key {
+                        "backends" => {
+                            m.backends = value
+                                .split(',')
+                                .map(|s| s.trim().to_string())
+                                .filter(|s| !s.is_empty())
+                                .collect();
+                        }
+                        "num_hostdirs" => {
+                            m.params.num_hostdirs = parse_num(value, lineno)? as u32;
+                        }
+                        "index_buffer_entries" => {
+                            m.index_buffer_entries = parse_num(value, lineno)? as usize;
+                        }
+                        "workload" | "mode" => {
+                            m.params.mode = match value {
+                                "shared_file" | "n-1" | "both" => LayoutMode::Both,
+                                "file_per_proc" | "n-n" | "partitioned" => {
+                                    LayoutMode::PartitionedOnly
+                                }
+                                "log" => LayoutMode::LogStructured,
+                                _ => return Err(Error::InvalidArg("unknown workload mode")),
+                            };
+                        }
+                        // Accept-and-ignore keys the real plfsrc has.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for m in &rc.mounts {
+            if m.backends.is_empty() {
+                return Err(Error::InvalidArg("mount_point with no backends"));
+            }
+            if m.params.num_hostdirs == 0 {
+                return Err(Error::InvalidArg("num_hostdirs must be nonzero"));
+            }
+        }
+        Ok(rc)
+    }
+
+    /// Find the mount whose mount point prefixes `path` (longest match).
+    pub fn mount_for(&self, path: &str) -> Option<&MountSpec> {
+        self.mounts
+            .iter()
+            .filter(|m| path_has_prefix(path, &m.mount_point))
+            .max_by_key(|m| m.mount_point.len())
+    }
+}
+
+fn parse_num(v: &str, _lineno: usize) -> Result<u64> {
+    v.parse().map_err(|_| Error::InvalidArg("bad numeric value in plfsrc"))
+}
+
+fn annotate_line(e: Error, _lineno: usize) -> Error {
+    e
+}
+
+/// True if `path` is `prefix` or lives underneath it.
+pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    if prefix == "/" {
+        return path.starts_with('/');
+    }
+    path == prefix
+        || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
+}
+
+// ---------------------------------------------------------------------------
+// SpreadBacking: hostdir spreading across multiple backends.
+// ---------------------------------------------------------------------------
+
+/// Routes container paths across several backings: `hostdir.N` (and anything
+/// under it) goes to backend `N % k`; everything else (skeleton, meta,
+/// openhosts) lives on the canonical backend 0. `readdir` of a container
+/// directory unions the canonical listing with the hostdirs of the others.
+pub struct SpreadBacking {
+    backends: Vec<Arc<dyn Backing>>,
+}
+
+impl SpreadBacking {
+    /// Build from at least one backend.
+    pub fn new(backends: Vec<Arc<dyn Backing>>) -> Result<SpreadBacking> {
+        if backends.is_empty() {
+            return Err(Error::InvalidArg("SpreadBacking needs at least one backend"));
+        }
+        Ok(SpreadBacking { backends })
+    }
+
+    /// Number of backends spread over.
+    pub fn fan_out(&self) -> usize {
+        self.backends.len()
+    }
+
+    fn route(&self, path: &str) -> &dyn Backing {
+        self.backends[self.route_idx(path)].as_ref()
+    }
+
+    fn route_idx(&self, path: &str) -> usize {
+        // Find a `/hostdir.N` component and route on N.
+        for comp in path.split('/') {
+            if let Some(n) = comp.strip_prefix(HOSTDIR_PREFIX) {
+                if let Ok(n) = n.parse::<u64>() {
+                    return (n % self.backends.len() as u64) as usize;
+                }
+            }
+        }
+        0
+    }
+}
+
+impl Backing for SpreadBacking {
+    fn create(&self, path: &str, excl: bool) -> Result<Box<dyn BackingFile>> {
+        self.route(path).create(path, excl)
+    }
+
+    fn open(&self, path: &str, write: bool) -> Result<Box<dyn BackingFile>> {
+        self.route(path).open(path, write)
+    }
+
+    fn mkdir(&self, path: &str) -> Result<()> {
+        let idx = self.route_idx(path);
+        if idx != 0 {
+            // Ensure ancestors exist on the non-canonical backend.
+            if let Some(parent) = path.rfind('/') {
+                if parent > 0 {
+                    self.backends[idx].mkdir_all(&path[..parent])?;
+                }
+            }
+        }
+        self.backends[idx].mkdir(path)
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        self.route(path).mkdir_all(path)
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>> {
+        let idx = self.route_idx(path);
+        if idx != 0 {
+            return self.backends[idx].readdir(path);
+        }
+        let mut names = self.backends[0].readdir(path)?;
+        if self.backends.len() > 1 {
+            for be in &self.backends[1..] {
+                if let Ok(extra) = be.readdir(path) {
+                    names.extend(extra.into_iter().filter(|n| n.starts_with(HOSTDIR_PREFIX)));
+                }
+            }
+            names.sort_unstable();
+            names.dedup();
+        }
+        Ok(names)
+    }
+
+    fn unlink(&self, path: &str) -> Result<()> {
+        self.route(path).unlink(path)
+    }
+
+    fn rmdir(&self, path: &str) -> Result<()> {
+        self.route(path).rmdir(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        // Rename must move every backend's piece of the tree.
+        let mut renamed_any = false;
+        for be in &self.backends {
+            match be.rename(from, to) {
+                Ok(()) => renamed_any = true,
+                Err(Error::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if renamed_any {
+            Ok(())
+        } else {
+            Err(Error::NotFound(from.to_string()))
+        }
+    }
+
+    fn stat(&self, path: &str) -> Result<BackStat> {
+        self.route(path).stat(path)
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<()> {
+        self.route(path).truncate(path, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Plfs;
+    use crate::backing::MemBacking;
+    use crate::flags::OpenFlags;
+
+    #[test]
+    fn parse_full_plfsrc() {
+        let rc = PlfsRc::parse(
+            "# comment\n\
+             threadpool_size 8\n\
+             mount_point /plfs\n\
+             backends /be1,/be2\n\
+             num_hostdirs 16\n\
+             index_buffer_entries 128\n\
+             workload shared_file\n\
+             mount_point /plfs2/\n\
+             backends /other\n",
+        )
+        .unwrap();
+        assert_eq!(rc.threadpool_size, 8);
+        assert_eq!(rc.mounts.len(), 2);
+        let m = &rc.mounts[0];
+        assert_eq!(m.mount_point, "/plfs");
+        assert_eq!(m.backends, vec!["/be1", "/be2"]);
+        assert_eq!(m.params.num_hostdirs, 16);
+        assert_eq!(m.index_buffer_entries, 128);
+        assert_eq!(rc.mounts[1].mount_point, "/plfs2");
+    }
+
+    #[test]
+    fn parse_rejects_mount_without_backends() {
+        assert!(PlfsRc::parse("mount_point /plfs\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_keys_before_mount() {
+        assert!(PlfsRc::parse("backends /be\n").is_err());
+    }
+
+    #[test]
+    fn parse_ignores_unknown_keys() {
+        let rc = PlfsRc::parse("mount_point /p\nbackends /b\nglobal_summary_dir /x\n").unwrap();
+        assert_eq!(rc.mounts.len(), 1);
+    }
+
+    #[test]
+    fn mount_for_picks_longest_prefix() {
+        let rc = PlfsRc::parse(
+            "mount_point /plfs\nbackends /a\nmount_point /plfs/deep\nbackends /b\n",
+        )
+        .unwrap();
+        assert_eq!(
+            rc.mount_for("/plfs/deep/f").unwrap().backends,
+            vec!["/b"]
+        );
+        assert_eq!(rc.mount_for("/plfs/f").unwrap().backends, vec!["/a"]);
+        assert!(rc.mount_for("/plfsx/f").is_none(), "no partial-component match");
+        assert!(rc.mount_for("/elsewhere").is_none());
+    }
+
+    #[test]
+    fn path_prefix_respects_components() {
+        assert!(path_has_prefix("/plfs/a", "/plfs"));
+        assert!(path_has_prefix("/plfs", "/plfs"));
+        assert!(!path_has_prefix("/plfsfoo", "/plfs"));
+        assert!(path_has_prefix("/any/thing", "/"));
+    }
+
+    #[test]
+    fn spread_backing_spreads_hostdirs() {
+        let b1 = Arc::new(MemBacking::new());
+        let b2 = Arc::new(MemBacking::new());
+        let spread = SpreadBacking::new(vec![b1.clone(), b2.clone()]).unwrap();
+        let plfs = Plfs::new(Arc::new(spread)).with_params(ContainerParams {
+            num_hostdirs: 8,
+            mode: LayoutMode::Both,
+        });
+        let flags = OpenFlags::RDWR | OpenFlags::CREAT;
+        let fd = plfs.open("/f", flags, 0).unwrap();
+        for pid in 1..16u64 {
+            fd.add_ref(pid);
+        }
+        for pid in 0..16u64 {
+            plfs.write(&fd, &[pid as u8; 10], pid * 10, pid).unwrap();
+        }
+        for pid in 0..16u64 {
+            plfs.close(&fd, pid).unwrap();
+        }
+        // Skeleton only on canonical backend.
+        assert!(b1.exists("/f/.plfsaccess"));
+        assert!(!b2.exists("/f/.plfsaccess"));
+        // Odd hostdirs landed on backend 2.
+        let on_b2 = (0..8u32).any(|n| b2.exists(&format!("/f/hostdir.{n}")));
+        assert!(on_b2, "no hostdir spread to second backend");
+        // And the file reads back correctly through the spread.
+        let fd = plfs.open("/f", OpenFlags::RDONLY, 99).unwrap();
+        let mut buf = vec![0u8; 160];
+        assert_eq!(plfs.read(&fd, &mut buf, 0).unwrap(), 160);
+        for pid in 0..16usize {
+            assert!(buf[pid * 10..pid * 10 + 10].iter().all(|&x| x == pid as u8));
+        }
+    }
+
+    #[test]
+    fn spread_backing_requires_a_backend() {
+        assert!(SpreadBacking::new(vec![]).is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! The read path: reassembling a logical file from its droppings.
+//!
+//! Opening a container for reading merges every index dropping into a
+//! [`GlobalIndex`], then `pread` resolves the requested range into slices of
+//! individual data droppings. Dropping file handles are opened lazily and
+//! cached — a container written by thousands of pids should not cost
+//! thousands of opens to read one block.
+
+use crate::backing::{Backing, BackingFile};
+use crate::container::{self, DroppingRef};
+use crate::error::{Error, Result};
+use crate::index::{ChunkSlice, GlobalIndex};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An open read view of a container.
+pub struct ReadFile {
+    index: GlobalIndex,
+    droppings: Vec<DroppingRef>,
+    handles: Mutex<HashMap<u32, Arc<dyn BackingFile>>>,
+}
+
+impl ReadFile {
+    /// Build a read view by merging all index droppings in `container`.
+    pub fn open(b: &dyn Backing, container: &str) -> Result<ReadFile> {
+        let (index, droppings) = container::build_global_index(b, container)?;
+        Ok(ReadFile {
+            index,
+            droppings,
+            handles: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Logical end-of-file.
+    pub fn eof(&self) -> u64 {
+        self.index.eof()
+    }
+
+    /// Access the merged index (used by flatten and the map query).
+    pub fn index(&self) -> &GlobalIndex {
+        &self.index
+    }
+
+    /// The droppings backing this view, in `dropping_id` order.
+    pub fn droppings(&self) -> &[DroppingRef] {
+        &self.droppings
+    }
+
+    fn handle(&self, b: &dyn Backing, id: u32) -> Result<Arc<dyn BackingFile>> {
+        let mut handles = self.handles.lock();
+        if let Some(h) = handles.get(&id) {
+            return Ok(h.clone());
+        }
+        let dr = self
+            .droppings
+            .get(id as usize)
+            .ok_or_else(|| Error::Corrupt(format!("dropping id {id} out of range")))?;
+        let h: Arc<dyn BackingFile> = Arc::from(b.open(&dr.data_path, false)?);
+        handles.insert(id, h.clone());
+        Ok(h)
+    }
+
+    /// Positional read of logical bytes. Returns bytes read; 0 at EOF.
+    /// Holes read as zeros, exactly like a sparse POSIX file.
+    pub fn pread(&self, b: &dyn Backing, buf: &mut [u8], off: u64) -> Result<usize> {
+        if off >= self.index.eof() || buf.is_empty() {
+            return Ok(0);
+        }
+        let want = buf.len() as u64;
+        let slices = self.index.resolve(off, want);
+        let mut total = 0usize;
+        for s in &slices {
+            let dst_start = (s.logical_offset - off) as usize;
+            let dst = &mut buf[dst_start..dst_start + s.length as usize];
+            match s.dropping_id {
+                None => dst.fill(0),
+                Some(id) => {
+                    let h = self.handle(b, id)?;
+                    let n = h.pread(dst, s.physical_offset)?;
+                    if (n as u64) < s.length {
+                        return Err(Error::Corrupt(format!(
+                            "data dropping {id} shorter than its index claims \
+                             (wanted {} at {}, got {n})",
+                            s.length, s.physical_offset
+                        )));
+                    }
+                }
+            }
+            total = dst_start + s.length as usize;
+        }
+        Ok(total)
+    }
+
+    /// Positional read fanned out over `threads` worker threads — the
+    /// `threadpool_size` feature of real PLFS: a container written by many
+    /// processes holds its data in many droppings, and reading them
+    /// concurrently recovers the write-side parallelism. Falls back to the
+    /// serial path for small requests or `threads <= 1`.
+    pub fn pread_parallel(
+        &self,
+        b: &dyn Backing,
+        buf: &mut [u8],
+        off: u64,
+        threads: usize,
+    ) -> Result<usize> {
+        if off >= self.index.eof() || buf.is_empty() {
+            return Ok(0);
+        }
+        let slices = self.index.resolve(off, buf.len() as u64);
+        if threads <= 1 || slices.len() < 2 {
+            return self.pread(b, buf, off);
+        }
+        // Open every needed dropping up front (serial, cheap, cached).
+        for s in &slices {
+            if let Some(id) = s.dropping_id {
+                self.handle(b, id)?;
+            }
+        }
+        // Carve the output buffer into per-slice disjoint regions.
+        let total = {
+            let last = slices.last().unwrap();
+            (last.logical_offset + last.length - off) as usize
+        };
+        let mut regions: Vec<(&mut [u8], ChunkSlice)> = Vec::with_capacity(slices.len());
+        let mut rest = &mut buf[..total];
+        let mut cursor = off;
+        for s in slices {
+            debug_assert_eq!(s.logical_offset, cursor);
+            let (head, tail) = rest.split_at_mut(s.length as usize);
+            regions.push((head, s));
+            rest = tail;
+            cursor += s.length;
+        }
+        // Round-robin the regions over the workers.
+        let mut work: Vec<Vec<(&mut [u8], ChunkSlice)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, r) in regions.into_iter().enumerate() {
+            work[i % threads].push(r);
+        }
+        let errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
+        crossbeam::scope(|scope| {
+            for chunk in work {
+                let errors = &errors;
+                scope.spawn(move |_| {
+                    for (dst, s) in chunk {
+                        match s.dropping_id {
+                            None => dst.fill(0),
+                            Some(id) => {
+                                // Handle cache was warmed above; a miss here
+                                // is a logic error, not a race.
+                                let h = match self.handle(b, id) {
+                                    Ok(h) => h,
+                                    Err(e) => {
+                                        errors.lock().push(e);
+                                        continue;
+                                    }
+                                };
+                                match h.pread(dst, s.physical_offset) {
+                                    Ok(n) if (n as u64) == s.length => {}
+                                    Ok(n) => errors.lock().push(Error::Corrupt(format!(
+                                        "short dropping read: wanted {}, got {n}",
+                                        s.length
+                                    ))),
+                                    Err(e) => errors.lock().push(e),
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("reader thread panicked");
+        if let Some(e) = errors.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        Ok(total)
+    }
+
+    /// Read the entire logical file into a vector (test and flatten helper).
+    pub fn read_all(&self, b: &dyn Backing) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; self.eof() as usize];
+        if !out.is_empty() {
+            let n = self.pread(b, &mut out, 0)?;
+            out.truncate(n);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemBacking;
+    use crate::container::{create_container, ContainerParams, LayoutMode};
+    use crate::writer::WriteFile;
+
+    fn setup() -> (MemBacking, ContainerParams) {
+        let b = MemBacking::new();
+        let p = ContainerParams {
+            num_hostdirs: 4,
+            mode: LayoutMode::Both,
+        };
+        create_container(&b, "/c", &p, true).unwrap();
+        (b, p)
+    }
+
+    #[test]
+    fn single_writer_roundtrip() {
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        w.write(b"hello ", 0).unwrap();
+        w.write(b"world", 6).unwrap();
+        w.sync().unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        assert_eq!(r.eof(), 11);
+        assert_eq!(r.read_all(&b).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn interleaved_writers_reassemble() {
+        let (b, p) = setup();
+        // Six ranks write 4-byte strided records: rank i owns bytes
+        // [4i, 4i+4) of every 24-byte row — the Figure 1 pattern.
+        let rows = 5u64;
+        for pid in 0..6u64 {
+            let mut w = WriteFile::open(&b, "/c", &p, pid, 64).unwrap();
+            for row in 0..rows {
+                let val = [pid as u8 + b'a'; 4];
+                w.write(&val, row * 24 + pid * 4).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let r = ReadFile::open(&b, "/c").unwrap();
+        assert_eq!(r.eof(), rows * 24);
+        let all = r.read_all(&b).unwrap();
+        for row in 0..rows as usize {
+            assert_eq!(&all[row * 24..row * 24 + 24], b"aaaabbbbccccddddeeeeffff");
+        }
+    }
+
+    #[test]
+    fn latest_write_wins_across_writers() {
+        let (b, p) = setup();
+        let mut w1 = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        let mut w2 = WriteFile::open(&b, "/c", &p, 2, 64).unwrap();
+        w1.write(b"AAAAAAAA", 0).unwrap();
+        w2.write(b"BBBB", 2).unwrap();
+        w1.write(b"C", 4).unwrap();
+        w1.sync().unwrap();
+        w2.sync().unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        assert_eq!(r.read_all(&b).unwrap(), b"AABBCBAA");
+    }
+
+    #[test]
+    fn holes_read_as_zeros() {
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        w.write(b"end", 10).unwrap();
+        w.sync().unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        let mut buf = [0xffu8; 13];
+        assert_eq!(r.pread(&b, &mut buf, 0).unwrap(), 13);
+        assert_eq!(&buf[..10], &[0u8; 10]);
+        assert_eq!(&buf[10..], b"end");
+    }
+
+    #[test]
+    fn pread_at_or_past_eof_returns_zero() {
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        w.write(b"xyz", 0).unwrap();
+        w.sync().unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(r.pread(&b, &mut buf, 3).unwrap(), 0);
+        assert_eq!(r.pread(&b, &mut buf, 1000).unwrap(), 0);
+    }
+
+    #[test]
+    fn short_read_clamps_at_eof() {
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        w.write(b"abcde", 0).unwrap();
+        w.sync().unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(r.pread(&b, &mut buf, 2).unwrap(), 3);
+        assert_eq!(&buf[..3], b"cde");
+    }
+
+    #[test]
+    fn empty_container_reads_empty() {
+        let (b, _p) = setup();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        assert_eq!(r.eof(), 0);
+        assert_eq!(r.read_all(&b).unwrap(), b"");
+    }
+
+    #[test]
+    fn truncated_data_dropping_is_detected() {
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        w.write(b"0123456789", 0).unwrap();
+        w.sync().unwrap();
+        // Corrupt: shorten the data dropping behind the index's back.
+        let dp = container::data_dropping_path("/c", &p, 1, 0);
+        b.truncate(&dp, 4).unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        let mut buf = [0u8; 10];
+        assert!(matches!(
+            r.pread(&b, &mut buf, 0),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn log_structured_mode_roundtrip() {
+        let b = MemBacking::new();
+        let p = ContainerParams {
+            num_hostdirs: 4,
+            mode: LayoutMode::LogStructured,
+        };
+        create_container(&b, "/c", &p, true).unwrap();
+        let mut w1 = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        let mut w2 = WriteFile::open(&b, "/c", &p, 2, 64).unwrap();
+        w1.write(b"AB", 0).unwrap();
+        w2.write(b"CD", 2).unwrap();
+        w1.write(b"EF", 4).unwrap();
+        w1.sync().unwrap();
+        w2.sync().unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        assert_eq!(r.read_all(&b).unwrap(), b"ABCDEF");
+    }
+
+    #[test]
+    fn parallel_read_matches_serial() {
+        let (b, p) = setup();
+        // 8 interleaved writers -> many slices for the pool to fan over.
+        for pid in 0..8u64 {
+            let mut w = WriteFile::open(&b, "/c", &p, pid, 64).unwrap();
+            for row in 0..16u64 {
+                w.write(&[pid as u8 + 1; 100], (row * 8 + pid) * 100).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let r = ReadFile::open(&b, "/c").unwrap();
+        let mut serial = vec![0u8; r.eof() as usize];
+        r.pread(&b, &mut serial, 0).unwrap();
+        for threads in [2usize, 4, 16] {
+            let mut par = vec![0u8; r.eof() as usize];
+            let n = r.pread_parallel(&b, &mut par, 0, threads).unwrap();
+            assert_eq!(n, serial.len(), "{threads} threads");
+            assert_eq!(par, serial, "{threads} threads");
+        }
+        // Offset + short reads too.
+        let mut par = vec![0u8; 333];
+        let n = r.pread_parallel(&b, &mut par, 450, 4).unwrap();
+        assert_eq!(&par[..n], &serial[450..450 + n]);
+    }
+
+    #[test]
+    fn parallel_read_detects_corruption() {
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        for i in 0..4u64 {
+            w.write(&[9u8; 64], i * 64).unwrap();
+        }
+        w.sync().unwrap();
+        let mut w2 = WriteFile::open(&b, "/c", &p, 2, 64).unwrap();
+        w2.write(&[8u8; 64], 256).unwrap();
+        w2.sync().unwrap();
+        let d = container::list_droppings(&b, "/c").unwrap();
+        b.truncate(&d[0].data_path, 10).unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        let mut buf = vec![0u8; 320];
+        assert!(r.pread_parallel(&b, &mut buf, 0, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_read_fills_holes_with_zeros() {
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        w.write(b"head", 0).unwrap();
+        w.write(b"tail", 1000).unwrap();
+        w.sync().unwrap();
+        let r = ReadFile::open(&b, "/c").unwrap();
+        let mut buf = vec![0xAAu8; 1004];
+        let n = r.pread_parallel(&b, &mut buf, 0, 3).unwrap();
+        assert_eq!(n, 1004);
+        assert_eq!(&buf[..4], b"head");
+        assert!(buf[4..1000].iter().all(|&x| x == 0));
+        assert_eq!(&buf[1000..], b"tail");
+    }
+
+    #[test]
+    fn partitioned_only_mode_roundtrip() {
+        let b = MemBacking::new();
+        let p = ContainerParams {
+            num_hostdirs: 4,
+            mode: LayoutMode::PartitionedOnly,
+        };
+        create_container(&b, "/c", &p, true).unwrap();
+        for pid in 0..3u64 {
+            let mut w = WriteFile::open(&b, "/c", &p, pid, 64).unwrap();
+            w.write(&[b'0' + pid as u8; 3], pid * 3).unwrap();
+            w.sync().unwrap();
+        }
+        let r = ReadFile::open(&b, "/c").unwrap();
+        assert_eq!(r.read_all(&b).unwrap(), b"000111222");
+    }
+}

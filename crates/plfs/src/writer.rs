@@ -1,0 +1,383 @@
+//! The per-pid write path.
+//!
+//! Every writer pid owns a data dropping and an index dropping. A logical
+//! `write(buf, offset)` becomes:
+//!
+//! 1. append `buf` to the data dropping (sequential on disk — the
+//!    log-structured half of PLFS), and
+//! 2. buffer an [`IndexEntry`] recording where those bytes logically belong,
+//!    flushed to the index dropping when the buffer fills or on sync/close.
+//!
+//! [`crate::container::LayoutMode`] varies step 1 for the ablation study:
+//! `PartitionedOnly` writes at the logical offset inside the pid's own
+//! dropping, and `LogStructured` appends to a single dropping shared by all
+//! pids.
+
+use crate::backing::{Backing, BackingFile};
+use crate::container::{
+    self, ContainerParams, LayoutMode, DATA_PREFIX,
+};
+use crate::error::{Error, Result};
+use crate::index::{encode_compressed, next_timestamp, IndexEntry};
+
+/// Default number of buffered index entries before an automatic flush
+/// (mirrors the C library's `index_buffer_mbs` knob, expressed in entries).
+pub const DEFAULT_INDEX_BUFFER_ENTRIES: usize = 4096;
+
+/// Minimum strided-run length worth a pattern record (below this, plain
+/// records are emitted; a pattern record costs the same 48 bytes).
+pub const PATTERN_MIN_RUN: usize = 3;
+
+/// An open write stream for one `(container, pid)` pair.
+pub struct WriteFile {
+    data: Box<dyn BackingFile>,
+    index: Box<dyn BackingFile>,
+    mode: LayoutMode,
+    pid: u64,
+    buffered: Vec<IndexEntry>,
+    buffer_limit: usize,
+    /// Total bytes this writer has written.
+    bytes_written: u64,
+    /// Highest logical end offset this writer has produced.
+    max_eof: u64,
+    /// Count of index flushes (exposed for tests and the bench harness).
+    index_flushes: u64,
+    /// On-disk records emitted (≤ writes, thanks to pattern compression).
+    index_records: u64,
+}
+
+/// Pick the next unused dropping sequence number for a pid by scanning the
+/// pid's hostdir. Reopening a container for append gets a fresh dropping
+/// pair rather than corrupting an old one.
+fn next_seq(b: &dyn Backing, container: &str, params: &ContainerParams, pid: u64) -> Result<u32> {
+    let hd = match params.mode {
+        LayoutMode::LogStructured => container::hostdir_path(container, 0),
+        _ => container::hostdir_path(
+            container,
+            container::hostdir_for_pid(pid, params.num_hostdirs),
+        ),
+    };
+    let names = match b.readdir(&hd) {
+        Ok(n) => n,
+        Err(Error::NotFound(_)) => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let owner = match params.mode {
+        LayoutMode::LogStructured => "shared".to_string(),
+        _ => pid.to_string(),
+    };
+    let prefix = format!("{DATA_PREFIX}{owner}.");
+    let mut max: Option<u32> = None;
+    for n in names {
+        if let Some(seq) = n.strip_prefix(&prefix) {
+            if let Ok(s) = seq.parse::<u32>() {
+                max = Some(max.map_or(s, |m| m.max(s)));
+            }
+        }
+    }
+    Ok(max.map_or(0, |m| m + 1))
+}
+
+impl WriteFile {
+    /// Open (creating if needed) the dropping pair for `pid`.
+    pub fn open(
+        b: &dyn Backing,
+        container: &str,
+        params: &ContainerParams,
+        pid: u64,
+        buffer_limit: usize,
+    ) -> Result<WriteFile> {
+        container::ensure_hostdir(b, container, params, pid)?;
+        let (data, index) = match params.mode {
+            LayoutMode::LogStructured => {
+                // All pids share dropping pair 0; first creator wins, the
+                // rest open for append.
+                let dp = container::data_dropping_path(container, params, pid, 0);
+                let ip = container::index_dropping_path(container, params, pid, 0);
+                let data = match b.create(&dp, true) {
+                    Ok(f) => f,
+                    Err(Error::Exists(_)) => b.open(&dp, true)?,
+                    Err(e) => return Err(e),
+                };
+                let index = match b.create(&ip, true) {
+                    Ok(f) => f,
+                    Err(Error::Exists(_)) => b.open(&ip, true)?,
+                    Err(e) => return Err(e),
+                };
+                (data, index)
+            }
+            _ => {
+                let seq = next_seq(b, container, params, pid)?;
+                let dp = container::data_dropping_path(container, params, pid, seq);
+                let ip = container::index_dropping_path(container, params, pid, seq);
+                (b.create(&dp, true)?, b.create(&ip, true)?)
+            }
+        };
+        Ok(WriteFile {
+            data,
+            index,
+            mode: params.mode,
+            pid,
+            buffered: Vec::new(),
+            buffer_limit: buffer_limit.max(1),
+            bytes_written: 0,
+            max_eof: 0,
+            index_flushes: 0,
+            index_records: 0,
+        })
+    }
+
+    /// Write `buf` at logical offset `logical`, returning bytes written.
+    pub fn write(&mut self, buf: &[u8], logical: u64) -> Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let physical = match self.mode {
+            LayoutMode::Both | LayoutMode::LogStructured => self.data.append(buf)?,
+            LayoutMode::PartitionedOnly => {
+                self.data.pwrite(buf, logical)?;
+                logical
+            }
+        };
+        self.buffered.push(IndexEntry {
+            logical_offset: logical,
+            length: buf.len() as u64,
+            physical_offset: physical,
+            // Local id; renumbered globally at index-merge time.
+            dropping_id: 0,
+            timestamp: next_timestamp(),
+            pid: self.pid,
+        });
+        self.bytes_written += buf.len() as u64;
+        self.max_eof = self.max_eof.max(logical + buf.len() as u64);
+        if self.buffered.len() >= self.buffer_limit {
+            self.flush_index()?;
+        }
+        Ok(buf.len())
+    }
+
+    /// Append all buffered index records to the index dropping,
+    /// pattern-compressing strided runs (Pattern-PLFS): a checkpoint of
+    /// thousands of regular strided writes costs one 48-byte record.
+    pub fn flush_index(&mut self) -> Result<()> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        let mut out = Vec::with_capacity(self.buffered.len() * crate::index::RECORD_SIZE);
+        let records = encode_compressed(&self.buffered, PATTERN_MIN_RUN, &mut out);
+        self.index_records += records as u64;
+        self.index.append(&out)?;
+        self.buffered.clear();
+        self.index_flushes += 1;
+        Ok(())
+    }
+
+    /// Flush the index and sync both droppings to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.flush_index()?;
+        self.data.sync()?;
+        self.index.sync()
+    }
+
+    /// Total bytes written through this stream.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Highest logical end offset produced by this stream.
+    pub fn max_eof(&self) -> u64 {
+        self.max_eof
+    }
+
+    /// Number of index flushes performed so far.
+    pub fn index_flushes(&self) -> u64 {
+        self.index_flushes
+    }
+
+    /// On-disk index records emitted so far (pattern compression makes
+    /// this ≤ the number of writes).
+    pub fn index_records(&self) -> u64 {
+        self.index_records
+    }
+
+    /// Writer pid.
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+}
+
+impl Drop for WriteFile {
+    fn drop(&mut self) {
+        // Last-ditch index flush; close paths flush explicitly so errors
+        // here have already been surfaced in normal operation.
+        let _ = self.flush_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemBacking;
+    use crate::container::{create_container, ContainerParams};
+    use crate::index::RECORD_SIZE;
+
+    fn setup(mode: LayoutMode) -> (MemBacking, ContainerParams) {
+        let b = MemBacking::new();
+        let params = ContainerParams {
+            num_hostdirs: 4,
+            mode,
+        };
+        create_container(&b, "/c", &params, true).unwrap();
+        (b, params)
+    }
+
+    #[test]
+    fn writes_append_sequentially_regardless_of_offset() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open(&b, "/c", &p, 7, 64).unwrap();
+        // Backwards logical offsets still append forward physically.
+        w.write(b"BBBB", 1000).unwrap();
+        w.write(b"AAAA", 0).unwrap();
+        w.flush_index().unwrap();
+        let dp = container::data_dropping_path("/c", &p, 7, 0);
+        let f = b.open(&dp, false).unwrap();
+        let mut buf = [0u8; 8];
+        f.pread(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"BBBBAAAA", "log order, not logical order");
+        assert_eq!(w.bytes_written(), 8);
+        assert_eq!(w.max_eof(), 1004);
+    }
+
+    #[test]
+    fn partitioned_only_writes_at_logical_offset() {
+        let (b, p) = setup(LayoutMode::PartitionedOnly);
+        let mut w = WriteFile::open(&b, "/c", &p, 7, 64).unwrap();
+        w.write(b"XY", 10).unwrap();
+        w.flush_index().unwrap();
+        let dp = container::data_dropping_path("/c", &p, 7, 0);
+        let f = b.open(&dp, false).unwrap();
+        assert_eq!(f.size().unwrap(), 12, "sparse file up to logical end");
+        let mut buf = [0u8; 2];
+        f.pread(&mut buf, 10).unwrap();
+        assert_eq!(&buf, b"XY");
+    }
+
+    #[test]
+    fn index_buffer_flushes_at_limit() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 3).unwrap();
+        // Irregular offsets so pattern compression stays out of the way.
+        for &off in &[0u64, 17, 5, 900, 32, 451, 7] {
+            w.write(b"z", off).unwrap();
+        }
+        // 7 writes with limit 3 => 2 automatic flushes, 1 entry pending.
+        assert_eq!(w.index_flushes(), 2);
+        let ip = container::index_dropping_path("/c", &p, 1, 0);
+        assert_eq!(
+            b.stat(&ip).unwrap().size,
+            (6 * RECORD_SIZE) as u64,
+            "6 records on disk"
+        );
+        w.sync().unwrap();
+        assert_eq!(b.stat(&ip).unwrap().size, (7 * RECORD_SIZE) as u64);
+    }
+
+    #[test]
+    fn strided_run_compresses_to_one_record() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 4096).unwrap();
+        // 64 strided writes (the BT shape): stride 256, length 64.
+        for i in 0..64u64 {
+            w.write(&[7u8; 64], i * 256).unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(w.index_records(), 1, "one pattern record for the run");
+        let ip = container::index_dropping_path("/c", &p, 1, 0);
+        assert_eq!(b.stat(&ip).unwrap().size, RECORD_SIZE as u64);
+        // And it reads back exactly.
+        let r = crate::reader::ReadFile::open(&b, "/c").unwrap();
+        for i in 0..64u64 {
+            let mut buf = [0u8; 64];
+            assert_eq!(r.pread(&b, &mut buf, i * 256).unwrap(), 64);
+            assert!(buf.iter().all(|&x| x == 7));
+        }
+    }
+
+    #[test]
+    fn sequential_appends_also_compress() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 4096).unwrap();
+        for i in 0..100u64 {
+            w.write(&[1u8; 128], i * 128).unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(w.index_records(), 1, "contiguous run is stride==length");
+    }
+
+    #[test]
+    fn irregular_writes_do_not_compress() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 4096).unwrap();
+        for &(off, len) in &[(0u64, 10usize), (100, 20), (7, 3), (500, 10)] {
+            w.write(&vec![2u8; len], off).unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(w.index_records(), 4, "no runs, plain records");
+    }
+
+    #[test]
+    fn reopen_gets_fresh_dropping_pair() {
+        let (b, p) = setup(LayoutMode::Both);
+        {
+            let mut w = WriteFile::open(&b, "/c", &p, 9, 64).unwrap();
+            w.write(b"first", 0).unwrap();
+            w.sync().unwrap();
+        }
+        {
+            let mut w = WriteFile::open(&b, "/c", &p, 9, 64).unwrap();
+            w.write(b"second", 5).unwrap();
+            w.sync().unwrap();
+        }
+        assert!(b.exists(&container::data_dropping_path("/c", &p, 9, 0)));
+        assert!(b.exists(&container::data_dropping_path("/c", &p, 9, 1)));
+    }
+
+    #[test]
+    fn log_mode_shares_one_data_dropping() {
+        let (b, p) = setup(LayoutMode::LogStructured);
+        let mut w1 = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        let mut w2 = WriteFile::open(&b, "/c", &p, 2, 64).unwrap();
+        w1.write(b"one", 0).unwrap();
+        w2.write(b"two", 3).unwrap();
+        w1.sync().unwrap();
+        w2.sync().unwrap();
+        let droppings = container::list_droppings(&b, "/c").unwrap();
+        assert_eq!(droppings.len(), 1, "one shared data dropping");
+        let f = b.open(&droppings[0].data_path, false).unwrap();
+        assert_eq!(f.size().unwrap(), 6);
+    }
+
+    #[test]
+    fn zero_length_write_is_a_noop() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        assert_eq!(w.write(b"", 100).unwrap(), 0);
+        w.sync().unwrap();
+        assert_eq!(w.bytes_written(), 0);
+        assert_eq!(w.max_eof(), 0);
+        let ip = container::index_dropping_path("/c", &p, 1, 0);
+        assert_eq!(b.stat(&ip).unwrap().size, 0);
+    }
+
+    #[test]
+    fn drop_flushes_pending_index_entries() {
+        let (b, p) = setup(LayoutMode::Both);
+        let ip = container::index_dropping_path("/c", &p, 3, 0);
+        {
+            let mut w = WriteFile::open(&b, "/c", &p, 3, 1000).unwrap();
+            w.write(b"abc", 0).unwrap();
+            assert_eq!(b.stat(&ip).unwrap().size, 0, "still buffered");
+        }
+        assert_eq!(b.stat(&ip).unwrap().size, RECORD_SIZE as u64);
+    }
+}

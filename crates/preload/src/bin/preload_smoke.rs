@@ -1,0 +1,46 @@
+//! Smoke-test binary for the LD_PRELOAD library.
+//!
+//! Run *under* the preload (`LD_PRELOAD=...libldplfs_preload.so`): its
+//! plain `std::fs` calls route through libc and therefore through the
+//! interposed symbols. Exits 0 after verifying a write/read/seek/stat
+//! round-trip inside the mount and passthrough outside it.
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+fn main() {
+    let mount = std::env::var("LDPLFS_MOUNT").expect("LDPLFS_MOUNT not set");
+    let outside = std::env::var("SMOKE_OUTSIDE").expect("SMOKE_OUTSIDE not set");
+
+    // 1. Write/read/seek inside the mount (intercepted).
+    let path = format!("{mount}/smoke.dat");
+    let payload = b"interposed payload: 0123456789abcdef";
+    {
+        let mut f = fs::File::create(&path).expect("create in mount");
+        f.write_all(payload).expect("write in mount");
+    }
+    {
+        let mut f = fs::File::open(&path).expect("open in mount");
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf).expect("read in mount");
+        assert_eq!(buf, payload, "roundtrip through the preload");
+        let pos = f.seek(SeekFrom::End(-6)).expect("seek end");
+        assert_eq!(pos as usize, payload.len() - 6);
+        let mut tail = String::new();
+        f.read_to_string(&mut tail).expect("tail read");
+        assert_eq!(tail, "abcdef");
+    }
+    let md = fs::metadata(&path).expect("stat in mount");
+    assert_eq!(md.len() as usize, payload.len(), "fstatat size");
+
+    // 2. Passthrough outside the mount.
+    let out_path = format!("{outside}/plain.dat");
+    fs::write(&out_path, b"plain").expect("write outside");
+    assert_eq!(fs::read(&out_path).expect("read outside"), b"plain");
+
+    // 3. Unlink inside the mount.
+    fs::remove_file(&path).expect("unlink in mount");
+    assert!(fs::metadata(&path).is_err(), "gone after unlink");
+
+    println!("preload smoke OK");
+}

@@ -1,0 +1,1102 @@
+//! # ldplfs-preload — the `LD_PRELOAD` artifact itself
+//!
+//! This is the deployment form the paper describes: a shared library that
+//! overloads libc's file symbols through the dynamic loader, so *existing
+//! binaries* (`cat`, `cp`, `grep`, `md5sum`, shells, applications) operate
+//! on PLFS containers without recompilation. The container engine is this
+//! repo's `plfs` crate over a real backend directory.
+//!
+//! ```sh
+//! cargo build --release -p ldplfs-preload
+//! export LDPLFS_MOUNT=/tmp/plfs LDPLFS_BACKEND=/tmp/plfs_backend
+//! LD_PRELOAD=target/release/libldplfs_preload.so  cat  /tmp/plfs/file
+//! LD_PRELOAD=target/release/libldplfs_preload.so  md5sum /tmp/plfs/file
+//! ```
+//!
+//! Interposed symbols: `open`, `open64`, `openat`, `openat64`, `creat`,
+//! `read`, `write`, `pread(64)`, `pwrite(64)`, `lseek(64)`, `close`,
+//! `fsync`, `dup`, `dup2`, `unlink`, `access`, `mkdir`, `rmdir`,
+//! `ftruncate(64)`, and the `stat`/`lstat`/`fstat` family. Calls on paths
+//! outside `LDPLFS_MOUNT` forward to the real libc via
+//! `dlsym(RTLD_NEXT, …)`, exactly like the original.
+//!
+//! Faithful to the paper's design, the shim reserves a *genuine* kernel fd
+//! per PLFS open (here via `memfd_create`, avoiding the litter of the
+//! paper's `/dev/random` trick) and keeps the logical cursor in that fd via
+//! real `lseek`s — so `dup(2)`'d descriptors share cursors exactly like
+//! ordinary files.
+//!
+//! Read-only opens are served as *snapshots*: the container's logical
+//! bytes are materialised into the reserved `memfd`, so even glibc-internal
+//! I/O (stdio's `fread`, `mmap`) sees them without further interposition.
+//! Set `LDPLFS_SNAPSHOT_READS=0` to force the interposed read path instead.
+//!
+//! Known limitation (shared with the original): descriptors inherited
+//! *across `execve`* lose their PLFS identity, so shell output redirection
+//! `> /mount/file` feeding an exec'd child is not supported; tools that
+//! open their own outputs (`cp`, applications) work.
+
+#![allow(clippy::missing_safety_doc)]
+
+use parking_lot::RwLock;
+use plfs::{OpenFlags, Plfs, PlfsFd, RealBacking};
+use std::collections::HashMap;
+use std::ffi::{CStr, CString};
+use std::os::raw::{c_char, c_int, c_long, c_uint, c_void};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+
+// ---------------------------------------------------------------------------
+// libc FFI (hand-rolled; this crate must not depend on the libc crate since
+// it *is* the layer below it here).
+// ---------------------------------------------------------------------------
+
+pub(crate) type OffT = i64;
+pub(crate) type SizeT = usize;
+pub(crate) type SsizeT = isize;
+pub(crate) type ModeT = c_uint;
+
+const RTLD_NEXT: *mut c_void = -1isize as *mut c_void;
+const AT_FDCWD: c_int = -100;
+
+const O_ACCMODE: c_int = 0o3;
+const O_CREAT: c_int = 0o100;
+const O_EXCL: c_int = 0o200;
+const O_TRUNC: c_int = 0o1000;
+const O_APPEND: c_int = 0o2000;
+
+const SEEK_SET: c_int = 0;
+const SEEK_CUR: c_int = 1;
+const SEEK_END: c_int = 2;
+
+const EBADF: c_int = 9;
+const ENOMEM: c_int = 12;
+
+extern "C" {
+    fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn __errno_location() -> *mut c_int;
+    fn syscall(num: c_long, ...) -> c_long;
+    fn getpid() -> c_int;
+}
+
+const SYS_MEMFD_CREATE: c_long = 319; // x86_64
+
+fn set_errno(e: c_int) {
+    unsafe { *__errno_location() = e };
+}
+
+macro_rules! real {
+    ($name:ident, $sig:ty) => {{
+        static SLOT: OnceLock<usize> = OnceLock::new();
+        let addr = *SLOT.get_or_init(|| {
+            let sym = concat!(stringify!($name), "\0");
+            unsafe { dlsym(RTLD_NEXT, sym.as_ptr() as *const c_char) as usize }
+        });
+        debug_assert!(addr != 0, concat!("dlsym failed for ", stringify!($name)));
+        unsafe { std::mem::transmute::<usize, $sig>(addr) }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Shim state.
+// ---------------------------------------------------------------------------
+
+struct OpenState {
+    plfs_fd: Arc<PlfsFd>,
+    append: bool,
+    /// Live fds sharing this state (dup counts).
+    refs: AtomicU32,
+}
+
+struct Shim {
+    mount: String,
+    plfs: Plfs,
+    table: RwLock<HashMap<c_int, Arc<OpenState>>>,
+    /// Read-only snapshot fds: fd → (fake inode, logical size), so
+    /// fstat answers match the path-stat answers (cp verifies this).
+    snapshots: RwLock<HashMap<c_int, (u64, u64)>>,
+}
+
+static SHIM: OnceLock<Option<Shim>> = OnceLock::new();
+
+thread_local! {
+    /// Guards against re-entrant initialization: building the shim touches
+    /// the file system (create_dir_all on the backend), which re-enters the
+    /// interposed symbols on this same thread. Those nested calls must pass
+    /// straight through to the real libc.
+    static IN_INIT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn shim() -> Option<&'static Shim> {
+    if IN_INIT.with(|c| c.get()) {
+        return None;
+    }
+    SHIM.get_or_init(|| {
+        IN_INIT.with(|c| c.set(true));
+        let out = init_shim();
+        IN_INIT.with(|c| c.set(false));
+        out
+    })
+    .as_ref()
+}
+
+fn init_shim() -> Option<Shim> {
+    {
+        let mount = std::env::var("LDPLFS_MOUNT").ok()?;
+        let backend = std::env::var("LDPLFS_BACKEND").ok()?;
+        let mount = mount.trim_end_matches('/').to_string();
+        if mount.is_empty() {
+            return None;
+        }
+        let backing = RealBacking::new(backend).ok()?;
+        let mut plfs = Plfs::new(Arc::new(backing));
+        if let Ok(n) = std::env::var("LDPLFS_HOSTDIRS") {
+            if let Ok(n) = n.parse::<u32>() {
+                plfs = plfs.with_params(plfs::ContainerParams {
+                    num_hostdirs: n.max(1),
+                    mode: plfs::LayoutMode::Both,
+                });
+            }
+        }
+        Some(Shim {
+            mount,
+            plfs,
+            table: RwLock::new(HashMap::new()),
+            snapshots: RwLock::new(HashMap::new()),
+        })
+    }
+}
+
+/// Mount-relative logical path, if `path` is inside the mount.
+fn logical<'a>(shim: &Shim, path: &'a str) -> Option<String> {
+    let m = &shim.mount;
+    if path == m {
+        return Some("/".to_string());
+    }
+    let rest = path.strip_prefix(m.as_str())?;
+    if !rest.starts_with('/') {
+        return None;
+    }
+    Some(rest.to_string())
+}
+
+unsafe fn cstr<'a>(p: *const c_char) -> Option<&'a str> {
+    if p.is_null() {
+        return None;
+    }
+    CStr::from_ptr(p).to_str().ok()
+}
+
+fn reserve_fd() -> c_int {
+    // A genuine kernel fd with a real file description (so lseek works and
+    // dup shares cursors) but no filesystem presence.
+    let name = CString::new("ldplfs-cursor").unwrap();
+    let fd = unsafe { syscall(SYS_MEMFD_CREATE, name.as_ptr(), 0 as c_long) };
+    fd as c_int
+}
+
+fn lookup(fd: c_int) -> Option<Arc<OpenState>> {
+    let shim = shim()?;
+    shim.table.read().get(&fd).cloned()
+}
+
+fn plfs_errno(e: &plfs::Error) -> c_int {
+    e.errno()
+}
+
+/// Stable fake inode per logical path (FNV-1a), so path-stat and
+/// fstat-after-open agree.
+fn fake_ino(rel: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rel.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h | 1
+}
+
+fn cursor_get(fd: c_int) -> OffT {
+    let f = real!(lseek, unsafe extern "C" fn(c_int, OffT, c_int) -> OffT);
+    unsafe { f(fd, 0, SEEK_CUR) }
+}
+
+fn cursor_set(fd: c_int, off: OffT) -> OffT {
+    let f = real!(lseek, unsafe extern "C" fn(c_int, OffT, c_int) -> OffT);
+    unsafe { f(fd, off, SEEK_SET) }
+}
+
+// ---------------------------------------------------------------------------
+// open family.
+// ---------------------------------------------------------------------------
+
+unsafe fn do_open(path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
+    let real_open = real!(open, unsafe extern "C" fn(*const c_char, c_int, ModeT) -> c_int);
+    let Some(sh) = shim() else {
+        return real_open(path, flags, mode);
+    };
+    let Some(p) = cstr(path) else {
+        return real_open(path, flags, mode);
+    };
+    let Some(rel) = logical(sh, p) else {
+        return real_open(path, flags, mode);
+    };
+    // Translate flags (numeric values match plfs::OpenFlags on Linux).
+    let oflags = OpenFlags(
+        (flags & (O_ACCMODE | O_CREAT | O_EXCL | O_TRUNC | O_APPEND)) as u32,
+    );
+    let pid = getpid() as u64;
+    // Read-only opens: materialise a snapshot of the container's logical
+    // bytes into the reserved memfd and hand that fd out *unregistered*.
+    // Every later operation (read, fread, mmap, fstat, lseek) then runs
+    // natively in the kernel — which is what makes glibc-internal I/O
+    // (fopen/fread in md5sum, grep) work without interposing all of stdio.
+    // Writable opens use the interposed bookkeeping path.
+    let snapshot_reads = std::env::var("LDPLFS_SNAPSHOT_READS")
+        .map(|v| v != "0")
+        .unwrap_or(true);
+    if !oflags.writable() && !oflags.create() && snapshot_reads {
+        return match snapshot_open(sh, &rel, pid) {
+            Ok(fd) => fd,
+            Err(e) => {
+                set_errno(plfs_errno(&e));
+                -1
+            }
+        };
+    }
+    match sh.plfs.open(&rel, oflags, pid) {
+        Ok(pfd) => {
+            let fd = reserve_fd();
+            if fd < 0 {
+                let _ = pfd.close(pid);
+                set_errno(ENOMEM);
+                return -1;
+            }
+            sh.table.write().insert(
+                fd,
+                Arc::new(OpenState {
+                    plfs_fd: pfd,
+                    append: flags & O_APPEND != 0,
+                    refs: AtomicU32::new(1),
+                }),
+            );
+            fd
+        }
+        Err(e) => {
+            set_errno(plfs_errno(&e));
+            -1
+        }
+    }
+}
+
+/// `open(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn open(path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
+    do_open(path, flags, mode)
+}
+
+/// `open64(2)` (LFS alias).
+#[no_mangle]
+pub unsafe extern "C" fn open64(path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
+    do_open(path, flags, mode)
+}
+
+/// `creat(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn creat(path: *const c_char, mode: ModeT) -> c_int {
+    do_open(path, 0o1 | O_CREAT | O_TRUNC, mode)
+}
+
+/// `openat(2)` — handled for `AT_FDCWD` / absolute paths.
+#[no_mangle]
+pub unsafe extern "C" fn openat(
+    dirfd: c_int,
+    path: *const c_char,
+    flags: c_int,
+    mode: ModeT,
+) -> c_int {
+    let absolute = cstr(path).map(|p| p.starts_with('/')).unwrap_or(false);
+    if dirfd == AT_FDCWD || absolute {
+        return do_open(path, flags, mode);
+    }
+    let f = real!(
+        openat,
+        unsafe extern "C" fn(c_int, *const c_char, c_int, ModeT) -> c_int
+    );
+    f(dirfd, path, flags, mode)
+}
+
+/// `openat64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn openat64(
+    dirfd: c_int,
+    path: *const c_char,
+    flags: c_int,
+    mode: ModeT,
+) -> c_int {
+    openat(dirfd, path, flags, mode)
+}
+
+/// Copy a container's logical bytes into a fresh memfd; returns the fd
+/// positioned at offset 0.
+fn snapshot_open(sh: &Shim, rel: &str, pid: u64) -> plfs::Result<c_int> {
+    let ino = fake_ino(rel);
+    let pfd = sh.plfs.open(rel, OpenFlags::RDONLY, pid)?;
+    let fd = reserve_fd();
+    if fd < 0 {
+        let _ = pfd.close(pid);
+        return Err(plfs::Error::Io(std::io::Error::from_raw_os_error(ENOMEM)));
+    }
+    let real_write = real!(write, unsafe extern "C" fn(c_int, *const c_void, SizeT) -> SsizeT);
+    let mut off = 0u64;
+    let mut buf = vec![0u8; 1 << 20];
+    loop {
+        let n = match pfd.read(&mut buf, off) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) => {
+                let _ = pfd.close(pid);
+                let real_close = real!(close, unsafe extern "C" fn(c_int) -> c_int);
+                unsafe { real_close(fd) };
+                return Err(e);
+            }
+        };
+        let mut done = 0usize;
+        while done < n {
+            let w = unsafe {
+                real_write(fd, buf[done..].as_ptr() as *const c_void, n - done)
+            };
+            if w <= 0 {
+                break;
+            }
+            done += w as usize;
+        }
+        off += n as u64;
+    }
+    let _ = pfd.close(pid);
+    cursor_set(fd, 0);
+    sh.snapshots.write().insert(fd, (ino, off));
+    Ok(fd)
+}
+
+// ---------------------------------------------------------------------------
+// data plane.
+// ---------------------------------------------------------------------------
+
+/// `read(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: SizeT) -> SsizeT {
+    match lookup(fd) {
+        None => {
+            let f = real!(read, unsafe extern "C" fn(c_int, *mut c_void, SizeT) -> SsizeT);
+            f(fd, buf, count)
+        }
+        Some(st) => {
+            let slice = std::slice::from_raw_parts_mut(buf as *mut u8, count);
+            let off = cursor_get(fd);
+            match st.plfs_fd.read(slice, off as u64) {
+                Ok(n) => {
+                    cursor_set(fd, off + n as OffT);
+                    n as SsizeT
+                }
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `write(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn write(fd: c_int, buf: *const c_void, count: SizeT) -> SsizeT {
+    match lookup(fd) {
+        None => {
+            let f = real!(write, unsafe extern "C" fn(c_int, *const c_void, SizeT) -> SsizeT);
+            f(fd, buf, count)
+        }
+        Some(st) => {
+            let slice = std::slice::from_raw_parts(buf as *const u8, count);
+            let off = if st.append {
+                st.plfs_fd.size().unwrap_or(0) as OffT
+            } else {
+                cursor_get(fd)
+            };
+            match st.plfs_fd.write(slice, off as u64, getpid() as u64) {
+                Ok(n) => {
+                    cursor_set(fd, off + n as OffT);
+                    n as SsizeT
+                }
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+unsafe fn do_pread(fd: c_int, buf: *mut c_void, count: SizeT, off: OffT) -> SsizeT {
+    match lookup(fd) {
+        None => {
+            let f = real!(
+                pread,
+                unsafe extern "C" fn(c_int, *mut c_void, SizeT, OffT) -> SsizeT
+            );
+            f(fd, buf, count, off)
+        }
+        Some(st) => {
+            let slice = std::slice::from_raw_parts_mut(buf as *mut u8, count);
+            match st.plfs_fd.read(slice, off as u64) {
+                Ok(n) => n as SsizeT,
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `pread(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn pread(fd: c_int, buf: *mut c_void, count: SizeT, off: OffT) -> SsizeT {
+    do_pread(fd, buf, count, off)
+}
+
+/// `pread64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn pread64(fd: c_int, buf: *mut c_void, count: SizeT, off: OffT) -> SsizeT {
+    do_pread(fd, buf, count, off)
+}
+
+unsafe fn do_pwrite(fd: c_int, buf: *const c_void, count: SizeT, off: OffT) -> SsizeT {
+    match lookup(fd) {
+        None => {
+            let f = real!(
+                pwrite,
+                unsafe extern "C" fn(c_int, *const c_void, SizeT, OffT) -> SsizeT
+            );
+            f(fd, buf, count, off)
+        }
+        Some(st) => {
+            let slice = std::slice::from_raw_parts(buf as *const u8, count);
+            match st.plfs_fd.write(slice, off as u64, getpid() as u64) {
+                Ok(n) => n as SsizeT,
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `pwrite(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn pwrite(fd: c_int, buf: *const c_void, count: SizeT, off: OffT) -> SsizeT {
+    do_pwrite(fd, buf, count, off)
+}
+
+/// `pwrite64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn pwrite64(
+    fd: c_int,
+    buf: *const c_void,
+    count: SizeT,
+    off: OffT,
+) -> SsizeT {
+    do_pwrite(fd, buf, count, off)
+}
+
+unsafe fn do_lseek(fd: c_int, offset: OffT, whence: c_int) -> OffT {
+    match lookup(fd) {
+        None => {
+            let f = real!(lseek, unsafe extern "C" fn(c_int, OffT, c_int) -> OffT);
+            f(fd, offset, whence)
+        }
+        Some(st) => {
+            // SEEK_END needs the logical PLFS size; SET/CUR ride the
+            // reserved fd's kernel cursor directly (the paper's trick).
+            let target = match whence {
+                SEEK_SET => offset,
+                SEEK_CUR => cursor_get(fd) + offset,
+                SEEK_END => st.plfs_fd.size().unwrap_or(0) as OffT + offset,
+                _ => {
+                    set_errno(22);
+                    return -1;
+                }
+            };
+            if target < 0 {
+                set_errno(22);
+                return -1;
+            }
+            cursor_set(fd, target)
+        }
+    }
+}
+
+/// `lseek(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn lseek(fd: c_int, offset: OffT, whence: c_int) -> OffT {
+    do_lseek(fd, offset, whence)
+}
+
+/// `lseek64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn lseek64(fd: c_int, offset: OffT, whence: c_int) -> OffT {
+    do_lseek(fd, offset, whence)
+}
+
+/// `close(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn close(fd: c_int) -> c_int {
+    let real_close = real!(close, unsafe extern "C" fn(c_int) -> c_int);
+    let Some(sh) = shim() else {
+        return real_close(fd);
+    };
+    sh.snapshots.write().remove(&fd);
+    let state = sh.table.write().remove(&fd);
+    match state {
+        None => real_close(fd),
+        Some(st) => {
+            if st.refs.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _ = st.plfs_fd.close(getpid() as u64);
+            } else {
+                // A dup still holds the PLFS open; drop only this fd.
+                let _ = st.plfs_fd.close(getpid() as u64);
+            }
+            real_close(fd)
+        }
+    }
+}
+
+/// `fsync(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn fsync(fd: c_int) -> c_int {
+    match lookup(fd) {
+        None => {
+            let f = real!(fsync, unsafe extern "C" fn(c_int) -> c_int);
+            f(fd)
+        }
+        Some(st) => match st.plfs_fd.sync(getpid() as u64) {
+            Ok(()) => 0,
+            Err(e) => {
+                set_errno(plfs_errno(&e));
+                -1
+            }
+        },
+    }
+}
+
+/// `dup(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn dup(fd: c_int) -> c_int {
+    let real_dup = real!(dup, unsafe extern "C" fn(c_int) -> c_int);
+    let new = real_dup(fd);
+    if new >= 0 {
+        if let Some(sh) = shim() {
+            let snap = sh.snapshots.read().get(&fd).copied();
+            if let Some(info) = snap {
+                sh.snapshots.write().insert(new, info);
+            }
+            let state = sh.table.read().get(&fd).cloned();
+            if let Some(st) = state {
+                st.refs.fetch_add(1, Ordering::AcqRel);
+                st.plfs_fd.add_ref(getpid() as u64);
+                sh.table.write().insert(new, st);
+            }
+        }
+    }
+    new
+}
+
+/// `dup2(2)` — needed for shell redirection bookkeeping.
+#[no_mangle]
+pub unsafe extern "C" fn dup2(oldfd: c_int, newfd: c_int) -> c_int {
+    let real_dup2 = real!(dup2, unsafe extern "C" fn(c_int, c_int) -> c_int);
+    let ret = real_dup2(oldfd, newfd);
+    if ret >= 0 {
+        if let Some(sh) = shim() {
+            // newfd silently closed any previous identity.
+            {
+                let mut snaps = sh.snapshots.write();
+                snaps.remove(&newfd);
+                if let Some(&info) = snaps.get(&oldfd) {
+                    snaps.insert(newfd, info);
+                }
+            }
+            let old_state = {
+                let mut t = sh.table.write();
+                t.remove(&newfd);
+                t.get(&oldfd).cloned()
+            };
+            if let Some(st) = old_state {
+                st.refs.fetch_add(1, Ordering::AcqRel);
+                st.plfs_fd.add_ref(getpid() as u64);
+                sh.table.write().insert(newfd, st);
+            }
+        }
+    }
+    ret
+}
+
+// ---------------------------------------------------------------------------
+// metadata plane.
+// ---------------------------------------------------------------------------
+
+/// Minimal glibc x86_64 `struct stat` layout.
+#[repr(C)]
+pub struct CStat {
+    st_dev: u64,
+    st_ino: u64,
+    st_nlink: u64,
+    st_mode: u32,
+    st_uid: u32,
+    st_gid: u32,
+    __pad0: u32,
+    st_rdev: u64,
+    st_size: i64,
+    st_blksize: i64,
+    st_blocks: i64,
+    st_atime: i64,
+    st_atime_nsec: i64,
+    st_mtime: i64,
+    st_mtime_nsec: i64,
+    st_ctime: i64,
+    st_ctime_nsec: i64,
+    __unused: [i64; 3],
+}
+
+const S_IFREG: u32 = 0o100000;
+const S_IFDIR: u32 = 0o040000;
+
+unsafe fn fill_stat(out: *mut CStat, size: u64, is_dir: bool, ino: u64) {
+    std::ptr::write_bytes(out as *mut u8, 0, std::mem::size_of::<CStat>());
+    let st = &mut *out;
+    st.st_mode = if is_dir { S_IFDIR | 0o755 } else { S_IFREG | 0o644 };
+    st.st_nlink = 1;
+    st.st_size = size as i64;
+    st.st_blksize = 4096;
+    st.st_blocks = (size as i64 + 511) / 512;
+    st.st_ino = ino;
+}
+
+unsafe fn do_stat(path: *const c_char, out: *mut CStat) -> c_int {
+    let real_stat = real!(stat, unsafe extern "C" fn(*const c_char, *mut CStat) -> c_int);
+    let Some(sh) = shim() else {
+        return real_stat(path, out);
+    };
+    let Some(p) = cstr(path) else {
+        return real_stat(path, out);
+    };
+    let Some(rel) = logical(sh, p) else {
+        return real_stat(path, out);
+    };
+    if rel == "/" {
+        fill_stat(out, 0, true, 1);
+        return 0;
+    }
+    match sh.plfs.getattr(&rel) {
+        Ok(st) => {
+            fill_stat(out, st.size, st.is_dir, fake_ino(&rel));
+            0
+        }
+        Err(e) => {
+            set_errno(plfs_errno(&e));
+            -1
+        }
+    }
+}
+
+/// `stat(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn stat(path: *const c_char, out: *mut CStat) -> c_int {
+    do_stat(path, out)
+}
+
+/// `stat64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn stat64(path: *const c_char, out: *mut CStat) -> c_int {
+    do_stat(path, out)
+}
+
+/// `lstat(2)` — containers have no symlinks; same as stat within the mount.
+#[no_mangle]
+pub unsafe extern "C" fn lstat(path: *const c_char, out: *mut CStat) -> c_int {
+    let real_lstat = real!(lstat, unsafe extern "C" fn(*const c_char, *mut CStat) -> c_int);
+    let Some(sh) = shim() else {
+        return real_lstat(path, out);
+    };
+    match cstr(path).and_then(|p| logical(sh, p)) {
+        Some(_) => do_stat(path, out),
+        None => real_lstat(path, out),
+    }
+}
+
+/// `lstat64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn lstat64(path: *const c_char, out: *mut CStat) -> c_int {
+    lstat(path, out)
+}
+
+unsafe fn do_fstat(fd: c_int, out: *mut CStat) -> c_int {
+    if let Some(sh) = shim() {
+        if let Some(&(ino, size)) = sh.snapshots.read().get(&fd) {
+            fill_stat(out, size, false, ino);
+            return 0;
+        }
+    }
+    match lookup(fd) {
+        None => {
+            let f = real!(fstat, unsafe extern "C" fn(c_int, *mut CStat) -> c_int);
+            f(fd, out)
+        }
+        Some(st) => match st.plfs_fd.size() {
+            Ok(size) => {
+                fill_stat(out, size, false, 1);
+                0
+            }
+            Err(e) => {
+                set_errno(plfs_errno(&e));
+                -1
+            }
+        },
+    }
+}
+
+/// `fstat(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn fstat(fd: c_int, out: *mut CStat) -> c_int {
+    do_fstat(fd, out)
+}
+
+/// `fstat64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn fstat64(fd: c_int, out: *mut CStat) -> c_int {
+    do_fstat(fd, out)
+}
+
+/// `fstatat(2)` / `newfstatat` for `AT_FDCWD` and absolute paths.
+#[no_mangle]
+pub unsafe extern "C" fn fstatat(
+    dirfd: c_int,
+    path: *const c_char,
+    out: *mut CStat,
+    flags: c_int,
+) -> c_int {
+    let absolute = cstr(path).map(|p| p.starts_with('/')).unwrap_or(false);
+    if dirfd == AT_FDCWD || absolute {
+        if let Some(sh) = shim() {
+            if cstr(path).and_then(|p| logical(sh, p)).is_some() {
+                return do_stat(path, out);
+            }
+        }
+    }
+    let f = real!(
+        fstatat,
+        unsafe extern "C" fn(c_int, *const c_char, *mut CStat, c_int) -> c_int
+    );
+    f(dirfd, path, out, flags)
+}
+
+/// `newfstatat` (the syscall-name alias some libcs export).
+#[no_mangle]
+pub unsafe extern "C" fn newfstatat(
+    dirfd: c_int,
+    path: *const c_char,
+    out: *mut CStat,
+    flags: c_int,
+) -> c_int {
+    fstatat(dirfd, path, out, flags)
+}
+
+/// `unlink(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn unlink(path: *const c_char) -> c_int {
+    let real_unlink = real!(unlink, unsafe extern "C" fn(*const c_char) -> c_int);
+    let Some(sh) = shim() else {
+        return real_unlink(path);
+    };
+    match cstr(path).and_then(|p| logical(sh, p)) {
+        None => real_unlink(path),
+        Some(rel) => match sh.plfs.unlink(&rel) {
+            Ok(()) => 0,
+            Err(e) => {
+                set_errno(plfs_errno(&e));
+                -1
+            }
+        },
+    }
+}
+
+/// `access(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn access(path: *const c_char, amode: c_int) -> c_int {
+    let real_access = real!(access, unsafe extern "C" fn(*const c_char, c_int) -> c_int);
+    let Some(sh) = shim() else {
+        return real_access(path, amode);
+    };
+    match cstr(path).and_then(|p| logical(sh, p)) {
+        None => real_access(path, amode),
+        Some(rel) => {
+            if rel == "/" {
+                return 0;
+            }
+            match sh.plfs.access(&rel) {
+                Ok(()) => 0,
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `mkdir(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn mkdir(path: *const c_char, mode: ModeT) -> c_int {
+    let real_mkdir = real!(mkdir, unsafe extern "C" fn(*const c_char, ModeT) -> c_int);
+    let Some(sh) = shim() else {
+        return real_mkdir(path, mode);
+    };
+    match cstr(path).and_then(|p| logical(sh, p)) {
+        None => real_mkdir(path, mode),
+        Some(rel) => match sh.plfs.mkdir(&rel) {
+            Ok(()) => 0,
+            Err(e) => {
+                set_errno(plfs_errno(&e));
+                -1
+            }
+        },
+    }
+}
+
+/// `rmdir(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn rmdir(path: *const c_char) -> c_int {
+    let real_rmdir = real!(rmdir, unsafe extern "C" fn(*const c_char) -> c_int);
+    let Some(sh) = shim() else {
+        return real_rmdir(path);
+    };
+    match cstr(path).and_then(|p| logical(sh, p)) {
+        None => real_rmdir(path),
+        Some(rel) => match sh.plfs.rmdir(&rel) {
+            Ok(()) => 0,
+            Err(e) => {
+                set_errno(plfs_errno(&e));
+                -1
+            }
+        },
+    }
+}
+
+unsafe fn do_ftruncate(fd: c_int, len: OffT) -> c_int {
+    match lookup(fd) {
+        None => {
+            let f = real!(ftruncate, unsafe extern "C" fn(c_int, OffT) -> c_int);
+            f(fd, len)
+        }
+        Some(st) => {
+            if len < 0 {
+                set_errno(22);
+                return -1;
+            }
+            // Quiesce, then rewrite via the container truncate path.
+            if st.plfs_fd.reset_writers().is_err() {
+                set_errno(EBADF);
+                return -1;
+            }
+            let Some(sh) = shim() else {
+                set_errno(EBADF);
+                return -1;
+            };
+            // Container path is backend-relative == logical path here.
+            let path = st.plfs_fd.container_path().to_string();
+            match sh.plfs.trunc(&path, len as u64) {
+                Ok(()) => 0,
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `ftruncate(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn ftruncate(fd: c_int, len: OffT) -> c_int {
+    do_ftruncate(fd, len)
+}
+
+/// `ftruncate64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn ftruncate64(fd: c_int, len: OffT) -> c_int {
+    do_ftruncate(fd, len)
+}
+
+// ---------------------------------------------------------------------------
+// stdio entry points: glibc's fopen does NOT route through the exported
+// `open` symbol, so tools like md5sum and grep need fopen itself
+// interposed. Read modes hand back a FILE* over the snapshot memfd (all
+// stdio I/O then runs natively); write modes are not supported through
+// stdio and fall through to the real fopen (which fails cleanly, since
+// the mount path does not exist on the real file system).
+// ---------------------------------------------------------------------------
+
+unsafe fn do_fopen(path: *const c_char, mode: *const c_char) -> *mut c_void {
+    let real_fopen = real!(
+        fopen,
+        unsafe extern "C" fn(*const c_char, *const c_char) -> *mut c_void
+    );
+    let Some(sh) = shim() else {
+        return real_fopen(path, mode);
+    };
+    let (Some(p), Some(m)) = (cstr(path), cstr(mode)) else {
+        return real_fopen(path, mode);
+    };
+    let Some(rel) = logical(sh, p) else {
+        return real_fopen(path, mode);
+    };
+    let read_only = m.starts_with('r') && !m.contains('+');
+    if !read_only {
+        // Unsupported: stdio writes into the mount (see module docs).
+        return real_fopen(path, mode);
+    }
+    match snapshot_open(sh, &rel, getpid() as u64) {
+        Ok(fd) => {
+            extern "C" {
+                fn fdopen(fd: c_int, mode: *const c_char) -> *mut c_void;
+            }
+            fdopen(fd, mode)
+        }
+        Err(e) => {
+            set_errno(plfs_errno(&e));
+            std::ptr::null_mut()
+        }
+    }
+}
+
+/// `fopen(3)`.
+#[no_mangle]
+pub unsafe extern "C" fn fopen(path: *const c_char, mode: *const c_char) -> *mut c_void {
+    do_fopen(path, mode)
+}
+
+/// `fopen64(3)`.
+#[no_mangle]
+pub unsafe extern "C" fn fopen64(path: *const c_char, mode: *const c_char) -> *mut c_void {
+    do_fopen(path, mode)
+}
+
+/// Kernel `struct statx` (uapi, fixed layout).
+#[repr(C)]
+pub struct CStatx {
+    stx_mask: u32,
+    stx_blksize: u32,
+    stx_attributes: u64,
+    stx_nlink: u32,
+    stx_uid: u32,
+    stx_gid: u32,
+    stx_mode: u16,
+    __spare0: u16,
+    stx_ino: u64,
+    stx_size: u64,
+    stx_blocks: u64,
+    stx_attributes_mask: u64,
+    stx_atime: [u8; 16],
+    stx_btime: [u8; 16],
+    stx_ctime: [u8; 16],
+    stx_mtime: [u8; 16],
+    stx_rdev_major: u32,
+    stx_rdev_minor: u32,
+    stx_dev_major: u32,
+    stx_dev_minor: u32,
+    stx_mnt_id: u64,
+    __spare2: [u64; 13],
+}
+
+const STATX_BASIC_STATS: u32 = 0x7ff;
+const AT_EMPTY_PATH: c_int = 0x1000;
+
+unsafe fn fill_statx(out: *mut CStatx, size: u64, is_dir: bool, ino: u64) {
+    std::ptr::write_bytes(out as *mut u8, 0, std::mem::size_of::<CStatx>());
+    let st = &mut *out;
+    st.stx_mask = STATX_BASIC_STATS;
+    st.stx_blksize = 4096;
+    st.stx_nlink = 1;
+    st.stx_mode = if is_dir {
+        (S_IFDIR | 0o755) as u16
+    } else {
+        (S_IFREG | 0o644) as u16
+    };
+    st.stx_ino = ino;
+    st.stx_size = size;
+    st.stx_blocks = size.div_ceil(512);
+}
+
+/// `statx(2)` — the stat entry point modern glibc and coreutils use.
+#[no_mangle]
+pub unsafe extern "C" fn statx(
+    dirfd: c_int,
+    path: *const c_char,
+    flags: c_int,
+    mask: c_uint,
+    out: *mut CStatx,
+) -> c_int {
+    let real_statx = real!(
+        statx,
+        unsafe extern "C" fn(c_int, *const c_char, c_int, c_uint, *mut CStatx) -> c_int
+    );
+    let Some(sh) = shim() else {
+        return real_statx(dirfd, path, flags, mask, out);
+    };
+    // AT_EMPTY_PATH: stat the fd itself (fstat spelling).
+    if flags & AT_EMPTY_PATH != 0 {
+        if let Some(&(ino, size)) = sh.snapshots.read().get(&dirfd) {
+            fill_statx(out, size, false, ino);
+            return 0;
+        }
+        if let Some(st) = lookup(dirfd) {
+            match st.plfs_fd.size() {
+                Ok(size) => {
+                    fill_statx(out, size, false, 1);
+                    return 0;
+                }
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    return -1;
+                }
+            }
+        }
+        return real_statx(dirfd, path, flags, mask, out);
+    }
+    let absolute = cstr(path).map(|p| p.starts_with('/')).unwrap_or(false);
+    if dirfd != AT_FDCWD && !absolute {
+        return real_statx(dirfd, path, flags, mask, out);
+    }
+    let Some(rel) = cstr(path).and_then(|p| logical(sh, p)) else {
+        return real_statx(dirfd, path, flags, mask, out);
+    };
+    if rel == "/" {
+        fill_statx(out, 0, true, 1);
+        return 0;
+    }
+    match sh.plfs.getattr(&rel) {
+        Ok(st) => {
+            fill_statx(out, st.size, st.is_dir, fake_ino(&rel));
+            0
+        }
+        Err(e) => {
+            set_errno(plfs_errno(&e));
+            -1
+        }
+    }
+}
+
+/// How many fds the shim currently tracks (exposed for the smoke test).
+pub fn tracked_fds() -> usize {
+    shim().map(|s| s.table.read().len()).unwrap_or(0)
+}

@@ -1,0 +1,176 @@
+//! Operation tracing: a Darshan-style record of what the simulated file
+//! system was asked to do.
+//!
+//! The related work the paper builds on (its ref [10] is the authors' own
+//! I/O tracer) characterises applications by their op streams; the same
+//! capability is useful here for debugging workloads and for asserting, in
+//! tests, *why* a configuration is slow (how many ops, how many bytes, what
+//! sizes) rather than just how slow. Tracing is opt-in and costs one vector
+//! push per op when enabled.
+
+use serde::Serialize;
+
+/// The kind of a traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceKind {
+    /// Data write (cached or not).
+    Write,
+    /// Data read.
+    Read,
+    /// Metadata operation (create/open/stat/…).
+    Meta,
+}
+
+/// One traced operation.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceRecord {
+    /// Operation class.
+    pub kind: TraceKind,
+    /// Issuing node (metadata ops: usize::MAX).
+    pub node: usize,
+    /// File id (metadata ops on paths: usize::MAX).
+    pub file: usize,
+    /// Byte offset (0 for metadata).
+    pub offset: u64,
+    /// Byte count (0 for metadata).
+    pub len: u64,
+    /// Arrival time (s).
+    pub start: f64,
+    /// Completion time (s).
+    pub end: f64,
+    /// Whether a write was absorbed by the client cache.
+    pub cached: bool,
+}
+
+/// An in-memory trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Trace {
+        Trace::default()
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Trace {
+        Trace {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one op (no-op when disabled).
+    pub fn record(&mut self, rec: TraceRecord) {
+        if self.enabled {
+            self.records.push(rec);
+        }
+    }
+
+    /// All records, in issue order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Summary statistics per kind: (count, bytes, busy seconds).
+    pub fn summary(&self, kind: TraceKind) -> (usize, u64, f64) {
+        let mut count = 0;
+        let mut bytes = 0;
+        let mut busy = 0.0;
+        for r in &self.records {
+            if r.kind == kind {
+                count += 1;
+                bytes += r.len;
+                busy += r.end - r.start;
+            }
+        }
+        (count, bytes, busy)
+    }
+
+    /// Histogram of op sizes by power-of-two bucket (bucket i holds sizes
+    /// in `[2^i, 2^(i+1))`); index 0 also holds zero-length ops.
+    pub fn size_histogram(&self, kind: TraceKind) -> Vec<(u64, usize)> {
+        let mut buckets = std::collections::BTreeMap::new();
+        for r in &self.records {
+            if r.kind == kind {
+                let b = if r.len == 0 { 0 } else { 63 - r.len.leading_zeros() as u64 };
+                *buckets.entry(1u64 << b).or_insert(0) += 1;
+            }
+        }
+        buckets.into_iter().collect()
+    }
+
+    /// Render the trace as JSON lines (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        self.records
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap_or_default())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: TraceKind, len: u64, start: f64, end: f64) -> TraceRecord {
+        TraceRecord {
+            kind,
+            node: 0,
+            file: 0,
+            offset: 0,
+            len,
+            start,
+            end,
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(rec(TraceKind::Write, 100, 0.0, 1.0));
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn summary_aggregates_per_kind() {
+        let mut t = Trace::enabled();
+        t.record(rec(TraceKind::Write, 100, 0.0, 1.0));
+        t.record(rec(TraceKind::Write, 200, 1.0, 1.5));
+        t.record(rec(TraceKind::Read, 50, 0.0, 0.25));
+        let (c, b, busy) = t.summary(TraceKind::Write);
+        assert_eq!((c, b), (2, 300));
+        assert!((busy - 1.5).abs() < 1e-12);
+        assert_eq!(t.summary(TraceKind::Meta).0, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut t = Trace::enabled();
+        for len in [1u64, 3, 4, 5, 1024, 1500] {
+            t.record(rec(TraceKind::Write, len, 0.0, 0.0));
+        }
+        let h = t.size_histogram(TraceKind::Write);
+        // 1 -> bucket 1; 3 -> 2; 4,5 -> 4; 1024,1500 -> 1024.
+        assert_eq!(h, vec![(1, 1), (2, 1), (4, 2), (1024, 2)]);
+    }
+
+    #[test]
+    fn jsonl_round_trips_fields() {
+        let mut t = Trace::enabled();
+        t.record(rec(TraceKind::Read, 42, 1.0, 2.0));
+        let line = t.to_jsonl();
+        assert!(line.contains("\"Read\""));
+        assert!(line.contains("\"len\":42"));
+    }
+}

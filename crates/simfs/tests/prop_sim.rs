@@ -1,0 +1,134 @@
+//! Property tests: simulator invariants under arbitrary op sequences.
+
+use proptest::prelude::*;
+use simfs::{presets, SimFs};
+
+/// A generated op against one pre-created file.
+#[derive(Debug, Clone, Copy)]
+enum SimOp {
+    Write { node: u8, off: u32, len: u32 },
+    Read { node: u8, off: u32, len: u32 },
+    Fsync { node: u8 },
+    Stat,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<SimOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4, 0u32..(64 << 20), 1u32..(8 << 20))
+                .prop_map(|(node, off, len)| SimOp::Write { node, off, len }),
+            (0u8..4, 0u32..(64 << 20), 1u32..(8 << 20))
+                .prop_map(|(node, off, len)| SimOp::Read { node, off, len }),
+            (0u8..4).prop_map(|node| SimOp::Fsync { node }),
+            Just(SimOp::Stat),
+        ],
+        1..max,
+    )
+}
+
+/// Drive the ops, chaining time so arrivals are non-decreasing; returns
+/// (per-op completion times, stats).
+fn drive(fs: &mut SimFs, ops: &[SimOp]) -> Vec<f64> {
+    let (t, id) = fs.create(0.0, "/f", None).unwrap();
+    fs.open(t, "/f", true).unwrap();
+    let mut now = t;
+    let mut completions = Vec::with_capacity(ops.len());
+    for op in ops {
+        let c = match *op {
+            SimOp::Write { node, off, len } => fs
+                .write(now, node as usize, id, off as u64, len as u64)
+                .unwrap(),
+            SimOp::Read { node, off, len } => fs
+                .read(now, node as usize, id, off as u64, len as u64)
+                .unwrap(),
+            SimOp::Fsync { node } => fs.fsync(now, node as usize, id).unwrap(),
+            SimOp::Stat => fs.stat(now, "/f").unwrap().0,
+        };
+        completions.push(c);
+        now = c.max(now);
+    }
+    completions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Completions never precede their arrivals, and chained time is
+    /// monotone.
+    #[test]
+    fn time_is_monotone(ops in ops(40)) {
+        let mut fs = SimFs::new(presets::toy());
+        let completions = drive(&mut fs, &ops);
+        let mut last = 0.0f64;
+        for (i, &c) in completions.iter().enumerate() {
+            prop_assert!(c >= last - 1e-12, "op {i}: {c} < {last}");
+            prop_assert!(c.is_finite());
+            last = last.max(c);
+        }
+        prop_assert!(fs.stats().makespan >= last - 1e-9);
+    }
+
+    /// Byte accounting is exact: stats equal the sum of issued op sizes.
+    #[test]
+    fn bytes_are_conserved(ops in ops(40)) {
+        let mut fs = SimFs::new(presets::sierra());
+        drive(&mut fs, &ops);
+        let (mut ww, mut rr) = (0u64, 0u64);
+        for op in &ops {
+            match *op {
+                SimOp::Write { len, .. } => ww += len as u64,
+                SimOp::Read { len, .. } => rr += len as u64,
+                _ => {}
+            }
+        }
+        let s = fs.stats();
+        prop_assert_eq!(s.bytes_written, ww);
+        prop_assert_eq!(s.bytes_read, rr);
+        prop_assert_eq!(s.cache_hits + s.cache_misses, ww.min(1) * s.write_ops);
+    }
+
+    /// The simulator is deterministic: identical inputs, identical timings.
+    #[test]
+    fn deterministic_replay(ops in ops(30)) {
+        let mut a = SimFs::new(presets::minerva());
+        let mut b = SimFs::new(presets::minerva());
+        let ca = drive(&mut a, &ops);
+        let cb = drive(&mut b, &ops);
+        prop_assert_eq!(ca, cb);
+        prop_assert_eq!(a.stats().makespan.to_bits(), b.stats().makespan.to_bits());
+    }
+
+    /// More hardware never hurts: doubling server lanes cannot increase
+    /// any completion time (work-conserving queues).
+    #[test]
+    fn more_lanes_never_slower(ops in ops(24)) {
+        let small = presets::toy();
+        let mut big = presets::toy();
+        big.fs.lanes_per_server *= 2;
+        let mut fs_small = SimFs::new(small);
+        let mut fs_big = SimFs::new(big);
+        let cs = drive(&mut fs_small, &ops);
+        let cb = drive(&mut fs_big, &ops);
+        // Chained issue times differ once one op is faster, so compare the
+        // final makespan rather than per-op times.
+        let last_small = cs.last().copied().unwrap_or(0.0);
+        let last_big = cb.last().copied().unwrap_or(0.0);
+        prop_assert!(last_big <= last_small + 1e-9, "{last_big} > {last_small}");
+    }
+
+    /// File size is the max write end, regardless of op interleaving.
+    #[test]
+    fn size_is_max_write_end(ops in ops(30)) {
+        let mut fs = SimFs::new(presets::toy());
+        let (t, id) = fs.create(0.0, "/g", None).unwrap();
+        let mut now = t;
+        let mut expect = 0u64;
+        for op in &ops {
+            if let SimOp::Write { node, off, len } = *op {
+                now = fs.write(now, (node % 4) as usize, id, off as u64, len as u64).unwrap();
+                expect = expect.max(off as u64 + len as u64);
+            }
+        }
+        prop_assert_eq!(fs.size_of(id).unwrap(), expect);
+    }
+}

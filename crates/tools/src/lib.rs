@@ -1,0 +1,356 @@
+//! # plfs-tools — container maintenance utilities
+//!
+//! The command-line companions real PLFS ships (`plfs_flatten`,
+//! `plfs_map`/`plfs_query`, `plfs_check`, `plfs_recover`, `plfs_version`),
+//! reimplemented over this repo's container code. All commands operate on
+//! a *backend directory* on the host file system (the directory named in a
+//! `plfsrc` `backends` line) — no mount, no FUSE, no MPI.
+//!
+//! The library half exists so the commands are callable (and tested)
+//! programmatically; `main.rs` is a thin argument parser over it.
+
+#![warn(missing_docs)]
+
+use plfs::backing::join;
+use plfs::{Backing, RealBacking};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Tool errors: either a container-layer error or a usage problem.
+#[derive(Debug)]
+pub enum ToolError {
+    /// Underlying PLFS error.
+    Plfs(plfs::Error),
+    /// Bad invocation.
+    Usage(String),
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::Plfs(e) => write!(f, "{e}"),
+            ToolError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<plfs::Error> for ToolError {
+    fn from(e: plfs::Error) -> Self {
+        ToolError::Plfs(e)
+    }
+}
+
+/// Result alias for tool commands.
+pub type ToolResult = Result<String, ToolError>;
+
+/// Split a host path into (backend root, container path inside it): the
+/// container is the deepest ancestor that is a PLFS container.
+pub fn locate(host_path: &str) -> Result<(RealBacking, String), ToolError> {
+    let p = Path::new(host_path);
+    let file = p
+        .file_name()
+        .ok_or_else(|| ToolError::Usage(format!("{host_path}: no file component")))?
+        .to_string_lossy()
+        .into_owned();
+    let parent = p.parent().unwrap_or(Path::new("."));
+    let backing = RealBacking::new(parent).map_err(plfs::Error::from)?;
+    Ok((backing, format!("/{file}")))
+}
+
+/// `stat`: logical size and structure summary of a container.
+pub fn stat(b: &dyn Backing, container: &str) -> ToolResult {
+    let (idx, droppings) = plfs::container::build_global_index(b, container)?;
+    let params = plfs::container::read_params(b, container)?;
+    let mut phys = 0u64;
+    for d in &droppings {
+        phys += b.stat(&d.data_path)?.size;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "container:      {container}");
+    let _ = writeln!(out, "logical size:   {} bytes", idx.eof());
+    let _ = writeln!(out, "physical bytes: {phys}");
+    let _ = writeln!(out, "droppings:      {}", droppings.len());
+    let _ = writeln!(out, "index entries:  {}", idx.raw_entries());
+    let _ = writeln!(out, "index segments: {}", idx.segments());
+    let _ = writeln!(out, "hostdirs:       {}", params.num_hostdirs);
+    let _ = writeln!(out, "layout mode:    {:?}", params.mode);
+    Ok(out)
+}
+
+/// `map`: the logical→physical layout, one line per extent (plfs_query).
+pub fn map(b: &dyn Backing, container: &str) -> ToolResult {
+    let entries = plfs::flatten::map(b, container)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>12} {:>10} {:>12}  dropping", "logical", "length", "physical");
+    for e in &entries {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>10} {:>12}  {}",
+            e.logical_offset, e.length, e.physical_offset, e.dropping
+        );
+    }
+    let _ = writeln!(out, "{} extents", entries.len());
+    Ok(out)
+}
+
+/// `flatten`: materialise the logical bytes as a plain file next to the
+/// container (or at `dest` within the same backend).
+pub fn flatten(b: &dyn Backing, container: &str, dest: &str) -> ToolResult {
+    let n = plfs::flatten::flatten(b, container, dest)?;
+    Ok(format!("wrote {n} bytes to {dest}\n"))
+}
+
+/// `check`: integrity report.
+pub fn check(b: &dyn Backing, container: &str) -> ToolResult {
+    let report = plfs::check(b, container)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "checked {} droppings, {} index records",
+        report.droppings, report.records
+    );
+    if report.is_clean() {
+        let _ = writeln!(out, "clean");
+    } else {
+        for f in &report.findings {
+            let _ = writeln!(out, "[{:?}] {f}", f.severity());
+        }
+    }
+    Ok(out)
+}
+
+/// `repair`: fix repairable findings; `clear_markers` also clears stale
+/// open-writer markers.
+pub fn repair(b: &dyn Backing, container: &str, clear_markers: bool) -> ToolResult {
+    let rep = plfs::repair(b, container, clear_markers)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "indices truncated:      {}", rep.indices_truncated);
+    let _ = writeln!(out, "overrun entries dropped: {}", rep.entries_dropped);
+    let _ = writeln!(out, "orphan indices removed: {}", rep.orphan_indices_removed);
+    let _ = writeln!(out, "markers cleared:        {}", rep.markers_cleared);
+    let _ = writeln!(out, "meta cache rebuilt:     {}", rep.meta_rebuilt);
+    for f in &rep.unrepairable {
+        let _ = writeln!(out, "UNREPAIRABLE: {f}");
+    }
+    Ok(out)
+}
+
+/// `ls`: list a backend directory, tagging containers.
+pub fn ls(b: &dyn Backing, dir: &str) -> ToolResult {
+    let mut out = String::new();
+    for name in b.readdir(dir)? {
+        let child = join(dir, &name);
+        let st = b.stat(&child)?;
+        let tag = if st.is_dir {
+            if plfs::container::is_container(b, &child) {
+                "container"
+            } else {
+                "dir"
+            }
+        } else {
+            "file"
+        };
+        let size = if tag == "container" {
+            plfs::container::build_global_index(b, &child)
+                .map(|(i, _)| i.eof())
+                .unwrap_or(0)
+        } else {
+            st.size
+        };
+        let _ = writeln!(out, "{tag:>10} {size:>12}  {name}");
+    }
+    Ok(out)
+}
+
+/// `du`: logical vs physical usage for every container under `dir` —
+/// log-structured overwrites make the two diverge, and this is how an
+/// operator spots containers worth re-flattening.
+pub fn du(b: &dyn Backing, dir: &str) -> ToolResult {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>14} {:>14} {:>8}  container",
+        "logical", "physical", "ratio"
+    );
+    let mut total_logical = 0u64;
+    let mut total_physical = 0u64;
+    for name in b.readdir(dir)? {
+        let child = join(dir, &name);
+        if !plfs::container::is_container(b, &child) {
+            continue;
+        }
+        let (idx, droppings) = plfs::container::build_global_index(b, &child)?;
+        let mut phys = 0u64;
+        for d in &droppings {
+            phys += b.stat(&d.data_path)?.size;
+        }
+        total_logical += idx.eof();
+        total_physical += phys;
+        let ratio = if idx.eof() > 0 {
+            phys as f64 / idx.eof() as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "{:>14} {:>14} {:>7.2}x  {}", idx.eof(), phys, ratio, name);
+    }
+    let _ = writeln!(out, "{total_logical:>14} {total_physical:>14}           total");
+    Ok(out)
+}
+
+/// `rm`: delete a container (refuses non-containers).
+pub fn rm(b: &dyn Backing, container: &str) -> ToolResult {
+    plfs::container::remove_container(b, container)?;
+    Ok(format!("removed {container}\n"))
+}
+
+/// `version`: print the container format version from the access file.
+pub fn version(b: &dyn Backing, container: &str) -> ToolResult {
+    let params = plfs::container::read_params(b, container)?;
+    Ok(format!(
+        "plfs-container v1 (num_hostdirs {}, mode {:?})\n",
+        params.num_hostdirs, params.mode
+    ))
+}
+
+/// `rccheck`: validate a plfsrc file, printing the parsed mounts.
+pub fn rccheck(text: &str) -> ToolResult {
+    let rc = plfs::PlfsRc::parse(text)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "ok: {} mount(s)", rc.mounts.len());
+    for m in &rc.mounts {
+        let _ = writeln!(
+            out,
+            "  {} -> {} ({} hostdirs, {:?})",
+            m.mount_point,
+            m.backends.join(","),
+            m.params.num_hostdirs,
+            m.params.mode
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plfs::{MemBacking, OpenFlags, Plfs};
+    use std::sync::Arc;
+
+    fn container() -> Arc<MemBacking> {
+        let backing = Arc::new(MemBacking::new());
+        let plfs = Plfs::new(backing.clone());
+        let fd = plfs
+            .open("/c", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+            .unwrap();
+        for pid in 0..2u64 {
+            fd.add_ref(pid);
+            plfs.write(&fd, &[7u8; 64], pid * 64, pid).unwrap();
+            plfs.close(&fd, pid).unwrap_or(0);
+        }
+        plfs.close(&fd, 0).unwrap();
+        backing
+    }
+
+    #[test]
+    fn stat_reports_structure() {
+        let b = container();
+        let out = stat(b.as_ref(), "/c").unwrap();
+        assert!(out.contains("logical size:   128 bytes"));
+        assert!(out.contains("droppings:      2"));
+    }
+
+    #[test]
+    fn map_lists_extents() {
+        let b = container();
+        let out = map(b.as_ref(), "/c").unwrap();
+        assert!(out.contains("dropping.data.0"));
+        assert!(out.contains("2 extents"));
+    }
+
+    #[test]
+    fn flatten_writes_plain_file() {
+        let b = container();
+        let out = flatten(b.as_ref(), "/c", "/flat").unwrap();
+        assert!(out.contains("wrote 128 bytes"));
+        assert_eq!(b.stat("/flat").unwrap().size, 128);
+    }
+
+    #[test]
+    fn check_and_repair_flow() {
+        let b = container();
+        assert!(check(b.as_ref(), "/c").unwrap().contains("clean"));
+        // Tear an index.
+        let d = plfs::container::list_droppings(b.as_ref(), "/c").unwrap();
+        let ip = d[0].index_path.clone().unwrap();
+        let f = b.open(&ip, true).unwrap();
+        f.append(&[1, 2, 3]).unwrap();
+        drop(f);
+        assert!(check(b.as_ref(), "/c").unwrap().contains("torn index"));
+        let out = repair(b.as_ref(), "/c", true).unwrap();
+        assert!(out.contains("indices truncated:      1"));
+        assert!(check(b.as_ref(), "/c").unwrap().contains("clean"));
+    }
+
+    #[test]
+    fn ls_tags_containers() {
+        let b = container();
+        b.mkdir("/plain_dir").unwrap();
+        b.create("/plain_file", true).unwrap();
+        let out = ls(b.as_ref(), "/").unwrap();
+        assert!(out.contains("container"));
+        assert!(out.contains("dir"));
+        assert!(out.contains("file"));
+        assert!(out.contains("128"), "container logical size shown: {out}");
+    }
+
+    #[test]
+    fn du_reports_overwrite_amplification() {
+        let b = container();
+        // Overwrite the same region repeatedly: physical grows, logical
+        // stays put (the log keeps every version).
+        let plfs = Plfs::new(b.clone());
+        let fd = plfs.open("/c", OpenFlags::WRONLY, 9).unwrap();
+        for _ in 0..4 {
+            plfs.write(&fd, &[1u8; 64], 0, 9).unwrap();
+        }
+        plfs.close(&fd, 9).unwrap();
+        let out = du(b.as_ref(), "/").unwrap();
+        assert!(out.contains(" c"), "{out}");
+        // logical 128, physical 128 + 4*64 = 384 -> ratio 3.00x
+        assert!(out.contains("3.00x"), "{out}");
+    }
+
+    #[test]
+    fn rm_refuses_plain_dirs() {
+        let b = container();
+        b.mkdir("/plain").unwrap();
+        assert!(rm(b.as_ref(), "/plain").is_err());
+        rm(b.as_ref(), "/c").unwrap();
+        assert!(!b.exists("/c"));
+    }
+
+    #[test]
+    fn version_reads_access_file() {
+        let b = container();
+        let out = version(b.as_ref(), "/c").unwrap();
+        assert!(out.contains("plfs-container v1"));
+    }
+
+    #[test]
+    fn rccheck_accepts_and_rejects() {
+        assert!(rccheck("mount_point /p\nbackends /b\n").unwrap().contains("ok: 1"));
+        assert!(rccheck("backends /b\n").is_err());
+    }
+
+    #[test]
+    fn locate_splits_host_paths() {
+        let dir = std::env::temp_dir().join(format!("plfs-tools-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let target = dir.join("cont");
+        let (b, inner) = locate(target.to_str().unwrap()).unwrap();
+        assert_eq!(inner, "/cont");
+        assert!(b.root().ends_with(dir.file_name().unwrap()));
+    }
+}

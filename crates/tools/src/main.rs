@@ -1,0 +1,88 @@
+//! `plfs-tools`: maintenance commands for PLFS containers on a host
+//! backend directory.
+//!
+//! ```text
+//! plfs-tools stat    /path/to/backend/file      # structure summary
+//! plfs-tools map     /path/to/backend/file      # logical→physical extents
+//! plfs-tools flatten /path/to/backend/file OUT  # extract raw bytes
+//! plfs-tools check   /path/to/backend/file      # integrity report
+//! plfs-tools repair  /path/to/backend/file [--clear-markers]
+//! plfs-tools ls      /path/to/backend           # list, tagging containers
+//! plfs-tools du      /path/to/backend           # logical vs physical usage
+//! plfs-tools rm      /path/to/backend/file      # delete a container
+//! plfs-tools version /path/to/backend/file
+//! plfs-tools rccheck /path/to/plfsrc            # validate a config file
+//! ```
+
+use plfs::RealBacking;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("plfs-tools: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> plfs_tools::ToolResult {
+    let usage = || {
+        plfs_tools::ToolError::Usage(
+            "commands: stat|map|flatten|check|repair|ls|du|rm|version|rccheck (see --help)"
+                .to_string(),
+        )
+    };
+    let cmd = args.first().ok_or_else(usage)?;
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        return Ok(include_str!("main.rs")
+            .lines()
+            .skip(3)
+            .take_while(|l| l.starts_with("//!"))
+            .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n");
+    }
+    let path = args
+        .get(1)
+        .ok_or_else(|| plfs_tools::ToolError::Usage(format!("{cmd} needs a path")))?;
+
+    if cmd == "rccheck" {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| plfs_tools::ToolError::Usage(format!("{path}: {e}")))?;
+        return plfs_tools::rccheck(&text);
+    }
+    if cmd == "ls" || cmd == "du" {
+        let b = RealBacking::new(path.as_str()).map_err(plfs::Error::from)?;
+        return if cmd == "ls" {
+            plfs_tools::ls(&b, "/")
+        } else {
+            plfs_tools::du(&b, "/")
+        };
+    }
+
+    let (b, container) = plfs_tools::locate(path)?;
+    match cmd.as_str() {
+        "stat" => plfs_tools::stat(&b, &container),
+        "map" => plfs_tools::map(&b, &container),
+        "flatten" => {
+            let dest = args
+                .get(2)
+                .map(|d| format!("/{d}"))
+                .unwrap_or_else(|| format!("{container}.flat"));
+            plfs_tools::flatten(&b, &container, &dest)
+        }
+        "check" => plfs_tools::check(&b, &container),
+        "repair" => {
+            let clear = args.iter().any(|a| a == "--clear-markers");
+            plfs_tools::repair(&b, &container, clear)
+        }
+        "rm" => plfs_tools::rm(&b, &container),
+        "version" => plfs_tools::version(&b, &container),
+        other => Err(plfs_tools::ToolError::Usage(format!(
+            "unknown command {other}"
+        ))),
+    }
+}

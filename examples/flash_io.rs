@@ -1,0 +1,106 @@
+//! FLASH-IO two ways: a *real* checkpoint through the LDPLFS shim, then the
+//! paper's Figure 5 scaling study on the simulated Sierra platform.
+//!
+//! Part 1 exercises the actual stack end-to-end: an HDF5-like checkpoint
+//! file is written through plain POSIX calls, lands in a PLFS container,
+//! and is read back bit-identically — the "no application modification"
+//! claim, demonstrated.
+//!
+//! Part 2 regenerates the paper's headline negative result: PLFS's
+//! per-process dropping creates overwhelm a dedicated Lustre MDS at scale.
+//!
+//! ```sh
+//! cargo run --release --example flash_io
+//! ```
+
+use apps::flash_io::{run, FlashConfig};
+use apps::hdf5lite::{pack_f64, read, write, Dataset, Dtype};
+use ldplfs::{LdPlfsBuilder, PosixLayer, RealPosix};
+use mpiio::Method;
+use plfs::{Plfs, RealBacking};
+use simfs::presets;
+use std::sync::Arc;
+
+fn main() {
+    real_checkpoint();
+    scaling_study();
+}
+
+/// Part 1: write and verify a real checkpoint through the shim.
+fn real_checkpoint() {
+    let root = std::env::temp_dir().join(format!("ldplfs-flash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let under = Arc::new(RealPosix::rooted(root.join("fs")).unwrap());
+    let backing = Arc::new(RealBacking::new(root.join("backend")).unwrap());
+    let shim: Arc<dyn PosixLayer> = Arc::new(
+        LdPlfsBuilder::new(under)
+            .mount("/plfs", Plfs::new(backing))
+            .build()
+            .unwrap(),
+    );
+
+    // A miniature FLASH block: 8^3 cells, four unknowns.
+    let nxb = 8usize;
+    let cells = nxb * nxb * nxb;
+    let vars = ["dens", "pres", "temp", "ener"];
+    let data: Vec<Vec<u8>> = vars
+        .iter()
+        .enumerate()
+        .map(|(v, _)| {
+            pack_f64(
+                &(0..cells)
+                    .map(|i| (v * cells + i) as f64 * 0.25)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let datasets: Vec<Dataset<'_>> = vars
+        .iter()
+        .zip(&data)
+        .map(|(name, d)| Dataset {
+            name,
+            dtype: Dtype::F64,
+            data: d,
+        })
+        .collect();
+
+    write(&shim, "/plfs/flash_hdf5_chk_0001", &datasets).unwrap();
+    let back = read(&shim, "/plfs/flash_hdf5_chk_0001").unwrap();
+    assert_eq!(back.len(), vars.len());
+    for (ds, orig) in back.iter().zip(&data) {
+        assert_eq!(&ds.data, orig, "dataset {} must round-trip", ds.name);
+    }
+    println!(
+        "part 1: checkpoint of {} datasets ({} bytes) round-tripped through a \
+         PLFS container via the shim ✓\n",
+        back.len(),
+        back.iter().map(|d| d.data.len()).sum::<usize>()
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Part 2: the Figure 5 sweep.
+fn scaling_study() {
+    let platform = presets::sierra();
+    println!(
+        "part 2: FLASH-IO weak scaling on simulated {} (Figure 5)",
+        platform.fs.name
+    );
+    println!(
+        "{:>8}{:>8}{:>12}{:>12}{:>12}",
+        "Cores", "Nodes", "MPI-IO", "ROMIO", "LDPLFS"
+    );
+    for &cores in FlashConfig::core_sweep() {
+        let cfg = FlashConfig::paper(cores);
+        let mut row = format!("{:>8}{:>8}", cores, cfg.nodes());
+        for method in [Method::MpiIo, Method::Romio, Method::Ldplfs] {
+            let b = run(&platform, &cfg, method).expect("flash run");
+            row.push_str(&format!("{:>12.1}", b.bandwidth_mbs()));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\n(paper: PLFS peaks ~1,650 MB/s near 192 cores, then the dedicated\n\
+         MDS buckles under per-process dropping creates: ~210 MB/s at 3,072)"
+    );
+}

@@ -1,0 +1,195 @@
+//! Integration: the simulation pipeline reproduces the paper's qualitative
+//! claims end-to-end (apps → mpiio → simfs), at reduced volumes.
+//!
+//! Each test encodes one sentence of the paper's evaluation as an
+//! assertion. These are the claims EXPERIMENTS.md reports against.
+
+use apps::flash_io::{self, FlashConfig};
+use apps::mpi_io_test::{self, MpiIoTestConfig, Phase};
+use apps::nas_bt::{self, BtClass, BtConfig};
+use mpiio::Method;
+use simfs::presets;
+
+fn fig3_point(nodes: usize, ppn: usize, method: Method, phase: Phase) -> f64 {
+    let mut cfg = MpiIoTestConfig::paper(nodes, ppn);
+    cfg.bytes_per_proc = 64 << 20; // reduced volume, same pattern
+    mpi_io_test::run(&presets::minerva(), &cfg, method, phase)
+        .unwrap()
+        .bandwidth_mbs()
+}
+
+#[test]
+fn ldplfs_tracks_romio_within_ten_percent() {
+    // "performance that is near identical to the PLFS ROMIO driver"
+    for nodes in [2usize, 8, 32] {
+        let ldplfs = fig3_point(nodes, 2, Method::Ldplfs, Phase::Write);
+        let romio = fig3_point(nodes, 2, Method::Romio, Phase::Write);
+        let ratio = ldplfs / romio;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "{nodes} nodes: LDPLFS/ROMIO = {ratio}"
+        );
+    }
+}
+
+#[test]
+fn ldplfs_beats_fuse_substantially() {
+    // "significantly better than FUSE (up to 2x) in almost all cases"
+    for nodes in [4usize, 16] {
+        let ldplfs = fig3_point(nodes, 1, Method::Ldplfs, Phase::Write);
+        let fuse = fig3_point(nodes, 1, Method::Fuse, Phase::Write);
+        assert!(
+            ldplfs > fuse * 1.5,
+            "{nodes} nodes: LDPLFS {ldplfs} vs FUSE {fuse}"
+        );
+    }
+}
+
+#[test]
+fn fuse_below_plain_mpiio_for_writes() {
+    // "FUSE performs worse than standard MPI-IO by 20% on average for
+    // parallel writes" (Minerva)
+    let mut fuse_sum = 0.0;
+    let mut mpiio_sum = 0.0;
+    for nodes in [4usize, 16, 64] {
+        fuse_sum += fig3_point(nodes, 1, Method::Fuse, Phase::Write);
+        mpiio_sum += fig3_point(nodes, 1, Method::MpiIo, Phase::Write);
+    }
+    assert!(
+        fuse_sum < mpiio_sum,
+        "FUSE should average below MPI-IO: {fuse_sum} vs {mpiio_sum}"
+    );
+}
+
+#[test]
+fn plfs_roughly_doubles_mpiio_on_minerva() {
+    // "the performance of PLFS on Minerva is approximately 2x greater than
+    // that of MPI-IO without PLFS in parallel"
+    let ldplfs = fig3_point(32, 1, Method::Ldplfs, Phase::Write);
+    let mpiio = fig3_point(32, 1, Method::MpiIo, Phase::Write);
+    let ratio = ldplfs / mpiio;
+    assert!(
+        (1.5..4.0).contains(&ratio),
+        "expected ~2x, got {ratio} ({ldplfs} vs {mpiio})"
+    );
+}
+
+#[test]
+fn node_wise_performance_consistent_across_ppn() {
+    // "The node-wise performance should remain largely consistent, while
+    // the number of processors per node is varied" (collective buffering,
+    // one aggregator per node)
+    for method in [Method::MpiIo, Method::Ldplfs] {
+        let one = fig3_point(8, 1, method, Phase::Write);
+        let four = fig3_point(8, 4, method, Phase::Write);
+        let ratio = four / one;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "{}: 4ppn/1ppn = {ratio}",
+            method.label()
+        );
+    }
+}
+
+#[test]
+fn bt_class_c_plfs_advantage_grows_with_scale() {
+    // Figure 4a: the PLFS advantage over MPI-IO widens as per-process
+    // writes shrink into the client cache.
+    let p = presets::sierra();
+    let small = {
+        let cfg = BtConfig::paper(BtClass::C, 16);
+        nas_bt::run(&p, &cfg, Method::Ldplfs).unwrap().bandwidth_mbs()
+            / nas_bt::run(&p, &cfg, Method::MpiIo).unwrap().bandwidth_mbs()
+    };
+    let large = {
+        let cfg = BtConfig::paper(BtClass::C, 256);
+        nas_bt::run(&p, &cfg, Method::Ldplfs).unwrap().bandwidth_mbs()
+            / nas_bt::run(&p, &cfg, Method::MpiIo).unwrap().bandwidth_mbs()
+    };
+    assert!(
+        large > small,
+        "advantage should grow with scale: {small} -> {large}"
+    );
+    assert!(large > 2.0, "PLFS should be well ahead at 256 cores: {large}");
+}
+
+#[test]
+fn bt_class_d_cache_recovery_at_scale() {
+    // Figure 4b: "when using 4,096 cores ... the write caching effects
+    // reappear": per-process writes drop under the cache threshold and
+    // PLFS bandwidth jumps well past the write-through plateau.
+    let p = presets::sierra();
+    let plateau = nas_bt::run(&p, &BtConfig::paper(BtClass::D, 1024), Method::Ldplfs)
+        .unwrap()
+        .bandwidth_mbs();
+    let recovered = nas_bt::run(&p, &BtConfig::paper(BtClass::D, 4096), Method::Ldplfs)
+        .unwrap()
+        .bandwidth_mbs();
+    assert!(
+        recovered > plateau * 2.0,
+        "expected cache recovery: {plateau} -> {recovered}"
+    );
+}
+
+#[test]
+fn flash_collapses_at_scale_on_lustre_but_not_gpfs() {
+    // Figure 5 + §IV: the dedicated MDS is the bottleneck; "On a file
+    // system like GPFS, where metadata is distributed, these performance
+    // decreases may not materialise."
+    let sierra = presets::sierra();
+    let peak = flash_io::run(&sierra, &FlashConfig::paper(192), Method::Ldplfs)
+        .unwrap()
+        .bandwidth_mbs();
+    let collapsed = flash_io::run(&sierra, &FlashConfig::paper(3072), Method::Ldplfs)
+        .unwrap()
+        .bandwidth_mbs();
+    let mpiio_at_scale = flash_io::run(&sierra, &FlashConfig::paper(3072), Method::MpiIo)
+        .unwrap()
+        .bandwidth_mbs();
+    assert!(peak > 4.0 * collapsed, "collapse: {peak} -> {collapsed}");
+    assert!(
+        collapsed < mpiio_at_scale,
+        "PLFS should fall below plain MPI-IO at scale: {collapsed} vs {mpiio_at_scale}"
+    );
+
+    // GPFS (Minerva) at its largest comparable scale: no collapse.
+    let minerva = presets::minerva();
+    let mid = flash_io::run(&minerva, &FlashConfig::paper(96), Method::Ldplfs)
+        .unwrap()
+        .bandwidth_mbs();
+    let big = flash_io::run(&minerva, &FlashConfig::paper(3072), Method::Ldplfs)
+        .unwrap()
+        .bandwidth_mbs();
+    assert!(
+        big > mid * 0.5,
+        "distributed metadata should not collapse: {mid} -> {big}"
+    );
+}
+
+#[test]
+fn flash_peak_near_192_cores() {
+    // Figure 5: "a sharp increase in write speed until 192 cores".
+    let p = presets::sierra();
+    let bw = |cores| {
+        flash_io::run(&p, &FlashConfig::paper(cores), Method::Ldplfs)
+            .unwrap()
+            .bandwidth_mbs()
+    };
+    let at_12 = bw(12);
+    let at_192 = bw(192);
+    let at_3072 = bw(3072);
+    assert!(at_192 > 2.0 * at_12, "sharp rise: {at_12} -> {at_192}");
+    assert!(at_192 > 5.0 * at_3072, "then collapse: {at_192} -> {at_3072}");
+}
+
+#[test]
+fn read_phase_also_favors_plfs_on_minerva() {
+    // §II: "an increased read bandwidth when the data is being read back
+    // on the same number of nodes used to write the file".
+    let plfs = fig3_point(32, 1, Method::Ldplfs, Phase::Read);
+    let mpiio = fig3_point(32, 1, Method::MpiIo, Phase::Read);
+    assert!(
+        plfs > mpiio,
+        "PLFS read should beat shared-file read: {plfs} vs {mpiio}"
+    );
+}
