@@ -97,11 +97,11 @@ pub fn run_write(platform: &Platform, cfg: &IorConfig, method: Method) -> SimRes
             }
             job.barrier();
             for t in 0..cfg.transfers_per_block {
-                for r in 0..cfg.procs {
+                for (r, file) in files.iter_mut().enumerate() {
                     let t0 = job.time(r);
                     // Write through the main job so the rank keeps its real
                     // node; PLFS drivers create the rank's stream lazily.
-                    let c = files[r].write_at(
+                    let c = file.write_at(
                         &mut fs,
                         &mut job,
                         r,

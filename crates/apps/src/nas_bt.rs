@@ -164,7 +164,7 @@ mod tests {
         // <2 MB at 4,096 cores class D; ~34 MB per process total.
         let d4 = BtConfig::paper(BtClass::D, 4096);
         assert!(d4.bytes_per_proc_step() < 2_000_000);
-        let total_per_proc = d4.bytes_per_proc_step() * BT_WRITE_STEPS as u64;
+        let total_per_proc = d4.bytes_per_proc_step() * BT_WRITE_STEPS;
         assert!((30_000_000..40_000_000).contains(&total_per_proc));
     }
 

@@ -119,11 +119,39 @@ fn bench_open_close(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // The observability layer's promise: with tracing off (the default) a
+    // shim op pays one relaxed atomic load — compare these two numbers to
+    // see what enabling costs, and that "off" matches the historic
+    // untraced figures above.
+    let s = shim("trace");
+    let fd = s
+        .open("/plfs/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+        .unwrap();
+    s.write(fd, &vec![1u8; 1 << 20]).unwrap();
+    let mut g = c.benchmark_group("shim_trace");
+    let run = |b: &mut criterion::Bencher| {
+        let mut pos = 0u64;
+        b.iter(|| {
+            pos = (pos + 4096) % (1 << 20);
+            black_box(s.lseek(fd, pos as i64, Whence::Set).unwrap())
+        });
+    };
+    iotrace::global().set_enabled(false);
+    g.bench_function("lseek_tracing_off", run);
+    iotrace::global().set_enabled(true);
+    g.bench_function("lseek_tracing_on", run);
+    iotrace::global().set_enabled(false);
+    iotrace::global().reset();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_interception_dispatch,
     bench_write_overhead,
     bench_cursor_bookkeeping,
-    bench_open_close
+    bench_open_close,
+    bench_trace_overhead
 );
 criterion_main!(benches);

@@ -16,7 +16,7 @@ use apps::nas_bt::{self, BtClass, BtConfig};
 use apps::unix_tools::sim::{tool_time, FileKind, Tool};
 use mpiio::Method;
 use rayon::prelude::*;
-use serde::Serialize;
+use jsonlite::{ToJson, Value};
 use simfs::{presets, Platform};
 
 /// How big to run the experiments.
@@ -38,7 +38,7 @@ impl Scale {
 }
 
 /// One plotted series: method label plus (x, MB/s) points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -47,7 +47,7 @@ pub struct Series {
 }
 
 /// A whole panel (one sub-figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     /// Panel title, e.g. "Write (1 Proc/Node)".
     pub title: String,
@@ -118,7 +118,7 @@ pub fn fig3(scale: Scale) -> Vec<Panel> {
 // ---------------------------------------------------------------------------
 
 /// One row of Table II.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Tool label.
     pub tool: String,
@@ -234,7 +234,7 @@ pub fn fig5(scale: Scale) -> Panel {
 // ---------------------------------------------------------------------------
 
 /// Result of the PLFS-benefit crossover search on a platform.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Crossover {
     /// Platform name.
     pub platform: String,
@@ -282,7 +282,7 @@ pub fn crossover(platform: &Platform, label: &str) -> Crossover {
 // ---------------------------------------------------------------------------
 
 /// One row of the staging comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StagingRow {
     /// Core count.
     pub cores: usize,
@@ -348,7 +348,7 @@ pub fn render_staging(rows: &[StagingRow]) -> String {
 // ---------------------------------------------------------------------------
 
 /// One row of the IOR exploration table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IorRow {
     /// Layout label.
     pub layout: String,
@@ -472,6 +472,78 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
         ));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// JSON output (paperbench --json / --emit-json).
+// ---------------------------------------------------------------------------
+
+impl ToJson for Series {
+    fn to_json_value(&self) -> Value {
+        let points: Vec<Value> = self
+            .points
+            .iter()
+            .map(|&(x, y)| Value::Array(vec![Value::from(x as u64), Value::from(y)]))
+            .collect();
+        Value::object()
+            .with("label", self.label.as_str())
+            .with("points", Value::Array(points))
+    }
+}
+
+impl ToJson for Panel {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("title", self.title.as_str())
+            .with("xlabel", self.xlabel.as_str())
+            .with("series", self.series.to_json_value())
+    }
+}
+
+impl ToJson for Table2Row {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("tool", self.tool.as_str())
+            .with("plfs_secs", self.plfs_secs)
+            .with("standard_secs", self.standard_secs)
+    }
+}
+
+impl ToJson for Crossover {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("platform", self.platform.as_str())
+            .with(
+                "cores",
+                Value::Array(self.cores.iter().map(|&c| Value::from(c as u64)).collect()),
+            )
+            .with(
+                "speedup",
+                Value::Array(self.speedup.iter().map(|&s| Value::from(s)).collect()),
+            )
+            .with("harmful_at", self.harmful_at.map(|c| c as u64))
+    }
+}
+
+impl ToJson for StagingRow {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("cores", self.cores as u64)
+            .with("lustre_mpiio", self.lustre_mpiio)
+            .with("lustre_plfs", self.lustre_plfs)
+            .with("staging", self.staging)
+    }
+}
+
+impl ToJson for IorRow {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("layout", self.layout.as_str())
+            .with("api", self.api.as_str())
+            .with("transfer", self.transfer)
+            .with("mpiio", self.mpiio)
+            .with("ldplfs", self.ldplfs)
+    }
 }
 
 #[cfg(test)]

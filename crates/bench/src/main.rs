@@ -9,10 +9,12 @@
 //! paperbench crossover           # where PLFS starts to hurt (future work)
 //! paperbench all [--quick]       # everything above
 //! paperbench ... --json PATH     # also dump JSON for EXPERIMENTS.md
+//! paperbench ... --emit-json DIR # figure data + per-layer op/latency trace
 //! ```
 
 use apps::nas_bt::BtClass;
 use bench::{crossover, fig3, fig4, fig5_with, render_panel, render_table2, table2, Scale};
+use jsonlite::{ToJson, Value};
 use simfs::presets;
 
 struct Args {
@@ -22,6 +24,7 @@ struct Args {
     class: Option<BtClass>,
     subdirs: u32,
     json: Option<String>,
+    emit_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +35,7 @@ fn parse_args() -> Args {
         class: None,
         subdirs: 32,
         json: None,
+        emit_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -67,6 +71,13 @@ fn parse_args() -> Args {
                         .clone(),
                 );
             }
+            "--emit-json" => {
+                args.emit_json = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--emit-json needs a directory"))
+                        .clone(),
+                );
+            }
             other => die(&format!("unknown flag {other}")),
         }
     }
@@ -86,21 +97,53 @@ fn scale(quick: bool) -> Scale {
     }
 }
 
-fn dump_json<T: serde::Serialize>(path: &Option<String>, name: &str, value: &T) {
-    if let Some(p) = path {
-        let file = format!("{p}/{name}.json");
-        if let Some(dir) = std::path::Path::new(&file).parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        match serde_json::to_string_pretty(value) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&file, json) {
-                    eprintln!("paperbench: writing {file}: {e}");
-                }
-            }
-            Err(e) => eprintln!("paperbench: serializing {name}: {e}"),
-        }
+fn write_json_file(file: &str, value: &Value) {
+    if let Some(dir) = std::path::Path::new(file).parent() {
+        let _ = std::fs::create_dir_all(dir);
     }
+    if let Err(e) = std::fs::write(file, value.to_json_pretty()) {
+        eprintln!("paperbench: writing {file}: {e}");
+    }
+}
+
+fn dump_json<T: ToJson>(path: &Option<String>, name: &str, value: &T) {
+    if let Some(p) = path {
+        write_json_file(&format!("{p}/{name}.json"), &value.to_json_value());
+    }
+}
+
+/// Start a fresh per-figure trace window: clear the global sink and turn it
+/// on for the duration of the figure run (no-op without `--emit-json`).
+fn trace_begin(args: &Args) {
+    if args.emit_json.is_some() {
+        let sink = iotrace::global();
+        sink.reset();
+        sink.set_enabled(true);
+    }
+}
+
+/// Close the trace window and write `BENCH_<figure>.json`: the figure data
+/// plus per-layer op counts, byte totals and log2-ns latency histograms.
+fn trace_emit<T: ToJson>(args: &Args, figure: &str, data: &T) {
+    let Some(dir) = &args.emit_json else { return };
+    let sink = iotrace::global();
+    sink.set_enabled(false);
+    let snap = sink.snapshot();
+    let doc = Value::object()
+        .with("figure", figure)
+        .with("generated_by", "paperbench")
+        .with("data", data.to_json_value())
+        .with("trace", snap.to_json());
+    let name = sanitize(figure);
+    write_json_file(&format!("{dir}/BENCH_{name}.json"), &doc);
+    sink.reset();
+}
+
+/// Keep emitted file names shell-friendly regardless of figure labels.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 fn cmd_table1() {
@@ -129,11 +172,13 @@ fn short_mds(p: &simfs::Platform) -> &'static str {
 
 fn cmd_fig3(args: &Args) {
     println!("# Figure 3: MPI-IO Test bandwidths on Minerva (MB/s)\n");
+    trace_begin(args);
     let panels = fig3(scale(args.quick));
     for p in &panels {
         println!("{}", render_panel(p));
     }
     dump_json(&args.json, "fig3", &panels);
+    trace_emit(args, "fig3", &panels);
 }
 
 fn cmd_table2(args: &Args) {
@@ -141,9 +186,11 @@ fn cmd_table2(args: &Args) {
         "# Table II: UNIX tool times on a {} GB file (seconds)\n",
         args.gb
     );
+    trace_begin(args);
     let rows = table2(args.gb * 1_000_000_000);
     println!("{}", render_table2(&rows));
     dump_json(&args.json, "table2", &rows);
+    trace_emit(args, "table2", &rows);
 }
 
 fn cmd_fig4(args: &Args) {
@@ -160,9 +207,11 @@ fn cmd_fig4(args: &Args) {
             },
             class.label()
         );
+        trace_begin(args);
         let p = fig4(class, scale(args.quick));
         println!("{}", render_panel(&p));
         dump_json(&args.json, &format!("fig4{}", class.label()), &p);
+        trace_emit(args, &format!("fig4{}", class.label()), &p);
     }
 }
 
@@ -171,26 +220,32 @@ fn cmd_fig5(args: &Args) {
         "# Figure 5: FLASH-IO on Sierra (MB/s), {} hostdirs\n",
         args.subdirs
     );
+    trace_begin(args);
     let p = fig5_with(args.subdirs, scale(args.quick));
     println!("{}", render_panel(&p));
     dump_json(&args.json, "fig5", &p);
+    trace_emit(args, "fig5", &p);
 }
 
 fn cmd_ior(args: &Args) {
     println!("# IOR parameter sweep on Sierra (write, 96 processes)\n");
+    trace_begin(args);
     let rows = bench::ior_sweep(96);
     println!("{}", bench::render_ior(&rows));
     dump_json(&args.json, "ior", &rows);
+    trace_emit(args, "ior", &rows);
 }
 
 fn cmd_staging(args: &Args) {
     println!("# Zest-style staging vs PLFS vs plain Lustre (FLASH-IO)\n");
+    trace_begin(args);
     let rows = bench::staging_comparison();
     println!("{}", bench::render_staging(&rows));
     println!(
         "(per-node staging lanes scale linearly with node count and dodge\n          shared-FS contention entirely — but the data still needs a later\n          copy-out to the real file system, which PLFS does not)\n"
     );
     dump_json(&args.json, "staging", &rows);
+    trace_emit(args, "staging", &rows);
 }
 
 fn cmd_crossover(args: &Args) {
@@ -199,6 +254,7 @@ fn cmd_crossover(args: &Args) {
         (presets::sierra(), "Sierra (Lustre, dedicated MDS)"),
         (presets::minerva(), "Minerva (GPFS, distributed metadata)"),
     ] {
+        trace_begin(args);
         let c = crossover(&platform, label);
         println!("{label}");
         println!("{:>8}{:>12}", "Cores", "Speedup");
@@ -210,6 +266,7 @@ fn cmd_crossover(args: &Args) {
             None => println!("  -> PLFS never harmful in this sweep\n"),
         }
         dump_json(&args.json, &format!("crossover_{label}"), &c);
+        trace_emit(args, &format!("crossover_{}", c.platform), &c);
     }
 }
 
@@ -237,7 +294,7 @@ fn main() {
         "--help" | "-h" | "help" => {
             println!(
                 "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|all] \
-                 [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR]"
+                 [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR] [--emit-json DIR]"
             );
         }
         other => die(&format!("unknown command {other}")),

@@ -1,0 +1,87 @@
+//! Disabled tracing must not allocate on the hot path: the whole point of
+//! runtime-off-by-default observability is that production code can leave
+//! the instrumentation in place. A counting global allocator proves it.
+
+use iotrace::{global, Layer, OpEvent, OpKind, TraceSink};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_hot_path_does_not_allocate() {
+    // Construction allocates (ring buffer); that's setup, not hot path.
+    let sink = TraceSink::new(1 << 10);
+    let _ = global(); // force one-time global init outside the window
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        // The instrumented-code pattern: start() gates everything.
+        if let Some(t0) = sink.start() {
+            sink.record(
+                t0,
+                OpEvent::new(Layer::Shim, OpKind::Write)
+                    .path("/plfs/hot")
+                    .bytes(i),
+            );
+        }
+        if let Some(t0) = global().start() {
+            global().record(t0, OpEvent::new(Layer::Plfs, OpKind::Read).bytes(i));
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing allocated {} times on the hot path",
+        after - before
+    );
+}
+
+#[test]
+fn enabled_steady_state_does_not_allocate_after_interning() {
+    let sink = TraceSink::new(1 << 10);
+    sink.set_enabled(true);
+    // Warm-up: interns the path (allocates once) and touches the ring.
+    for _ in 0..4 {
+        if let Some(t0) = sink.start() {
+            sink.record(t0, OpEvent::new(Layer::Shim, OpKind::Write).path("/plfs/hot"));
+        }
+    }
+    sink.drain();
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..256 {
+        if let Some(t0) = sink.start() {
+            sink.record(t0, OpEvent::new(Layer::Shim, OpKind::Write).path("/plfs/hot"));
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state enabled tracing allocated {} times",
+        after - before
+    );
+}

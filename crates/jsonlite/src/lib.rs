@@ -1,0 +1,652 @@
+//! # jsonlite — dependency-free JSON for machine-readable outputs
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! cannot use `serde`/`serde_json`. This crate supplies the JSON needed by
+//! the observability subsystem: a [`Value`] model preserving object key
+//! order, a compact and a pretty writer, a recursive-descent parser, and a
+//! [`ToJson`] trait that replaces `#[derive(Serialize)]` for the handful of
+//! result structs the `paperbench`/`plfs-tools` binaries emit.
+//!
+//! Numbers are kept in three exact variants (`Int`, `UInt`, `Float`) so
+//! u64 byte counts and nanosecond latencies round-trip without precision
+//! loss through `f64`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (serialized without decimal point).
+    Int(i64),
+    /// Unsigned integer (serialized without decimal point).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved on write.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Insert/append a key on an object (panics on non-objects).
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Value {
+        match self {
+            Value::Object(fields) => fields.push((key.into(), value.into())),
+            other => panic!("set() on non-object JSON value: {other:?}"),
+        }
+        self
+    }
+
+    /// Builder-style [`Value::set`].
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Value {
+        self.set(key, value);
+        self
+    }
+
+    /// Look up a key on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 (accepts any non-negative integer variant).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as the object's fields.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Compact one-line serialization.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Indented multi-line serialization.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Float(f) => write_f64(out, *f),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                // Arrays of scalars stay on one line; nested structures wrap.
+                let scalar = items
+                    .iter()
+                    .all(|v| !matches!(v, Value::Array(_) | Value::Object(_)));
+                if scalar {
+                    self.write(out);
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Keep integral floats readable and round-trippable as floats.
+            let _ = write!(out, "{f:.1}");
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    } else {
+        // JSON has no Inf/NaN; emit null like serde_json does.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! from_int {
+    ($($t:ty => $variant:ident as $repr:ty),+ $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::$variant(v as $repr)
+            }
+        }
+    )+};
+}
+
+from_int! {
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+    usize => UInt as u64,
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+/// Replacement for `serde::Serialize` on workspace result types.
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (*self).to_json_value()
+    }
+}
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("short \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this
+                            // workspace's data; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let start = self.pos;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for (v, s) in [
+            (Value::Null, "null"),
+            (Value::Bool(true), "true"),
+            (Value::Int(-3), "-3"),
+            (Value::UInt(u64::MAX), "18446744073709551615"),
+            (Value::Str("a\"b\n".into()), "\"a\\\"b\\n\""),
+        ] {
+            assert_eq!(v.to_json(), s);
+            assert_eq!(parse(s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn object_preserves_order_and_roundtrips() {
+        let v = Value::object()
+            .with("z", 1u64)
+            .with("a", Value::from(vec![1u64, 2, 3]))
+            .with("nested", Value::object().with("f", 2.5));
+        let s = v.to_json();
+        assert_eq!(s, r#"{"z":1,"a":[1,2,3],"nested":{"f":2.5}}"#);
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::object()
+            .with("series", Value::Array(vec![Value::object().with("label", "A")]))
+            .with("points", Value::from(vec![1u64, 2]));
+        let pretty = v.to_json_pretty();
+        assert!(pretty.contains("\n"));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_preserved() {
+        let v = Value::Float(1234.5678);
+        let back = parse(&v.to_json()).unwrap();
+        assert!((back.as_f64().unwrap() - 1234.5678).abs() < 1e-9);
+        // Integral float keeps a decimal point so it parses back as Float.
+        assert_eq!(Value::Float(2.0).to_json(), "2.0");
+        assert_eq!(parse("2.0").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let big = (1u64 << 63) + 12345;
+        let v = Value::from(big);
+        assert_eq!(parse(&v.to_json()).unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse("{\"a\": }").unwrap_err();
+        assert_eq!(err.at, 6);
+        assert!(parse("[1,2").is_err());
+        assert!(parse("01x").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"n": 3, "s": "x", "b": false, "f": 1.5, "arr": [1]}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("arr").unwrap().as_array().unwrap().len(), 1);
+        assert!(v.get("missing").is_none());
+    }
+}

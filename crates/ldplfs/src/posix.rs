@@ -149,7 +149,10 @@ pub trait PosixLayer: Send + Sync {
 }
 
 /// Resolve `lseek` arithmetic against a current offset and file size,
-/// enforcing the POSIX rule that the result must not be negative.
+/// enforcing the POSIX rules that the result must not be negative and must
+/// be representable as an `off_t` (i64) — `lseek(2)` returns the offset in
+/// an `off_t`, so anything above `i64::MAX` is `EINVAL`, not a success the
+/// cursor store then rejects.
 pub fn seek_target(cur: u64, size: u64, offset: i64, whence: Whence) -> PosixResult<u64> {
     let base = match whence {
         Whence::Set => 0i128,
@@ -157,7 +160,7 @@ pub fn seek_target(cur: u64, size: u64, offset: i64, whence: Whence) -> PosixRes
         Whence::End => size as i128,
     };
     let target = base + offset as i128;
-    if target < 0 || target > u64::MAX as i128 {
+    if target < 0 || target > i64::MAX as i128 {
         return Err(Errno::EINVAL);
     }
     Ok(target as u64)
@@ -180,6 +183,34 @@ mod tests {
     fn seek_target_rejects_negative() {
         assert_eq!(seek_target(0, 0, -1, Whence::Cur), Err(Errno::EINVAL));
         assert_eq!(seek_target(5, 10, -11, Whence::End), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn seek_target_bounded_by_off_t() {
+        // The largest representable offset is fine...
+        assert_eq!(
+            seek_target(0, 0, i64::MAX, Whence::Set).unwrap(),
+            i64::MAX as u64
+        );
+        assert_eq!(
+            seek_target(i64::MAX as u64, 0, 0, Whence::Cur).unwrap(),
+            i64::MAX as u64
+        );
+        // ...but one past it is EINVAL, not a u64 that `lseek` could never
+        // have returned.
+        assert_eq!(
+            seek_target(i64::MAX as u64, 0, 1, Whence::Cur),
+            Err(Errno::EINVAL)
+        );
+        assert_eq!(
+            seek_target(0, i64::MAX as u64, 1, Whence::End),
+            Err(Errno::EINVAL)
+        );
+        assert_eq!(
+            seek_target(u64::MAX, 0, 0, Whence::Cur),
+            Err(Errno::EINVAL),
+            "cursor already out of off_t range"
+        );
     }
 
     #[test]

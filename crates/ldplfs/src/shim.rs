@@ -22,6 +22,7 @@ use crate::posix::{
     Errno, Fd, OpenFlags, PosixDirent, PosixLayer, PosixResult, PosixStat, Whence,
 };
 use crate::stats::{OpClass, ShimStats};
+use iotrace::{Layer, OpEvent, OpKind};
 use parking_lot::RwLock;
 use plfs::mount::path_has_prefix;
 use plfs::{Plfs, PlfsFd};
@@ -29,6 +30,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 thread_local! {
     static VIRTUAL_PID: Cell<Option<u64>> = const { Cell::new(None) };
@@ -123,7 +125,7 @@ impl LdPlfs {
 
     /// Which mount (if any) serves `path`; returns `(mount index,
     /// mount-relative logical path)`. Longest prefix wins.
-    fn match_mount<'p>(&self, path: &'p str) -> Option<(usize, String)> {
+    fn match_mount(&self, path: &str) -> Option<(usize, String)> {
         let mut best: Option<(usize, &str)> = None;
         for (i, m) in self.mounts.iter().enumerate() {
             if path_has_prefix(path, &m.mount_point)
@@ -142,6 +144,22 @@ impl LdPlfs {
     fn entry_state(&self, fd: Fd) -> Option<(Arc<OpenState>, u64)> {
         let table = self.table.read();
         table.get(&fd).map(|e| (e.state.clone(), e.pid))
+    }
+
+    /// Count `op` as intercepted (`hit = true`) or forwarded, and — when
+    /// tracing was on at span start — close the span with the event built
+    /// by `ev`, stamped with the hit flag and the span's latency. Called
+    /// after the operation on both paths, so hit AND miss latencies land in
+    /// the shim-layer histograms.
+    fn track<'a>(&self, op: OpClass, hit: bool, t0: Option<Instant>, ev: impl FnOnce() -> OpEvent<'a>) {
+        if hit {
+            self.stats.hit(op);
+        } else {
+            self.stats.miss(op);
+        }
+        if let Some(t0) = t0 {
+            iotrace::global().record(t0, ev().hit(hit));
+        }
     }
 
     /// Read the PLFS cursor from the reserved descriptor
@@ -202,312 +220,359 @@ impl LdPlfs {
 
 impl PosixLayer for LdPlfs {
     fn open(&self, path: &str, flags: OpenFlags, mode: u32) -> PosixResult<Fd> {
-        match self.match_mount(path) {
-            Some((m, rel)) => {
-                self.stats.hit(OpClass::Open);
-                self.open_plfs(m, &rel, flags)
-            }
-            None => {
-                self.stats.miss(OpClass::Open);
-                self.under.open(path, flags, mode)
-            }
-        }
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.match_mount(path) {
+            Some((m, rel)) => (self.open_plfs(m, &rel, flags), true),
+            None => (self.under.open(path, flags, mode), false),
+        };
+        self.track(OpClass::Open, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Open)
+                .path(path)
+                .fd(*r.as_ref().unwrap_or(&-1) as i64)
+        });
+        r
     }
 
     fn close(&self, fd: Fd) -> PosixResult<()> {
+        let t0 = iotrace::global().start();
         let entry = self.table.write().remove(&fd);
-        match entry {
+        let (r, hit) = match entry {
             Some(e) => {
-                self.stats.hit(OpClass::Close);
-                e.state.plfs_fd.close(e.pid)?;
-                self.under.close(e.under_fd)?;
+                // Release both halves unconditionally: a PLFS-side close
+                // error must not leak the reserved descriptor or the scratch
+                // file (and vice versa). The first error is reported.
+                let plfs_res: PosixResult<()> =
+                    e.state.plfs_fd.close(e.pid).map(|_| ()).map_err(Errno::from);
+                let under_res = self.under.close(e.under_fd);
                 if e.state.fds.fetch_sub(1, Ordering::AcqRel) == 1 {
                     let _ = self.under.unlink(&e.state.scratch_path);
                 }
-                Ok(())
+                (plfs_res.and(under_res), true)
             }
-            None => {
-                self.stats.miss(OpClass::Close);
-                self.under.close(fd)
-            }
-        }
+            None => (self.under.close(fd), false),
+        };
+        self.track(OpClass::Close, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Close).fd(fd as i64)
+        });
+        r
     }
 
     fn read(&self, fd: Fd, buf: &mut [u8]) -> PosixResult<usize> {
-        match self.entry_state(fd) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
             Some((st, _pid)) => {
-                self.stats.hit(OpClass::Read);
-                let off = self.cursor(fd)?;
-                let n = st.plfs_fd.read(buf, off)?;
-                self.set_cursor(fd, off + n as u64)?;
-                Ok(n)
+                let r = (|| {
+                    let off = self.cursor(fd)?;
+                    let n = st.plfs_fd.read(buf, off)?;
+                    self.set_cursor(fd, off + n as u64)?;
+                    Ok(n)
+                })();
+                (r, true)
             }
-            None => {
-                self.stats.miss(OpClass::Read);
-                self.under.read(fd, buf)
-            }
-        }
+            None => (self.under.read(fd, buf), false),
+        };
+        self.track(OpClass::Read, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Read)
+                .fd(fd as i64)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
     }
 
     fn write(&self, fd: Fd, buf: &[u8]) -> PosixResult<usize> {
-        match self.entry_state(fd) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
             Some((st, _open_pid)) => {
-                self.stats.hit(OpClass::Write);
-                let pid = current_pid();
-                let off = if st.append {
-                    st.plfs_fd.size()?
-                } else {
-                    self.cursor(fd)?
-                };
-                let n = st.plfs_fd.write(buf, off, pid)?;
-                self.set_cursor(fd, off + n as u64)?;
-                Ok(n)
+                let r = (|| {
+                    let pid = current_pid();
+                    let (off, n) = if st.append {
+                        // O_APPEND: EOF resolution and the write happen
+                        // atomically inside PLFS, so concurrent appenders
+                        // cannot clobber each other (plain size()-then-write
+                        // raced between the two steps).
+                        st.plfs_fd.append(buf, pid)?
+                    } else {
+                        let off = self.cursor(fd)?;
+                        let n = st.plfs_fd.write(buf, off, pid)?;
+                        (off, n)
+                    };
+                    self.set_cursor(fd, off + n as u64)?;
+                    Ok(n)
+                })();
+                (r, true)
             }
-            None => {
-                self.stats.miss(OpClass::Write);
-                self.under.write(fd, buf)
-            }
-        }
+            None => (self.under.write(fd, buf), false),
+        };
+        self.track(OpClass::Write, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Write)
+                .fd(fd as i64)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
     }
 
     fn pread(&self, fd: Fd, buf: &mut [u8], off: u64) -> PosixResult<usize> {
-        match self.entry_state(fd) {
-            Some((st, _)) => {
-                self.stats.hit(OpClass::Read);
-                Ok(st.plfs_fd.read(buf, off)?)
-            }
-            None => {
-                self.stats.miss(OpClass::Read);
-                self.under.pread(fd, buf, off)
-            }
-        }
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
+            Some((st, _)) => (st.plfs_fd.read(buf, off).map_err(Errno::from), true),
+            None => (self.under.pread(fd, buf, off), false),
+        };
+        self.track(OpClass::Read, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Read)
+                .fd(fd as i64)
+                .offset(off)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
     }
 
     fn pwrite(&self, fd: Fd, buf: &[u8], off: u64) -> PosixResult<usize> {
-        match self.entry_state(fd) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
             Some((st, _open_pid)) => {
-                self.stats.hit(OpClass::Write);
                 let pid = current_pid();
-                Ok(st.plfs_fd.write(buf, off, pid)?)
+                (st.plfs_fd.write(buf, off, pid).map_err(Errno::from), true)
             }
-            None => {
-                self.stats.miss(OpClass::Write);
-                self.under.pwrite(fd, buf, off)
-            }
-        }
+            None => (self.under.pwrite(fd, buf, off), false),
+        };
+        self.track(OpClass::Write, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Write)
+                .fd(fd as i64)
+                .offset(off)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
     }
 
     fn lseek(&self, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
-        match self.entry_state(fd) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
             Some((st, _)) => {
-                self.stats.hit(OpClass::Seek);
-                // SEEK_END must use the *logical* PLFS size, not the scratch
-                // file's (which is empty); resolve here, then store.
-                let cur = self.cursor(fd)?;
-                let size = st.plfs_fd.size()?;
-                let target = crate::posix::seek_target(cur, size, offset, whence)?;
-                self.set_cursor(fd, target)?;
-                Ok(target)
+                let r = (|| {
+                    // SEEK_END must use the *logical* PLFS size, not the
+                    // scratch file's (which is empty); resolve here, then
+                    // store.
+                    let cur = self.cursor(fd)?;
+                    let size = st.plfs_fd.size()?;
+                    let target = crate::posix::seek_target(cur, size, offset, whence)?;
+                    self.set_cursor(fd, target)?;
+                    Ok(target)
+                })();
+                (r, true)
             }
-            None => {
-                self.stats.miss(OpClass::Seek);
-                self.under.lseek(fd, offset, whence)
-            }
-        }
+            None => (self.under.lseek(fd, offset, whence), false),
+        };
+        self.track(OpClass::Seek, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Seek)
+                .fd(fd as i64)
+                .offset(*r.as_ref().unwrap_or(&0))
+        });
+        r
     }
 
     fn fsync(&self, fd: Fd) -> PosixResult<()> {
-        match self.entry_state(fd) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
             Some((st, _open_pid)) => {
-                self.stats.hit(OpClass::Meta);
                 let pid = current_pid();
-                Ok(st.plfs_fd.sync(pid)?)
+                (st.plfs_fd.sync(pid).map_err(Errno::from), true)
             }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.fsync(fd)
-            }
-        }
+            None => (self.under.fsync(fd), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Sync).fd(fd as i64)
+        });
+        r
     }
 
     fn dup(&self, fd: Fd) -> PosixResult<Fd> {
+        let t0 = iotrace::global().start();
         let entry = {
             let table = self.table.read();
             table.get(&fd).map(|e| (e.state.clone(), e.pid))
         };
-        match entry {
+        let (r, hit) = match entry {
             Some((state, pid)) => {
-                self.stats.hit(OpClass::Meta);
                 // dup the reserved descriptor: the new fd shares the cursor.
-                let new_under = self.under.dup(fd)?;
-                state.plfs_fd.add_ref(pid);
-                state.fds.fetch_add(1, Ordering::AcqRel);
-                self.table.write().insert(
-                    new_under,
-                    Entry {
-                        under_fd: new_under,
-                        state,
-                        pid,
-                    },
-                );
-                Ok(new_under)
+                let r = self.under.dup(fd).inspect(|&new_under| {
+                    state.plfs_fd.add_ref(pid);
+                    state.fds.fetch_add(1, Ordering::AcqRel);
+                    self.table.write().insert(
+                        new_under,
+                        Entry {
+                            under_fd: new_under,
+                            state,
+                            pid,
+                        },
+                    );
+                });
+                (r, true)
             }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.dup(fd)
-            }
-        }
+            None => (self.under.dup(fd), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).fd(fd as i64)
+        });
+        r
     }
 
     fn stat(&self, path: &str) -> PosixResult<PosixStat> {
-        match self.match_mount(path) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.match_mount(path) {
             Some((m, rel)) => {
-                self.stats.hit(OpClass::Meta);
-                let st = self.mounts[m].plfs.getattr(&rel)?;
-                Ok(PosixStat {
+                let r = self.mounts[m].plfs.getattr(&rel).map_err(Errno::from).map(|st| PosixStat {
                     size: st.size,
                     is_dir: st.is_dir,
-                })
+                });
+                (r, true)
             }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.stat(path)
-            }
-        }
+            None => (self.under.stat(path), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).path(path)
+        });
+        r
     }
 
     fn fstat(&self, fd: Fd) -> PosixResult<PosixStat> {
-        match self.entry_state(fd) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
             Some((st, _)) => {
-                self.stats.hit(OpClass::Meta);
-                Ok(PosixStat {
-                    size: st.plfs_fd.size()?,
+                let r = st.plfs_fd.size().map_err(Errno::from).map(|size| PosixStat {
+                    size,
                     is_dir: false,
-                })
+                });
+                (r, true)
             }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.fstat(fd)
-            }
-        }
+            None => (self.under.fstat(fd), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).fd(fd as i64)
+        });
+        r
     }
 
     fn unlink(&self, path: &str) -> PosixResult<()> {
-        match self.match_mount(path) {
-            Some((m, rel)) => {
-                self.stats.hit(OpClass::Meta);
-                Ok(self.mounts[m].plfs.unlink(&rel)?)
-            }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.unlink(path)
-            }
-        }
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.match_mount(path) {
+            Some((m, rel)) => (self.mounts[m].plfs.unlink(&rel).map_err(Errno::from), true),
+            None => (self.under.unlink(path), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).path(path)
+        });
+        r
     }
 
     fn mkdir(&self, path: &str, mode: u32) -> PosixResult<()> {
-        match self.match_mount(path) {
-            Some((m, rel)) => {
-                self.stats.hit(OpClass::Meta);
-                Ok(self.mounts[m].plfs.mkdir(&rel)?)
-            }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.mkdir(path, mode)
-            }
-        }
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.match_mount(path) {
+            Some((m, rel)) => (self.mounts[m].plfs.mkdir(&rel).map_err(Errno::from), true),
+            None => (self.under.mkdir(path, mode), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).path(path)
+        });
+        r
     }
 
     fn rmdir(&self, path: &str) -> PosixResult<()> {
-        match self.match_mount(path) {
-            Some((m, rel)) => {
-                self.stats.hit(OpClass::Meta);
-                Ok(self.mounts[m].plfs.rmdir(&rel)?)
-            }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.rmdir(path)
-            }
-        }
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.match_mount(path) {
+            Some((m, rel)) => (self.mounts[m].plfs.rmdir(&rel).map_err(Errno::from), true),
+            None => (self.under.rmdir(path), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).path(path)
+        });
+        r
     }
 
     fn rename(&self, from: &str, to: &str) -> PosixResult<()> {
-        match (self.match_mount(from), self.match_mount(to)) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match (self.match_mount(from), self.match_mount(to)) {
             (Some((mf, rf)), Some((mt, rt))) => {
-                self.stats.hit(OpClass::Meta);
-                if mf != mt {
-                    return Err(Errno::EXDEV);
-                }
-                Ok(self.mounts[mf].plfs.rename(&rf, &rt)?)
+                let r = if mf != mt {
+                    Err(Errno::EXDEV)
+                } else {
+                    self.mounts[mf].plfs.rename(&rf, &rt).map_err(Errno::from)
+                };
+                (r, true)
             }
-            (None, None) => {
-                self.stats.miss(OpClass::Meta);
-                self.under.rename(from, to)
-            }
+            (None, None) => (self.under.rename(from, to), false),
             // Crossing the mount boundary is a different "device".
-            _ => Err(Errno::EXDEV),
-        }
+            _ => (Err(Errno::EXDEV), true),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).path(from)
+        });
+        r
     }
 
     fn access(&self, path: &str) -> PosixResult<()> {
-        match self.match_mount(path) {
-            Some((m, rel)) => {
-                self.stats.hit(OpClass::Meta);
-                Ok(self.mounts[m].plfs.access(&rel)?)
-            }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.access(path)
-            }
-        }
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.match_mount(path) {
+            Some((m, rel)) => (self.mounts[m].plfs.access(&rel).map_err(Errno::from), true),
+            None => (self.under.access(path), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).path(path)
+        });
+        r
     }
 
     fn truncate(&self, path: &str, len: u64) -> PosixResult<()> {
-        match self.match_mount(path) {
-            Some((m, rel)) => {
-                self.stats.hit(OpClass::Meta);
-                Ok(self.mounts[m].plfs.trunc(&rel, len)?)
-            }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.truncate(path, len)
-            }
-        }
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.match_mount(path) {
+            Some((m, rel)) => (self.mounts[m].plfs.trunc(&rel, len).map_err(Errno::from), true),
+            None => (self.under.truncate(path, len), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Trunc).path(path).bytes(len)
+        });
+        r
     }
 
     fn ftruncate(&self, fd: Fd, len: u64) -> PosixResult<()> {
-        match self.entry_state(fd) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
             Some((st, _)) => {
-                self.stats.hit(OpClass::Meta);
-                // Quiesce this process's writers before rewriting droppings.
-                st.plfs_fd.reset_writers()?;
-                Ok(self.mounts[st.mount].plfs.trunc(&st.logical, len)?)
+                let r = (|| {
+                    // Quiesce this process's writers before rewriting
+                    // droppings.
+                    st.plfs_fd.reset_writers()?;
+                    Ok(self.mounts[st.mount].plfs.trunc(&st.logical, len)?)
+                })();
+                (r, true)
             }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.ftruncate(fd, len)
-            }
-        }
+            None => (self.under.ftruncate(fd, len), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Trunc).fd(fd as i64).bytes(len)
+        });
+        r
     }
 
     fn readdir(&self, path: &str) -> PosixResult<Vec<PosixDirent>> {
-        match self.match_mount(path) {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.match_mount(path) {
             Some((m, rel)) => {
-                self.stats.hit(OpClass::Meta);
-                let ents = self.mounts[m].plfs.readdir(&rel)?;
-                Ok(ents
-                    .into_iter()
-                    .map(|d| PosixDirent {
-                        name: d.name,
-                        is_dir: d.is_dir,
-                    })
-                    .collect())
+                let r = self.mounts[m].plfs.readdir(&rel).map_err(Errno::from).map(|ents| {
+                    ents.into_iter()
+                        .map(|d| PosixDirent {
+                            name: d.name,
+                            is_dir: d.is_dir,
+                        })
+                        .collect()
+                });
+                (r, true)
             }
-            None => {
-                self.stats.miss(OpClass::Meta);
-                self.under.readdir(path)
-            }
-        }
+            None => (self.under.readdir(path), false),
+        };
+        self.track(OpClass::Meta, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::Meta).path(path)
+        });
+        r
     }
 }
 
@@ -738,5 +803,48 @@ mod tests {
         let s = shim();
         let mut buf = [0u8; 1];
         assert_eq!(s.read(424242, &mut buf), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn failed_plfs_close_still_releases_fd_and_scratch() {
+        // Regression: a PLFS-side close error used to `?`-return before the
+        // reserved descriptor was closed and the scratch file unlinked,
+        // leaking both for the life of the process.
+        let dir = std::env::temp_dir().join(format!(
+            "ldplfs-shim-faulty-{}-{}",
+            std::process::id(),
+            plfs::index::next_timestamp()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let under = Arc::new(RealPosix::rooted(dir).unwrap());
+        let faulty = Arc::new(plfs::Faulty::new(Arc::new(MemBacking::new())));
+        let s = LdPlfs::new(
+            under,
+            vec![ShimMount {
+                mount_point: "/plfs".to_string(),
+                plfs: Plfs::new(faulty.clone()),
+            }],
+        )
+        .unwrap();
+
+        let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"payload").unwrap();
+        assert_eq!(s.underlying().readdir("/.ldplfs_scratch").unwrap().len(), 1);
+
+        // Fail the data-dropping sync that PlfsFd::close performs.
+        faulty.arm(plfs::FaultRule {
+            op: plfs::FaultOp::Meta,
+            path_contains: "dropping.data".to_string(),
+            after: 0,
+            times: u64::MAX,
+            errno_like: plfs::FaultKind::Io,
+        });
+        assert_eq!(s.close(fd), Err(Errno::EIO), "PLFS close error surfaces");
+
+        // ...but nothing leaked: the reserved fd is gone from the table and
+        // the underlying layer, and the scratch file was unlinked.
+        let mut buf = [0u8; 1];
+        assert_eq!(s.read(fd, &mut buf), Err(Errno::EBADF));
+        assert_eq!(s.underlying().readdir("/.ldplfs_scratch").unwrap().len(), 0);
     }
 }

@@ -1,8 +1,12 @@
-//! Interception counters.
+//! Interception counters and the shim's hook into the unified trace layer.
 //!
 //! LDPLFS's value proposition is transparency; these counters let tests and
 //! users verify *what* was intercepted versus passed through to the real
-//! POSIX layer (the paper's Figure 2 control flow, made observable).
+//! POSIX layer (the paper's Figure 2 control flow, made observable). The
+//! counters stay relaxed atomics so the hot path is a couple of adds; the
+//! richer per-op records (path, bytes, latency) go through
+//! [`iotrace::global`] under the [`iotrace::Layer::Shim`] layer, using the
+//! [`OpClass::kind`] mapping below, and cost nothing while tracing is off.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,6 +25,21 @@ pub enum OpClass {
     Close,
     /// Everything else (stat, unlink, mkdir, …)
     Meta,
+}
+
+impl OpClass {
+    /// The unified trace-schema op kind this class maps to (what shim
+    /// records are tagged with in JSONL output and snapshots).
+    pub fn kind(self) -> iotrace::OpKind {
+        match self {
+            OpClass::Open => iotrace::OpKind::Open,
+            OpClass::Read => iotrace::OpKind::Read,
+            OpClass::Write => iotrace::OpKind::Write,
+            OpClass::Seek => iotrace::OpKind::Seek,
+            OpClass::Close => iotrace::OpKind::Close,
+            OpClass::Meta => iotrace::OpKind::Meta,
+        }
+    }
 }
 
 const CLASSES: usize = 6;

@@ -415,7 +415,7 @@ mod tests {
             })
             .collect();
         f.write_at_all(&mut fs, &mut job, &ios).unwrap();
-        assert_eq!(fs.stats().bytes_written + fs.stats().bytes_read >= 4 * MIB, true);
+        assert!(fs.stats().bytes_written + fs.stats().bytes_read >= 4 * MIB);
     }
 
     #[test]

@@ -15,7 +15,17 @@ use crate::error::{Error, Result};
 use crate::flags::OpenFlags;
 use crate::fd::PlfsFd;
 use crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES;
+use iotrace::{Layer, OpEvent, OpKind};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Close a trace span opened with `iotrace::global().start()` (no-op when
+/// tracing was off at span start).
+fn trace_op<'a>(t0: Option<Instant>, ev: impl FnOnce() -> OpEvent<'a>) {
+    if let Some(t0) = t0 {
+        iotrace::global().record(t0, ev());
+    }
+}
 
 /// stat(2)-shaped metadata for a logical path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +107,13 @@ impl Plfs {
 
     /// `plfs_open`: open (optionally creating) a container.
     pub fn open(&self, path: &str, flags: OpenFlags, pid: u64) -> Result<Arc<PlfsFd>> {
+        let t0 = iotrace::global().start();
+        let r = self.open_inner(path, flags, pid);
+        trace_op(t0, || OpEvent::new(Layer::Plfs, OpKind::Open).path(path));
+        r
+    }
+
+    fn open_inner(&self, path: &str, flags: OpenFlags, pid: u64) -> Result<Arc<PlfsFd>> {
         let bp = self.backend_path(path);
         let exists = self.backing.exists(&bp);
         if exists && !container::is_container(self.backing.as_ref(), &bp) {
@@ -140,17 +157,38 @@ impl Plfs {
 
     /// `plfs_write`: positional write on behalf of `pid`.
     pub fn write(&self, fd: &PlfsFd, buf: &[u8], offset: u64, pid: u64) -> Result<usize> {
-        fd.write(buf, offset, pid)
+        let t0 = iotrace::global().start();
+        let r = fd.write(buf, offset, pid);
+        trace_op(t0, || {
+            OpEvent::new(Layer::Plfs, OpKind::Write)
+                .path(fd.container_path())
+                .offset(offset)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
     }
 
     /// `plfs_read`: positional read.
     pub fn read(&self, fd: &PlfsFd, buf: &mut [u8], offset: u64) -> Result<usize> {
-        fd.read(buf, offset)
+        let t0 = iotrace::global().start();
+        let r = fd.read(buf, offset);
+        trace_op(t0, || {
+            OpEvent::new(Layer::Plfs, OpKind::Read)
+                .path(fd.container_path())
+                .offset(offset)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
     }
 
     /// `plfs_sync`: flush `pid`'s buffered index and sync droppings.
     pub fn sync(&self, fd: &PlfsFd, pid: u64) -> Result<()> {
-        fd.sync(pid)
+        let t0 = iotrace::global().start();
+        let r = fd.sync(pid);
+        trace_op(t0, || {
+            OpEvent::new(Layer::Plfs, OpKind::Sync).path(fd.container_path())
+        });
+        r
     }
 
     /// `plfs_close`: release one reference; returns remaining refs.
@@ -232,7 +270,12 @@ impl Plfs {
 
     /// `plfs_trunc` by path.
     pub fn trunc(&self, path: &str, len: u64) -> Result<()> {
-        self.trunc_backend(&self.backend_path(path), len)
+        let t0 = iotrace::global().start();
+        let r = self.trunc_backend(&self.backend_path(path), len);
+        trace_op(t0, || {
+            OpEvent::new(Layer::Plfs, OpKind::Trunc).path(path).bytes(len)
+        });
+        r
     }
 
     fn trunc_backend(&self, bp: &str, len: u64) -> Result<()> {

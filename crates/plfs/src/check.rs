@@ -272,7 +272,7 @@ pub struct RepairReport {
 /// markers (only safe when no process holds the container open).
 pub fn repair(b: &dyn Backing, path: &str, clear_markers: bool) -> Result<RepairReport> {
     let before = check(b, path)?;
-    if before.findings.iter().any(|f| *f == Finding::NotAContainer) {
+    if before.findings.contains(&Finding::NotAContainer) {
         return Err(Error::NotContainer(path.to_string()));
     }
     let mut report = RepairReport::default();

@@ -96,7 +96,7 @@ impl IndexEntry {
 
     /// Parse a whole index dropping, expanding pattern records.
     pub fn decode_all(buf: &[u8]) -> Result<Vec<IndexEntry>> {
-        if buf.len() % RECORD_SIZE != 0 {
+        if !buf.len().is_multiple_of(RECORD_SIZE) {
             return Err(Error::Corrupt(format!(
                 "index dropping length {} not a record multiple",
                 buf.len()
@@ -223,7 +223,7 @@ pub fn encode_compressed(entries: &[IndexEntry], min_run: usize, out: &mut Vec<u
                 && this_stride <= u32::MAX as u64
                 && base.length <= u32::MAX as u64
                 && next.logical_offset >= prev.logical_offset
-                && stride.map_or(true, |s| s == this_stride);
+                && stride.is_none_or(|s| s == this_stride);
             if !ok {
                 break;
             }

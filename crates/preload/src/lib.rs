@@ -168,7 +168,7 @@ fn init_shim() -> Option<Shim> {
 }
 
 /// Mount-relative logical path, if `path` is inside the mount.
-fn logical<'a>(shim: &Shim, path: &'a str) -> Option<String> {
+fn logical(shim: &Shim, path: &str) -> Option<String> {
     let m = &shim.mount;
     if path == m {
         return Some("/".to_string());

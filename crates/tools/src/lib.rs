@@ -55,7 +55,7 @@ pub fn locate(host_path: &str) -> Result<(RealBacking, String), ToolError> {
         .to_string_lossy()
         .into_owned();
     let parent = p.parent().unwrap_or(Path::new("."));
-    let backing = RealBacking::new(parent).map_err(plfs::Error::from)?;
+    let backing = RealBacking::new(parent)?;
     Ok((backing, format!("/{file}")))
 }
 
@@ -214,6 +214,107 @@ pub fn version(b: &dyn Backing, container: &str) -> ToolResult {
     ))
 }
 
+/// Parse a JSONL trace (as written by `paperbench --emit-json`, the shim,
+/// or the simulator) into records. Blank lines are skipped; a malformed
+/// line is a usage error naming its line number.
+fn parse_trace(jsonl: &str) -> Result<Vec<(iotrace::TraceRecord, Option<String>)>, ToolError> {
+    let mut out = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = jsonlite::parse(line)
+            .map_err(|e| ToolError::Usage(format!("trace line {}: {}", i + 1, e.message)))?;
+        let rec = iotrace::record_from_json(&v)
+            .ok_or_else(|| ToolError::Usage(format!("trace line {}: not a trace record", i + 1)))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// `trace dump`: pretty-print a recorded JSONL trace, one op per line in
+/// issue order.
+pub fn trace_dump(jsonl: &str) -> ToolResult {
+    let recs = parse_trace(jsonl)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:<6} {:<12} {:>10} {:>12} {:>12}  target",
+        "start_us", "layer", "op", "bytes", "offset", "latency_ns"
+    );
+    for (r, path) in &recs {
+        let target = match (path, r.fd) {
+            (Some(p), _) => p.clone(),
+            (None, fd) if fd >= 0 => format!("fd {fd}"),
+            _ => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:>12} {:<6} {:<12} {:>10} {:>12} {:>12}  {}{}",
+            r.start_ns / 1_000,
+            r.layer.as_str(),
+            r.op.as_str(),
+            r.bytes,
+            r.offset,
+            r.latency_ns,
+            target,
+            if r.hit { " [hit]" } else { "" },
+        );
+    }
+    let _ = writeln!(out, "{} records", recs.len());
+    Ok(out)
+}
+
+/// `trace summary`: aggregate a recorded JSONL trace per (layer, op):
+/// counts, bytes, hit ratio and latency percentiles from the log2-ns
+/// histograms — the offline counterpart of a live sink snapshot.
+pub fn trace_summary(jsonl: &str) -> ToolResult {
+    let recs = parse_trace(jsonl)?;
+    let mut metrics: Vec<iotrace::OpMetrics> = Vec::new();
+    for (r, _path) in &recs {
+        let m = match metrics.iter_mut().find(|m| m.layer == r.layer && m.op == r.op) {
+            Some(m) => m,
+            None => {
+                metrics.push(iotrace::OpMetrics {
+                    layer: r.layer,
+                    op: r.op,
+                    ops: 0,
+                    bytes: 0,
+                    hits: 0,
+                    hist: [0; iotrace::NBUCKETS],
+                });
+                metrics.last_mut().unwrap()
+            }
+        };
+        m.ops += 1;
+        m.bytes += r.bytes;
+        m.hits += r.hit as u64;
+        m.hist[iotrace::bucket_of(r.latency_ns)] += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:<12} {:>8} {:>14} {:>8} {:>12} {:>12}",
+        "layer", "op", "ops", "bytes", "hits", "p50_ns", "p99_ns"
+    );
+    for m in &metrics {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<12} {:>8} {:>14} {:>8} {:>12} {:>12}",
+            m.layer.as_str(),
+            m.op.as_str(),
+            m.ops,
+            m.bytes,
+            m.hits,
+            m.percentile_ns(0.5),
+            m.percentile_ns(0.99),
+        );
+    }
+    let _ = writeln!(out, "{} records total", recs.len());
+    Ok(out)
+}
+
 /// `rccheck`: validate a plfsrc file, printing the parsed mounts.
 pub fn rccheck(text: &str) -> ToolResult {
     let rc = plfs::PlfsRc::parse(text)?;
@@ -352,5 +453,62 @@ mod tests {
         let (b, inner) = locate(target.to_str().unwrap()).unwrap();
         assert_eq!(inner, "/cont");
         assert!(b.root().ends_with(dir.file_name().unwrap()));
+    }
+
+    fn sample_trace() -> String {
+        use iotrace::{Layer, OpKind, TraceRecord, NO_NODE, NO_PATH};
+        let mk = |op, bytes, latency_ns, hit| TraceRecord {
+            layer: Layer::Shim,
+            op,
+            path_id: NO_PATH,
+            node: NO_NODE,
+            fd: 3,
+            offset: 0,
+            bytes,
+            start_ns: 1_000,
+            latency_ns,
+            hit,
+        };
+        [
+            (mk(OpKind::Write, 100, 1_000, true), Some("/m/f")),
+            (mk(OpKind::Write, 50, 2_000, true), None),
+            (mk(OpKind::Read, 25, 500, false), None),
+        ]
+        .iter()
+        .map(|(r, p)| iotrace::record_to_json(r, *p).to_json())
+        .collect::<Vec<_>>()
+        .join("\n")
+    }
+
+    #[test]
+    fn trace_dump_lists_every_record() {
+        let out = trace_dump(&sample_trace()).unwrap();
+        assert!(out.contains("3 records"), "{out}");
+        assert!(out.contains("/m/f"), "path resolved: {out}");
+        assert!(out.contains("fd 3"), "fd fallback: {out}");
+        assert!(out.contains("[hit]"), "{out}");
+    }
+
+    #[test]
+    fn trace_summary_aggregates_per_layer_op() {
+        let out = trace_summary(&sample_trace()).unwrap();
+        // Two writes collapse to one row: 2 ops, 150 bytes, 2 hits.
+        let writes = out.lines().find(|l| l.contains(" write ")).unwrap();
+        assert!(writes.contains("2"), "{writes}");
+        assert!(writes.contains("150"), "{writes}");
+        let reads = out.lines().find(|l| l.contains(" read ")).unwrap();
+        assert!(reads.contains("25"), "{reads}");
+        assert!(out.contains("3 records total"), "{out}");
+    }
+
+    #[test]
+    fn trace_parse_rejects_malformed_lines() {
+        let err = trace_dump("{\"layer\":\"shim\",\"op\":\"read\"}\nnot json\n").unwrap_err();
+        assert!(matches!(err, ToolError::Usage(ref m) if m.contains("line 2")), "{err:?}");
+        let err = trace_summary("{\"nope\":1}\n").unwrap_err();
+        assert!(
+            matches!(err, ToolError::Usage(ref m) if m.contains("not a trace record")),
+            "{err:?}"
+        );
     }
 }

@@ -12,6 +12,8 @@
 //! plfs-tools rm      /path/to/backend/file      # delete a container
 //! plfs-tools version /path/to/backend/file
 //! plfs-tools rccheck /path/to/plfsrc            # validate a config file
+//! plfs-tools trace   /path/to/trace.jsonl       # summarize a recorded trace
+//! plfs-tools trace   /path/to/trace.jsonl --dump  # one line per op
 //! ```
 
 use plfs::RealBacking;
@@ -30,7 +32,7 @@ fn main() {
 fn run(args: &[String]) -> plfs_tools::ToolResult {
     let usage = || {
         plfs_tools::ToolError::Usage(
-            "commands: stat|map|flatten|check|repair|ls|du|rm|version|rccheck (see --help)"
+            "commands: stat|map|flatten|check|repair|ls|du|rm|version|rccheck|trace (see --help)"
                 .to_string(),
         )
     };
@@ -54,8 +56,17 @@ fn run(args: &[String]) -> plfs_tools::ToolResult {
             .map_err(|e| plfs_tools::ToolError::Usage(format!("{path}: {e}")))?;
         return plfs_tools::rccheck(&text);
     }
+    if cmd == "trace" {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| plfs_tools::ToolError::Usage(format!("{path}: {e}")))?;
+        return if args.iter().any(|a| a == "--dump") {
+            plfs_tools::trace_dump(&text)
+        } else {
+            plfs_tools::trace_summary(&text)
+        };
+    }
     if cmd == "ls" || cmd == "du" {
-        let b = RealBacking::new(path.as_str()).map_err(plfs::Error::from)?;
+        let b = RealBacking::new(path.as_str())?;
         return if cmd == "ls" {
             plfs_tools::ls(&b, "/")
         } else {

@@ -46,7 +46,7 @@ fn main() {
     while written < size {
         line.clear();
         rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let marker = if rng % 97 == 0 { " NEEDLE" } else { "" };
+        let marker = if rng.is_multiple_of(97) { " NEEDLE" } else { "" };
         line.push_str(&format!("record {rng:016x} payload{marker}\n"));
         plfs_f.write(line.as_bytes()).unwrap();
         flat_f.write(line.as_bytes()).unwrap();

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 verification: build, full test suite, lint. Run from the repo root.
+set -eu
+
+cargo build --release --offline
+cargo test --workspace -q --offline
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, throughput, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros — over a simple
+//! calibrated wall-clock loop. Results are printed as `ns/iter` (plus
+//! MiB/s when a byte throughput is set); there is no statistical engine.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness context.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Wall-clock budget per benchmark measurement.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` passes `--bench`; any bare argument is a substring
+        // filter on benchmark names, like real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let quick = std::env::var("CRITERION_QUICK").is_ok();
+        Criterion {
+            filter,
+            measure_for: if quick {
+                Duration::from_millis(30)
+            } else {
+                Duration::from_millis(300)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.parent.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let per_iter = run_calibrated(self.parent.measure_for, &mut f);
+        report(&full, per_iter, self.throughput);
+        self
+    }
+
+    /// Run a benchmark closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (printing is immediate; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Calibrate an iteration count to the time budget, then measure.
+fn run_calibrated<F: FnMut(&mut Bencher)>(budget: Duration, f: &mut F) -> f64 {
+    // Warm-up / calibration: grow iters until the closure registers time.
+    let mut iters = 1u64;
+    let mut elapsed;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        elapsed = b.elapsed.max(Duration::from_nanos(1));
+        if elapsed >= Duration::from_millis(5) || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    // Measurement: three samples at the budgeted size; keep the fastest
+    // (least-noise) sample.
+    let target_iters = ((budget.as_nanos() as f64 / per_iter).ceil() as u64).clamp(1, 1 << 32);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters: target_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let sample = b.elapsed.as_nanos() as f64 / target_iters as f64;
+        if sample < best {
+            best = sample;
+        }
+    }
+    best
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (1 << 20) as f64 / (ns_per_iter / 1e9);
+            format!("  thrpt: {mib_s:.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (ns_per_iter / 1e9);
+            format!("  thrpt: {elem_s:.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} time: {ns_per_iter:>12.1} ns/iter{rate}");
+}
+
+/// Group benchmark functions under one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        let mut count = 0u64;
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("incr", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`scope`] with crossbeam's signature (spawn closures receive a
+//! `&Scope` argument, `scope` returns `thread::Result`), implemented on top
+//! of [`std::thread::scope`]. Only the subset this workspace uses.
+
+/// Scoped-thread namespace mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle; wraps [`std::thread::Scope`].
+    #[repr(transparent)]
+    pub struct Scope<'scope, 'env: 'scope>(std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives this scope again so
+        /// workers can spawn siblings, matching crossbeam's API.
+        pub fn spawn<F, T>(&'scope self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&'scope Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.0.spawn(move || f(self))
+        }
+    }
+
+    /// Create a scope: all threads spawned inside are joined before return.
+    /// Returns `Err` with the first panic payload if any thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                // SAFETY: Scope is a repr(transparent) newtype over
+                // std::thread::Scope, so the reference cast is sound.
+                let wrapped: &Scope<'_, 'env> =
+                    unsafe { &*(s as *const std::thread::Scope<'_, 'env>).cast::<Scope<'_, 'env>>() };
+                f(wrapped)
+            })
+        }))
+    }
+}
+
+pub use thread::{scope, Scope};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panic_in_worker_surfaces_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}
