@@ -89,7 +89,14 @@ pub fn run(platform: &Platform, cfg: &FlashConfig, method: Method) -> SimResult<
         // Rank 0 writes the dataset header.
         {
             let t0 = job.time(0);
-            let c = file.write_at(&mut fs, &mut job, 0, base, FLASH_HEADER_BYTES, Access::Strided)?;
+            let c = file.write_at(
+                &mut fs,
+                &mut job,
+                0,
+                base,
+                FLASH_HEADER_BYTES,
+                Access::Strided,
+            )?;
             timer.add(0, t0, c);
         }
         // Every rank writes its contiguous slab, independently.
@@ -159,19 +166,51 @@ mod tests {
         // Count metadata ops for PLFS vs plain MPI-IO.
         let mut fs = SimFs::new(p.clone());
         let mut job = Job::new(cfg.procs, cfg.ppn);
-        let mut f = MpiFile::open(&mut fs, &mut job, "/c", true, Method::Romio, MpiInfo::default(), 8).unwrap();
+        let mut f = MpiFile::open(
+            &mut fs,
+            &mut job,
+            "/c",
+            true,
+            Method::Romio,
+            MpiInfo::default(),
+            8,
+        )
+        .unwrap();
         for r in 0..cfg.procs {
-            f.write_at(&mut fs, &mut job, r, r as u64 * 1024, 1024, Access::Contiguous)
-                .unwrap();
+            f.write_at(
+                &mut fs,
+                &mut job,
+                r,
+                r as u64 * 1024,
+                1024,
+                Access::Contiguous,
+            )
+            .unwrap();
         }
         let plfs_meta = fs.stats().meta_ops;
 
         let mut fs2 = SimFs::new(p.clone());
         let mut job2 = Job::new(cfg.procs, cfg.ppn);
-        let mut f2 = MpiFile::open(&mut fs2, &mut job2, "/c", true, Method::MpiIo, MpiInfo::default(), 8).unwrap();
+        let mut f2 = MpiFile::open(
+            &mut fs2,
+            &mut job2,
+            "/c",
+            true,
+            Method::MpiIo,
+            MpiInfo::default(),
+            8,
+        )
+        .unwrap();
         for r in 0..cfg.procs {
-            f2.write_at(&mut fs2, &mut job2, r, r as u64 * 1024, 1024, Access::Contiguous)
-                .unwrap();
+            f2.write_at(
+                &mut fs2,
+                &mut job2,
+                r,
+                r as u64 * 1024,
+                1024,
+                Access::Contiguous,
+            )
+            .unwrap();
         }
         let ufs_meta = fs2.stats().meta_ops;
         assert!(

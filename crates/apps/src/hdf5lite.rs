@@ -183,8 +183,16 @@ mod tests {
             &l,
             "/plfs/chk_0000",
             &[
-                Dataset { name: "dens", dtype: Dtype::F64, data: &dens },
-                Dataset { name: "flags", dtype: Dtype::U8, data: &flags },
+                Dataset {
+                    name: "dens",
+                    dtype: Dtype::F64,
+                    data: &dens,
+                },
+                Dataset {
+                    name: "flags",
+                    dtype: Dtype::U8,
+                    data: &flags,
+                },
             ],
         )
         .unwrap();
@@ -208,7 +216,15 @@ mod tests {
         assert_eq!(read(&l, "/plfs/garbage"), Err(Errno::EIO));
         let odd = [1u8, 2, 3];
         assert_eq!(
-            write(&l, "/plfs/bad", &[Dataset { name: "x", dtype: Dtype::F64, data: &odd }]),
+            write(
+                &l,
+                "/plfs/bad",
+                &[Dataset {
+                    name: "x",
+                    dtype: Dtype::F64,
+                    data: &odd
+                }]
+            ),
             Err(Errno::EINVAL)
         );
     }
@@ -217,7 +233,11 @@ mod tests {
     fn identical_bytes_on_plain_and_plfs() {
         let l = shim("same");
         let data = pack_f64(&(0..1000).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
-        let ds = [Dataset { name: "u", dtype: Dtype::F64, data: &data }];
+        let ds = [Dataset {
+            name: "u",
+            dtype: Dtype::F64,
+            data: &data,
+        }];
         write(&l, "/plfs/a.h5l", &ds).unwrap();
         write(&l, "/plain.h5l", &ds).unwrap();
         let a = crate::unix_tools::md5sum(&l, "/plfs/a.h5l").unwrap();
@@ -229,7 +249,16 @@ mod tests {
     fn truncated_file_is_eio() {
         let l = shim("trunc");
         let data = pack_f64(&[1.0, 2.0]);
-        write(&l, "/plfs/t.h5l", &[Dataset { name: "d", dtype: Dtype::F64, data: &data }]).unwrap();
+        write(
+            &l,
+            "/plfs/t.h5l",
+            &[Dataset {
+                name: "d",
+                dtype: Dtype::F64,
+                data: &data,
+            }],
+        )
+        .unwrap();
         // Chop the tail off.
         l.truncate("/plfs/t.h5l", 20).unwrap();
         assert_eq!(read(&l, "/plfs/t.h5l"), Err(Errno::EIO));

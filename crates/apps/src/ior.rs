@@ -178,12 +178,8 @@ pub fn run_write(platform: &Platform, cfg: &IorConfig, method: Method) -> SimRes
 
 fn offset_of(layout: FileLayout, cfg: &IorConfig, rank: usize, transfer: u64) -> u64 {
     match layout {
-        FileLayout::SharedSegmented => {
-            rank as u64 * cfg.bytes_per_proc() + transfer * cfg.transfer
-        }
-        FileLayout::SharedStrided => {
-            (transfer * cfg.procs as u64 + rank as u64) * cfg.transfer
-        }
+        FileLayout::SharedSegmented => rank as u64 * cfg.bytes_per_proc() + transfer * cfg.transfer,
+        FileLayout::SharedStrided => (transfer * cfg.procs as u64 + rank as u64) * cfg.transfer,
         FileLayout::FilePerProcess => transfer * cfg.transfer,
     }
 }

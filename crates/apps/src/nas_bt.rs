@@ -39,7 +39,7 @@ impl BtClass {
     /// Total bytes written during a run (paper §IV).
     pub fn total_bytes(self) -> u64 {
         match self {
-            BtClass::C => 64 * (100 << 20), // 6.4 GB
+            BtClass::C => 64 * (100 << 20),   // 6.4 GB
             BtClass::D => 136 * (1000 << 20), // 136 GB
         }
     }

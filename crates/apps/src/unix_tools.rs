@@ -71,9 +71,7 @@ pub fn grep(layer: &Arc<dyn PosixLayer>, pattern: &[u8], path: &str) -> PosixRes
 }
 
 fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    haystack
-        .windows(needle.len())
-        .any(|w| w == needle)
+    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 /// `md5sum path`: digest of the file contents.
@@ -243,7 +241,13 @@ pub mod sim {
         }
 
         /// All five rows of Table II.
-        pub const ALL: [Tool; 5] = [Tool::CpRead, Tool::CpWrite, Tool::Cat, Tool::Grep, Tool::Md5];
+        pub const ALL: [Tool; 5] = [
+            Tool::CpRead,
+            Tool::CpWrite,
+            Tool::Cat,
+            Tool::Grep,
+            Tool::Md5,
+        ];
 
         /// Row label as in Table II.
         pub fn label(self) -> &'static str {
@@ -288,12 +292,7 @@ pub mod sim {
     /// per request (no write delegation on the shared login volume), which
     /// is what keeps the paper's cp rows near 36 MB/s against ~160 MB/s
     /// reads.
-    pub fn tool_time(
-        platform: &Platform,
-        tool: Tool,
-        kind: FileKind,
-        size: u64,
-    ) -> SimResult<f64> {
+    pub fn tool_time(platform: &Platform, tool: Tool, kind: FileKind, size: u64) -> SimResult<f64> {
         const CHUNK: u64 = 128 << 10;
         const READAHEAD: usize = 2;
 
@@ -358,10 +357,7 @@ pub mod sim {
                 let mut off = 0u64;
                 while off < bytes {
                     let n = CHUNK.min(bytes - off);
-                    let data_ready = read_completions
-                        .get(ri)
-                        .map(|&(_, _, r)| r)
-                        .unwrap_or(t);
+                    let data_ready = read_completions.get(ri).map(|&(_, _, r)| r).unwrap_or(t);
                     ri += 1;
                     t = wfs.write(t.max(data_ready), 0, fid, off, n)?;
                     last_write = last_write.max(t);
@@ -382,11 +378,7 @@ mod tests {
     use plfs::{MemBacking, Plfs};
 
     fn shim(name: &str) -> Arc<dyn PosixLayer> {
-        let dir = std::env::temp_dir().join(format!(
-            "apps-tools-{}-{}",
-            name,
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("apps-tools-{}-{}", name, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let under = Arc::new(RealPosix::rooted(dir).unwrap());
         Arc::new(

@@ -37,7 +37,8 @@ fn bench_layout_modes(c: &mut Criterion) {
             let mut row = 0u64;
             b.iter(|| {
                 for pid in 0..8u64 {
-                    plfs.write(&fd, &data, (row * 8 + pid) * block, pid).unwrap();
+                    plfs.write(&fd, &data, (row * 8 + pid) * block, pid)
+                        .unwrap();
                 }
                 row += 1;
                 black_box(row)
@@ -95,34 +96,30 @@ fn bench_hostdir_sweep(c: &mut Criterion) {
 fn bench_backend_spread(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_backend_spread");
     for backends in [1usize, 4] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(backends),
-            &backends,
-            |b, &n| {
-                let backing: Arc<dyn plfs::Backing> = if n == 1 {
-                    Arc::new(MemBacking::new())
-                } else {
-                    let bs: Vec<Arc<dyn plfs::Backing>> =
-                        (0..n).map(|_| Arc::new(MemBacking::new()) as _).collect();
-                    Arc::new(plfs::SpreadBacking::new(bs).unwrap())
-                };
-                let plfs = Plfs::new(backing);
-                let fd = plfs
-                    .open("/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0)
-                    .unwrap();
-                for pid in 1..8u64 {
-                    fd.add_ref(pid);
+        g.bench_with_input(BenchmarkId::from_parameter(backends), &backends, |b, &n| {
+            let backing: Arc<dyn plfs::Backing> = if n == 1 {
+                Arc::new(MemBacking::new())
+            } else {
+                let bs: Vec<Arc<dyn plfs::Backing>> =
+                    (0..n).map(|_| Arc::new(MemBacking::new()) as _).collect();
+                Arc::new(plfs::SpreadBacking::new(bs).unwrap())
+            };
+            let plfs = Plfs::new(backing);
+            let fd = plfs
+                .open("/f", OpenFlags::WRONLY | OpenFlags::CREAT, 0)
+                .unwrap();
+            for pid in 1..8u64 {
+                fd.add_ref(pid);
+            }
+            let data = [1u8; 4096];
+            let mut row = 0u64;
+            b.iter(|| {
+                for pid in 0..8u64 {
+                    plfs.write(&fd, &data, (row * 8 + pid) * 4096, pid).unwrap();
                 }
-                let data = [1u8; 4096];
-                let mut row = 0u64;
-                b.iter(|| {
-                    for pid in 0..8u64 {
-                        plfs.write(&fd, &data, (row * 8 + pid) * 4096, pid).unwrap();
-                    }
-                    row += 1;
-                });
-            },
-        );
+                row += 1;
+            });
+        });
     }
     g.finish();
 }

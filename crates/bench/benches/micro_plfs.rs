@@ -2,7 +2,9 @@
 //! the log-structured write path, the reassembling read path, flatten.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use plfs::{ContainerParams, GlobalIndex, IndexEntry, MemBacking, OpenFlags, Plfs};
+use plfs::{
+    ContainerParams, GlobalIndex, IndexEntry, MemBacking, OpenFlags, Plfs, ReadConf, ReadFile,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -97,7 +99,8 @@ fn bench_read_path(c: &mut Criterion) {
         fd.add_ref(pid);
         let data = vec![pid as u8; block as usize];
         for row in 0..32u64 {
-            plfs.write(&fd, &data, (row * 16 + pid) * block, pid).unwrap();
+            plfs.write(&fd, &data, (row * 16 + pid) * block, pid)
+                .unwrap();
         }
     }
     let total = 16 * 32 * block;
@@ -108,6 +111,99 @@ fn bench_read_path(c: &mut Criterion) {
         b.iter(|| {
             let n = plfs.read(&fd, &mut buf, off).unwrap();
             off = (off + block) % total;
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+/// Write a strided container with `droppings` writer pids, `rows` blocks
+/// each, `block` bytes per write — the N-to-1 checkpoint shape whose
+/// read-open the parallel path targets.
+fn strided_container(
+    droppings: usize,
+    rows: usize,
+    block: usize,
+) -> (Arc<MemBacking>, &'static str) {
+    let backing = Arc::new(MemBacking::new());
+    let plfs = Plfs::new(backing.clone()).with_params(ContainerParams {
+        num_hostdirs: 16,
+        mode: plfs::LayoutMode::Both,
+    });
+    let fd = plfs
+        .open("/c", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+        .unwrap();
+    for p in 0..droppings as u64 {
+        fd.add_ref(p);
+        let data = vec![p as u8; block];
+        for r in 0..rows as u64 {
+            plfs.write(&fd, &data, (r * droppings as u64 + p) * block as u64, p)
+                .unwrap();
+        }
+    }
+    for p in 0..droppings as u64 {
+        let _ = plfs.close(&fd, p);
+    }
+    plfs.close(&fd, 0).unwrap();
+    (backing, "/c")
+}
+
+/// The acceptance benchmark: serial vs parallel open of a 256-dropping
+/// container (open = fetch + decode every index dropping and build the
+/// global index), plus the fan-out vs serial large pread.
+fn bench_open_path(c: &mut Criterion) {
+    let droppings = 256usize;
+    let rows = 256usize;
+    let block = 512usize;
+    let (backing, path) = strided_container(droppings, rows, block);
+    let par_conf = ReadConf {
+        threads: 4,
+        parallel_merge_min_droppings: 1,
+        ..ReadConf::default()
+    };
+
+    let mut g = c.benchmark_group("open_path");
+    g.bench_function("serial_open_256_droppings", |b| {
+        b.iter(|| black_box(ReadFile::open(backing.as_ref(), path).unwrap().eof()));
+    });
+    g.bench_function("parallel_open_256_droppings", |b| {
+        b.iter(|| {
+            black_box(
+                ReadFile::open_with(backing.as_ref(), path, par_conf)
+                    .unwrap()
+                    .eof(),
+            )
+        });
+    });
+
+    // Large-read fan-out: one pread spanning many droppings, serial loop
+    // vs threshold-gated fan-out through the sharded handle cache.
+    let serial_rf = ReadFile::open(backing.as_ref(), path).unwrap();
+    let fanout_rf = ReadFile::open_with(
+        backing.as_ref(),
+        path,
+        par_conf.with_fanout_threshold(64 * 1024),
+    )
+    .unwrap();
+    let read = 4 << 20usize;
+    let total = (droppings * rows * block) as u64;
+    let mut buf = vec![0u8; read];
+    g.throughput(Throughput::Bytes(read as u64));
+    g.bench_function("pread_4m_serial", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            let n = serial_rf.pread(backing.as_ref(), &mut buf, off).unwrap();
+            off = (off + read as u64) % (total - read as u64);
+            black_box(n)
+        });
+    });
+    g.bench_function("pread_4m_fanout", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            let n = fanout_rf
+                .pread_auto(backing.as_ref(), &mut buf, off)
+                .unwrap();
+            off = (off + read as u64) % (total - read as u64);
             black_box(n)
         });
     });
@@ -186,6 +282,7 @@ criterion_group!(
     bench_index,
     bench_write_path,
     bench_read_path,
+    bench_open_path,
     bench_flatten,
     bench_pattern_compression
 );

@@ -9,10 +9,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 fn shim(tag: &str) -> Arc<ldplfs::LdPlfs> {
-    let dir = std::env::temp_dir().join(format!(
-        "ldplfs-bench-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("ldplfs-bench-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let under = Arc::new(RealPosix::rooted(dir).unwrap());
     Arc::new(

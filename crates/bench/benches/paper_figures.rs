@@ -25,9 +25,7 @@ fn bench_fig3(c: &mut Criterion) {
             |b, &m| {
                 let mut cfg = MpiIoTestConfig::paper(16, 2);
                 cfg.bytes_per_proc = 64 << 20;
-                b.iter(|| {
-                    black_box(mpi_io_test::run(&platform, &cfg, m, Phase::Write).unwrap())
-                });
+                b.iter(|| black_box(mpi_io_test::run(&platform, &cfg, m, Phase::Write).unwrap()));
             },
         );
     }
@@ -53,11 +51,15 @@ fn bench_table2(c: &mut Criterion) {
                 )
             });
         });
-        g.bench_with_input(BenchmarkId::new("standard", tool.label()), &tool, |b, &t| {
-            b.iter(|| {
-                black_box(tool_time(&platform, t, FileKind::Standard, 512 << 20).unwrap())
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("standard", tool.label()),
+            &tool,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(tool_time(&platform, t, FileKind::Standard, 512 << 20).unwrap())
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -14,9 +14,9 @@ use apps::flash_io::{self, FlashConfig};
 use apps::mpi_io_test::{self, MpiIoTestConfig, Phase};
 use apps::nas_bt::{self, BtClass, BtConfig};
 use apps::unix_tools::sim::{tool_time, FileKind, Tool};
+use jsonlite::{ToJson, Value};
 use mpiio::Method;
 use rayon::prelude::*;
-use jsonlite::{ToJson, Value};
 use simfs::{presets, Platform};
 
 /// How big to run the experiments.
@@ -86,8 +86,7 @@ pub fn fig3(scale: Scale) -> Vec<Panel> {
                         .map(|&nodes| {
                             let mut cfg = MpiIoTestConfig::paper(nodes, ppn);
                             cfg.bytes_per_proc = scale.divide(cfg.bytes_per_proc, 16);
-                            let b = mpi_io_test::run(&platform, &cfg, m, phase)
-                                .expect("fig3 run");
+                            let b = mpi_io_test::run(&platform, &cfg, m, phase).expect("fig3 run");
                             (nodes, b.bandwidth_mbs())
                         })
                         .collect();
@@ -435,6 +434,205 @@ pub fn render_ior(rows: &[IorRow]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Beyond the paper: the parallel read path (concurrent index merge +
+// sharded handle cache + pread fan-out).
+// ---------------------------------------------------------------------------
+
+/// One measured row of the read-path comparison: a strided container with
+/// `droppings` writer streams, opened and read serially vs in parallel.
+#[derive(Debug, Clone)]
+pub struct ReadPathRow {
+    /// Index/data dropping pairs in the container (= writer processes).
+    pub droppings: usize,
+    /// Total index entries merged at open.
+    pub entries: usize,
+    /// First-byte latency, serial open (ms): sequential dropping reads,
+    /// insert-based merge.
+    pub serial_open_ms: f64,
+    /// First-byte latency, parallel open (ms): concurrent dropping reads,
+    /// k-way run merge + bulk build.
+    pub parallel_open_ms: f64,
+    /// 4 MiB pread bandwidth through the serial slice loop (MB/s).
+    pub serial_read_mbs: f64,
+    /// Same pread through the threshold-gated fan-out (MB/s).
+    pub fanout_read_mbs: f64,
+}
+
+impl ReadPathRow {
+    /// Serial-over-parallel open speedup.
+    pub fn open_speedup(&self) -> f64 {
+        self.serial_open_ms / self.parallel_open_ms.max(1e-9)
+    }
+}
+
+/// One projected row: the simfs model's estimate of the same comparison at
+/// paper scale, where dropping fetches cost real metadata round-trips.
+#[derive(Debug, Clone)]
+pub struct ReadPathProjection {
+    /// Platform label.
+    pub platform: String,
+    /// Dropping count.
+    pub droppings: usize,
+    /// Modelled serial open (s).
+    pub serial_open_secs: f64,
+    /// Modelled parallel open (s).
+    pub parallel_open_secs: f64,
+}
+
+/// Dropping counts swept by the measured comparison.
+pub const READPATH_DROPPINGS: [usize; 3] = [16, 64, 256];
+
+fn best_of<F: FnMut() -> u64>(times: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut out = 0;
+    for _ in 0..times {
+        let t0 = std::time::Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Measure serial vs parallel open/read on in-memory containers across
+/// [`READPATH_DROPPINGS`]. Runs through the public `plfs::Plfs` API so the
+/// `index_merge`/`index_merge_par`/`read_fanout` trace ops land in the
+/// emitted BENCH json.
+pub fn readpath_comparison(scale: Scale) -> Vec<ReadPathRow> {
+    use plfs::{MemBacking, OpenFlags, Plfs, ReadConf};
+    use std::sync::Arc;
+
+    let rows_per_writer = match scale {
+        Scale::Paper => 256usize,
+        Scale::Quick => 64,
+    };
+    let block = 512usize;
+    READPATH_DROPPINGS
+        .iter()
+        .map(|&droppings| {
+            let backing = Arc::new(MemBacking::new());
+            let writer = Plfs::new(backing.clone());
+            let fd = writer
+                .open("/c", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+                .unwrap();
+            for p in 0..droppings as u64 {
+                fd.add_ref(p);
+                let data = vec![p as u8; block];
+                for r in 0..rows_per_writer as u64 {
+                    writer
+                        .write(&fd, &data, (r * droppings as u64 + p) * block as u64, p)
+                        .unwrap();
+                }
+            }
+            for p in 0..droppings as u64 {
+                let _ = writer.close(&fd, p);
+            }
+            writer.close(&fd, 0).unwrap();
+
+            let par_conf = ReadConf {
+                threads: 4,
+                parallel_merge_min_droppings: 1,
+                ..ReadConf::default()
+            };
+            let serial = Plfs::new(backing.clone()).with_read_conf(ReadConf::serial());
+            let parallel = Plfs::new(backing.clone()).with_read_conf(par_conf);
+
+            // First-byte latency: open + 1-byte read forces the index build.
+            let mut one = [0u8; 1];
+            let (serial_open, _) = best_of(3, || {
+                let fd = serial.open("/c", OpenFlags::RDONLY, 0).unwrap();
+                serial.read(&fd, &mut one, 0).unwrap() as u64
+            });
+            let (parallel_open, _) = best_of(3, || {
+                let fd = parallel.open("/c", OpenFlags::RDONLY, 0).unwrap();
+                parallel.read(&fd, &mut one, 0).unwrap() as u64
+            });
+
+            // Steady-state large reads on warm fds.
+            let read = (1 << 22).min(droppings * rows_per_writer * block);
+            let mut buf = vec![0u8; read];
+            let sfd = serial.open("/c", OpenFlags::RDONLY, 0).unwrap();
+            let (serial_read, n) = best_of(3, || serial.read(&sfd, &mut buf, 0).unwrap() as u64);
+            assert_eq!(n as usize, read);
+            let pfd = parallel.open("/c", OpenFlags::RDONLY, 0).unwrap();
+            let (fanout_read, n) = best_of(3, || parallel.read(&pfd, &mut buf, 0).unwrap() as u64);
+            assert_eq!(n as usize, read);
+
+            ReadPathRow {
+                droppings,
+                entries: droppings * rows_per_writer,
+                serial_open_ms: serial_open * 1e3,
+                parallel_open_ms: parallel_open * 1e3,
+                serial_read_mbs: read as f64 / serial_read.max(1e-9) / 1e6,
+                fanout_read_mbs: read as f64 / fanout_read.max(1e-9) / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Project the open-time comparison to paper scale with the simfs model,
+/// where each dropping fetch pays a platform metadata round-trip.
+pub fn readpath_projection(threads: usize) -> Vec<ReadPathProjection> {
+    let mut out = Vec::new();
+    for (platform, label) in [
+        (presets::sierra(), "Sierra (Lustre)"),
+        (presets::minerva(), "Minerva (GPFS)"),
+    ] {
+        for &droppings in &READPATH_DROPPINGS {
+            let e = simfs::readpath::open_time(&platform, droppings, 256, threads);
+            out.push(ReadPathProjection {
+                platform: label.to_string(),
+                droppings,
+                serial_open_secs: e.serial_secs,
+                parallel_open_secs: e.parallel_secs,
+            });
+        }
+    }
+    out
+}
+
+/// Render the measured read-path comparison.
+pub fn render_readpath(rows: &[ReadPathRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10}{:>9}{:>14}{:>14}{:>9}{:>13}{:>13}\n",
+        "Droppings", "Entries", "serial open", "par open", "speedup", "serial read", "fanout read"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10}{:>9}{:>12.2}ms{:>12.2}ms{:>8.2}x{:>9.0} MB/s{:>9.0} MB/s\n",
+            r.droppings,
+            r.entries,
+            r.serial_open_ms,
+            r.parallel_open_ms,
+            r.open_speedup(),
+            r.serial_read_mbs,
+            r.fanout_read_mbs
+        ));
+    }
+    out
+}
+
+/// Render the simulated at-scale projection.
+pub fn render_readpath_projection(rows: &[ReadPathProjection]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22}{:>10}{:>14}{:>14}{:>9}\n",
+        "Platform", "Droppings", "serial open", "par open", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22}{:>10}{:>13.3}s{:>13.3}s{:>8.2}x\n",
+            r.platform,
+            r.droppings,
+            r.serial_open_secs,
+            r.parallel_open_secs,
+            r.serial_open_secs / r.parallel_open_secs.max(1e-12)
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Rendering helpers.
 // ---------------------------------------------------------------------------
 
@@ -535,6 +733,29 @@ impl ToJson for StagingRow {
     }
 }
 
+impl ToJson for ReadPathRow {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("droppings", self.droppings as u64)
+            .with("entries", self.entries as u64)
+            .with("serial_open_ms", self.serial_open_ms)
+            .with("parallel_open_ms", self.parallel_open_ms)
+            .with("open_speedup", self.open_speedup())
+            .with("serial_read_mbs", self.serial_read_mbs)
+            .with("fanout_read_mbs", self.fanout_read_mbs)
+    }
+}
+
+impl ToJson for ReadPathProjection {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("platform", self.platform.as_str())
+            .with("droppings", self.droppings as u64)
+            .with("serial_open_secs", self.serial_open_secs)
+            .with("parallel_open_secs", self.parallel_open_secs)
+    }
+}
+
 impl ToJson for IorRow {
     fn to_json_value(&self) -> Value {
         Value::object()
@@ -588,7 +809,10 @@ mod tests {
         };
         let (mpiio, fuse, romio, ldplfs) =
             (get("MPI-IO"), get("FUSE"), get("ROMIO"), get("LDPLFS"));
-        assert!(ldplfs > mpiio, "PLFS should beat MPI-IO: {ldplfs} vs {mpiio}");
+        assert!(
+            ldplfs > mpiio,
+            "PLFS should beat MPI-IO: {ldplfs} vs {mpiio}"
+        );
         assert!(ldplfs > fuse, "LDPLFS should beat FUSE: {ldplfs} vs {fuse}");
         let ratio = ldplfs / romio;
         assert!((0.85..1.15).contains(&ratio), "LDPLFS≈ROMIO, got {ratio}");
@@ -610,6 +834,33 @@ mod tests {
         for r in &rows {
             assert!(r.plfs_secs < r.standard_secs * 1.2, "{:?}", r);
         }
+    }
+
+    #[test]
+    fn quick_readpath_measures_and_projects() {
+        let rows = readpath_comparison(Scale::Quick);
+        assert_eq!(rows.len(), READPATH_DROPPINGS.len());
+        for r in &rows {
+            assert!(r.serial_open_ms > 0.0 && r.parallel_open_ms > 0.0);
+            assert!(r.serial_read_mbs > 0.0 && r.fanout_read_mbs > 0.0);
+        }
+        // The biggest container is where the merge dominates: the parallel
+        // open must win there (the acceptance bar is checked in micro_plfs).
+        let big = rows.last().unwrap();
+        assert!(
+            big.open_speedup() > 1.0,
+            "parallel open should beat serial at 256 droppings: {big:?}"
+        );
+        let txt = render_readpath(&rows);
+        assert!(txt.contains("Droppings") && txt.contains("speedup"));
+
+        let proj = readpath_projection(16);
+        assert_eq!(proj.len(), 2 * READPATH_DROPPINGS.len());
+        assert!(proj
+            .iter()
+            .all(|p| p.serial_open_secs > p.parallel_open_secs));
+        let txt = render_readpath_projection(&proj);
+        assert!(txt.contains("Sierra"));
     }
 
     #[test]

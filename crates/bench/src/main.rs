@@ -7,13 +7,17 @@
 //! paperbench fig4 --class C|D    # NAS BT on Sierra
 //! paperbench fig5 [--subdirs N]  # FLASH-IO on Sierra
 //! paperbench crossover           # where PLFS starts to hurt (future work)
+//! paperbench readpath [--quick]  # serial vs parallel container open/read
 //! paperbench all [--quick]       # everything above
 //! paperbench ... --json PATH     # also dump JSON for EXPERIMENTS.md
 //! paperbench ... --emit-json DIR # figure data + per-layer op/latency trace
 //! ```
 
 use apps::nas_bt::BtClass;
-use bench::{crossover, fig3, fig4, fig5_with, render_panel, render_table2, table2, Scale};
+use bench::{
+    crossover, fig3, fig4, fig5_with, readpath_comparison, readpath_projection, render_panel,
+    render_readpath, render_readpath_projection, render_table2, table2, Scale,
+};
 use jsonlite::{ToJson, Value};
 use simfs::presets;
 
@@ -248,6 +252,22 @@ fn cmd_staging(args: &Args) {
     trace_emit(args, "staging", &rows);
 }
 
+fn cmd_readpath(args: &Args) {
+    println!("# Read path: serial vs parallel container open/read\n");
+    trace_begin(args);
+    let rows = readpath_comparison(scale(args.quick));
+    println!("## Measured (in-memory backing, this host)\n");
+    println!("{}", render_readpath(&rows));
+    let proj = readpath_projection(16);
+    println!("## Projected at paper scale (simfs metadata model, 16 threads)\n");
+    println!("{}", render_readpath_projection(&proj));
+    let doc = Value::object()
+        .with("measured", rows.to_json_value())
+        .with("projected", proj.to_json_value());
+    dump_json(&args.json, "readpath", &doc);
+    trace_emit(args, "readpath", &doc);
+}
+
 fn cmd_crossover(args: &Args) {
     println!("# PLFS benefit crossover (FLASH-IO, LDPLFS vs MPI-IO)\n");
     for (platform, label) in [
@@ -281,6 +301,7 @@ fn main() {
         "crossover" => cmd_crossover(&args),
         "ior" => cmd_ior(&args),
         "staging" => cmd_staging(&args),
+        "readpath" => cmd_readpath(&args),
         "all" => {
             cmd_table1();
             cmd_fig3(&args);
@@ -290,10 +311,11 @@ fn main() {
             cmd_crossover(&args);
             cmd_ior(&args);
             cmd_staging(&args);
+            cmd_readpath(&args);
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|all] \
+                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|all] \
                  [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR] [--emit-json DIR]"
             );
         }

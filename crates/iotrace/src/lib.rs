@@ -48,7 +48,13 @@ pub enum Layer {
 
 impl Layer {
     /// Every layer, in reporting order.
-    pub const ALL: [Layer; 5] = [Layer::Shim, Layer::Plfs, Layer::Index, Layer::Sim, Layer::Mpi];
+    pub const ALL: [Layer; 5] = [
+        Layer::Shim,
+        Layer::Plfs,
+        Layer::Index,
+        Layer::Sim,
+        Layer::Mpi,
+    ];
 
     /// Stable lower-case name (JSON field value).
     pub fn as_str(self) -> &'static str {
@@ -96,13 +102,17 @@ pub enum OpKind {
     Trunc,
     /// Building or merging a global index from droppings.
     IndexMerge,
+    /// Concurrent index merge (the parallel read-open path).
+    IndexMergePar,
+    /// A `pread` fanned out over the reader worker pool.
+    ReadFanout,
     /// stat/readdir/unlink/rename/…: everything else.
     Meta,
 }
 
 impl OpKind {
     /// Every op kind, in reporting order.
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 11] = [
         OpKind::Open,
         OpKind::Close,
         OpKind::Read,
@@ -111,6 +121,8 @@ impl OpKind {
         OpKind::Sync,
         OpKind::Trunc,
         OpKind::IndexMerge,
+        OpKind::IndexMergePar,
+        OpKind::ReadFanout,
         OpKind::Meta,
     ];
 
@@ -125,6 +137,8 @@ impl OpKind {
             OpKind::Sync => "sync",
             OpKind::Trunc => "trunc",
             OpKind::IndexMerge => "index_merge",
+            OpKind::IndexMergePar => "index_merge_par",
+            OpKind::ReadFanout => "read_fanout",
             OpKind::Meta => "meta",
         }
     }
@@ -144,7 +158,9 @@ impl OpKind {
             OpKind::Sync => 5,
             OpKind::Trunc => 6,
             OpKind::IndexMerge => 7,
-            OpKind::Meta => 8,
+            OpKind::IndexMergePar => 8,
+            OpKind::ReadFanout => 9,
+            OpKind::Meta => 10,
         }
     }
 }
@@ -343,8 +359,10 @@ impl Ring {
                         Ok(_) => {
                             // SAFETY: we own this slot until we publish seq.
                             let rec = unsafe { (*cell.data.get()).assume_init_read() };
-                            cell.seq
-                                .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
+                            cell.seq.store(
+                                pos.wrapping_add(self.mask).wrapping_add(1),
+                                Ordering::Release,
+                            );
                             return Some(rec);
                         }
                         Err(actual) => pos = actual,
@@ -757,7 +775,11 @@ pub fn record_from_json(v: &jsonlite::Value) -> Option<(TraceRecord, Option<Stri
             layer,
             op,
             path_id: NO_PATH,
-            node: v.get("node").and_then(|n| n.as_u64()).map(|n| n as u32).unwrap_or(NO_NODE),
+            node: v
+                .get("node")
+                .and_then(|n| n.as_u64())
+                .map(|n| n as u32)
+                .unwrap_or(NO_NODE),
             fd: v.get("fd").and_then(|f| f.as_i64()).unwrap_or(-1),
             offset: v.get("offset").and_then(|o| o.as_u64()).unwrap_or(0),
             bytes: v.get("bytes").and_then(|b| b.as_u64()).unwrap_or(0),
@@ -804,11 +826,7 @@ mod tests {
         s.record_at(9, 1 << 20, OpEvent::new(Layer::Plfs, OpKind::Read).bytes(5));
         let snap = s.snapshot();
         assert_eq!(snap.layer_totals(Layer::Plfs), (3, 35));
-        let w = snap
-            .entries
-            .iter()
-            .find(|e| e.op == OpKind::Write)
-            .unwrap();
+        let w = snap.entries.iter().find(|e| e.op == OpKind::Write).unwrap();
         assert_eq!(w.ops, 2);
         assert_eq!(w.bytes, 30);
         // 100ns -> bucket 6 ([64,128)), 200ns -> bucket 7 ([128,256)).
@@ -875,7 +893,10 @@ mod tests {
         assert_eq!(s.dropped(), 0);
         assert_eq!(s.drain().len(), threads * per);
         let snap = s.snapshot();
-        assert_eq!(snap.layer_totals(Layer::Shim), ((threads * per) as u64, (threads * per) as u64));
+        assert_eq!(
+            snap.layer_totals(Layer::Shim),
+            ((threads * per) as u64, (threads * per) as u64)
+        );
     }
 
     #[test]
@@ -894,7 +915,12 @@ mod tests {
         let s = enabled_sink(16);
         let t0 = s.start().expect("enabled");
         std::thread::sleep(std::time::Duration::from_millis(2));
-        s.record(t0, OpEvent::new(Layer::Shim, OpKind::Open).path("/plfs/x").fd(3));
+        s.record(
+            t0,
+            OpEvent::new(Layer::Shim, OpKind::Open)
+                .path("/plfs/x")
+                .fd(3),
+        );
         let recs = s.drain();
         assert_eq!(recs.len(), 1);
         assert!(recs[0].latency_ns >= 1_000_000, "{}", recs[0].latency_ns);
@@ -943,7 +969,13 @@ mod tests {
         let w = shim.get("per_op").unwrap().get("write").unwrap();
         assert_eq!(w.get("ops").unwrap().as_u64(), Some(1));
         assert!(w.get("latency_hist_log2_ns").unwrap().as_array().is_some());
-        assert!(j.get("records").unwrap().get("dropped").unwrap().as_u64().is_some());
+        assert!(j
+            .get("records")
+            .unwrap()
+            .get("dropped")
+            .unwrap()
+            .as_u64()
+            .is_some());
     }
 
     #[test]
@@ -970,6 +1002,15 @@ mod tests {
         assert!(s.drain().is_empty());
         assert!(s.is_enabled(), "reset leaves enablement alone");
         assert_eq!(s.intern("/q"), 0, "intern table restarted");
+    }
+
+    #[test]
+    fn op_names_roundtrip() {
+        for op in OpKind::ALL {
+            assert_eq!(OpKind::from_str_opt(op.as_str()), Some(op));
+        }
+        assert_eq!(OpKind::IndexMergePar.as_str(), "index_merge_par");
+        assert_eq!(OpKind::ReadFanout.as_str(), "read_fanout");
     }
 
     #[test]

@@ -66,7 +66,10 @@ fn enabled_steady_state_does_not_allocate_after_interning() {
     // Warm-up: interns the path (allocates once) and touches the ring.
     for _ in 0..4 {
         if let Some(t0) = sink.start() {
-            sink.record(t0, OpEvent::new(Layer::Shim, OpKind::Write).path("/plfs/hot"));
+            sink.record(
+                t0,
+                OpEvent::new(Layer::Shim, OpKind::Write).path("/plfs/hot"),
+            );
         }
     }
     sink.drain();
@@ -74,7 +77,10 @@ fn enabled_steady_state_does_not_allocate_after_interning() {
     let before = ALLOCS.load(Ordering::SeqCst);
     for _ in 0..256 {
         if let Some(t0) = sink.start() {
-            sink.record(t0, OpEvent::new(Layer::Shim, OpKind::Write).path("/plfs/hot"));
+            sink.record(
+                t0,
+                OpEvent::new(Layer::Shim, OpKind::Write).path("/plfs/hot"),
+            );
         }
     }
     let after = ALLOCS.load(Ordering::SeqCst);

@@ -607,7 +607,10 @@ mod tests {
     #[test]
     fn pretty_output_parses_back() {
         let v = Value::object()
-            .with("series", Value::Array(vec![Value::object().with("label", "A")]))
+            .with(
+                "series",
+                Value::Array(vec![Value::object().with("label", "A")]),
+            )
             .with("points", Value::from(vec![1u64, 2]));
         let pretty = v.to_json_pretty();
         assert!(pretty.contains("\n"));

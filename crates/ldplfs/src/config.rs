@@ -72,8 +72,7 @@ pub fn from_plfsrc(
     let rc = PlfsRc::parse(plfsrc).map_err(Errno::from)?;
     let mut builder = LdPlfsBuilder::new(under);
     for spec in &rc.mounts {
-        let plfs = plfs_for_spec(spec, &mut backing_for)?
-            .with_threads(rc.threadpool_size.max(1));
+        let plfs = plfs_for_spec(spec, &mut backing_for)?.with_read_conf(rc.read_conf());
         builder = builder.mount(spec.mount_point.clone(), plfs);
     }
     builder.build()
@@ -87,11 +86,8 @@ mod tests {
     use plfs::MemBacking;
 
     fn under(name: &str) -> Arc<dyn PosixLayer> {
-        let dir = std::env::temp_dir().join(format!(
-            "ldplfs-config-{}-{}",
-            name,
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ldplfs-config-{}-{}", name, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         Arc::new(RealPosix::rooted(dir).unwrap())
     }
@@ -129,6 +125,17 @@ mod tests {
         s.write(fd, b"spread").unwrap();
         s.close(fd).unwrap();
         assert_eq!(s.stat("/viz/dump").unwrap().size, 6);
+    }
+
+    #[test]
+    fn from_plfsrc_plumbs_read_conf() {
+        let rc = "threadpool_size 4\nread_fanout_threshold 2048\nhandle_cache_shards 2\n\
+                  mount_point /ckpt\nbackends /be\n";
+        let s = from_plfsrc(under("conf"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        let conf = s.mounts()[0].plfs.read_conf();
+        assert_eq!(conf.threads, 4);
+        assert_eq!(conf.fanout_threshold, 2048);
+        assert_eq!(conf.handle_shards, 2);
     }
 
     #[test]

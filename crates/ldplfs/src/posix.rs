@@ -176,7 +176,11 @@ mod tests {
         assert_eq!(seek_target(10, 100, 5, Whence::Cur).unwrap(), 15);
         assert_eq!(seek_target(10, 100, -5, Whence::Cur).unwrap(), 5);
         assert_eq!(seek_target(10, 100, -10, Whence::End).unwrap(), 90);
-        assert_eq!(seek_target(10, 100, 10, Whence::End).unwrap(), 110, "past EOF is legal");
+        assert_eq!(
+            seek_target(10, 100, 10, Whence::End).unwrap(),
+            110,
+            "past EOF is legal"
+        );
     }
 
     #[test]

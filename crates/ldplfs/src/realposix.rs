@@ -9,9 +9,7 @@
 //! tests and examples operate in a sandbox; paths are then interpreted
 //! relative to that root.
 
-use crate::posix::{
-    Errno, Fd, OpenFlags, PosixDirent, PosixLayer, PosixResult, PosixStat, Whence,
-};
+use crate::posix::{Errno, Fd, OpenFlags, PosixDirent, PosixLayer, PosixResult, PosixStat, Whence};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fs;
@@ -289,11 +287,8 @@ mod tests {
     use super::*;
 
     fn sandbox(name: &str) -> RealPosix {
-        let dir = std::env::temp_dir().join(format!(
-            "ldplfs-realposix-{}-{}",
-            name,
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ldplfs-realposix-{}-{}", name, std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         RealPosix::rooted(dir).unwrap()
     }

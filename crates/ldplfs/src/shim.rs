@@ -18,9 +18,7 @@
 //!   `dup(2)` shares the open file description, dup'd descriptors share the
 //!   PLFS cursor for free, exactly like real files.
 
-use crate::posix::{
-    Errno, Fd, OpenFlags, PosixDirent, PosixLayer, PosixResult, PosixStat, Whence,
-};
+use crate::posix::{Errno, Fd, OpenFlags, PosixDirent, PosixLayer, PosixResult, PosixStat, Whence};
 use crate::stats::{OpClass, ShimStats};
 use iotrace::{Layer, OpEvent, OpKind};
 use parking_lot::RwLock;
@@ -49,7 +47,9 @@ pub fn clear_virtual_pid() {
 
 /// The pid PLFS operations run under for this thread.
 pub fn current_pid() -> u64 {
-    VIRTUAL_PID.with(|c| c.get()).unwrap_or(std::process::id() as u64)
+    VIRTUAL_PID
+        .with(|c| c.get())
+        .unwrap_or(std::process::id() as u64)
 }
 
 /// One configured mount.
@@ -151,7 +151,13 @@ impl LdPlfs {
     /// by `ev`, stamped with the hit flag and the span's latency. Called
     /// after the operation on both paths, so hit AND miss latencies land in
     /// the shim-layer histograms.
-    fn track<'a>(&self, op: OpClass, hit: bool, t0: Option<Instant>, ev: impl FnOnce() -> OpEvent<'a>) {
+    fn track<'a>(
+        &self,
+        op: OpClass,
+        hit: bool,
+        t0: Option<Instant>,
+        ev: impl FnOnce() -> OpEvent<'a>,
+    ) {
         if hit {
             self.stats.hit(op);
         } else {
@@ -187,17 +193,17 @@ impl LdPlfs {
             pid,
             self.scratch_seq.fetch_add(1, Ordering::Relaxed)
         );
-        let under_fd = match self.under.open(
-            &scratch_path,
-            OpenFlags::RDWR | OpenFlags::CREAT,
-            0o600,
-        ) {
-            Ok(fd) => fd,
-            Err(e) => {
-                let _ = plfs_fd.close(pid);
-                return Err(e);
-            }
-        };
+        let under_fd =
+            match self
+                .under
+                .open(&scratch_path, OpenFlags::RDWR | OpenFlags::CREAT, 0o600)
+            {
+                Ok(fd) => fd,
+                Err(e) => {
+                    let _ = plfs_fd.close(pid);
+                    return Err(e);
+                }
+            };
         let state = Arc::new(OpenState {
             mount,
             plfs_fd,
@@ -241,8 +247,12 @@ impl PosixLayer for LdPlfs {
                 // Release both halves unconditionally: a PLFS-side close
                 // error must not leak the reserved descriptor or the scratch
                 // file (and vice versa). The first error is reported.
-                let plfs_res: PosixResult<()> =
-                    e.state.plfs_fd.close(e.pid).map(|_| ()).map_err(Errno::from);
+                let plfs_res: PosixResult<()> = e
+                    .state
+                    .plfs_fd
+                    .close(e.pid)
+                    .map(|_| ())
+                    .map_err(Errno::from);
                 let under_res = self.under.close(e.under_fd);
                 if e.state.fds.fetch_sub(1, Ordering::AcqRel) == 1 {
                     let _ = self.under.unlink(&e.state.scratch_path);
@@ -420,10 +430,14 @@ impl PosixLayer for LdPlfs {
         let t0 = iotrace::global().start();
         let (r, hit) = match self.match_mount(path) {
             Some((m, rel)) => {
-                let r = self.mounts[m].plfs.getattr(&rel).map_err(Errno::from).map(|st| PosixStat {
-                    size: st.size,
-                    is_dir: st.is_dir,
-                });
+                let r = self.mounts[m]
+                    .plfs
+                    .getattr(&rel)
+                    .map_err(Errno::from)
+                    .map(|st| PosixStat {
+                        size: st.size,
+                        is_dir: st.is_dir,
+                    });
                 (r, true)
             }
             None => (self.under.stat(path), false),
@@ -438,10 +452,14 @@ impl PosixLayer for LdPlfs {
         let t0 = iotrace::global().start();
         let (r, hit) = match self.entry_state(fd) {
             Some((st, _)) => {
-                let r = st.plfs_fd.size().map_err(Errno::from).map(|size| PosixStat {
-                    size,
-                    is_dir: false,
-                });
+                let r = st
+                    .plfs_fd
+                    .size()
+                    .map_err(Errno::from)
+                    .map(|size| PosixStat {
+                        size,
+                        is_dir: false,
+                    });
                 (r, true)
             }
             None => (self.under.fstat(fd), false),
@@ -524,11 +542,16 @@ impl PosixLayer for LdPlfs {
     fn truncate(&self, path: &str, len: u64) -> PosixResult<()> {
         let t0 = iotrace::global().start();
         let (r, hit) = match self.match_mount(path) {
-            Some((m, rel)) => (self.mounts[m].plfs.trunc(&rel, len).map_err(Errno::from), true),
+            Some((m, rel)) => (
+                self.mounts[m].plfs.trunc(&rel, len).map_err(Errno::from),
+                true,
+            ),
             None => (self.under.truncate(path, len), false),
         };
         self.track(OpClass::Meta, hit, t0, || {
-            OpEvent::new(Layer::Shim, OpKind::Trunc).path(path).bytes(len)
+            OpEvent::new(Layer::Shim, OpKind::Trunc)
+                .path(path)
+                .bytes(len)
         });
         r
     }
@@ -548,7 +571,9 @@ impl PosixLayer for LdPlfs {
             None => (self.under.ftruncate(fd, len), false),
         };
         self.track(OpClass::Meta, hit, t0, || {
-            OpEvent::new(Layer::Shim, OpKind::Trunc).fd(fd as i64).bytes(len)
+            OpEvent::new(Layer::Shim, OpKind::Trunc)
+                .fd(fd as i64)
+                .bytes(len)
         });
         r
     }
@@ -557,14 +582,18 @@ impl PosixLayer for LdPlfs {
         let t0 = iotrace::global().start();
         let (r, hit) = match self.match_mount(path) {
             Some((m, rel)) => {
-                let r = self.mounts[m].plfs.readdir(&rel).map_err(Errno::from).map(|ents| {
-                    ents.into_iter()
-                        .map(|d| PosixDirent {
-                            name: d.name,
-                            is_dir: d.is_dir,
-                        })
-                        .collect()
-                });
+                let r = self.mounts[m]
+                    .plfs
+                    .readdir(&rel)
+                    .map_err(Errno::from)
+                    .map(|ents| {
+                        ents.into_iter()
+                            .map(|d| PosixDirent {
+                                name: d.name,
+                                is_dir: d.is_dir,
+                            })
+                            .collect()
+                    });
                 (r, true)
             }
             None => (self.under.readdir(path), false),
@@ -670,7 +699,11 @@ mod tests {
         let mut buf = [0u8; 2];
         s.pread(fd, &mut buf, 10).unwrap();
         assert_eq!(&buf, b"zz");
-        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 4, "cursor still after write");
+        assert_eq!(
+            s.lseek(fd, 0, Whence::Cur).unwrap(),
+            4,
+            "cursor still after write"
+        );
         s.close(fd).unwrap();
     }
 
@@ -678,7 +711,7 @@ mod tests {
     fn append_mode_writes_at_logical_eof() {
         let s = shim();
         let fd = s.open("/plfs/f", CREATE_RW, 0o644).unwrap();
-        s.write(fd, b"head", ).unwrap();
+        s.write(fd, b"head").unwrap();
         s.close(fd).unwrap();
         let fd = s
             .open("/plfs/f", OpenFlags::WRONLY | OpenFlags::APPEND, 0o644)
@@ -727,7 +760,10 @@ mod tests {
         s.mkdir("/outside", 0o755).unwrap();
         assert!(s.mounts()[0].plfs.getattr("/dir").unwrap().is_dir);
         assert!(s.underlying().stat("/outside").unwrap().is_dir);
-        assert!(s.underlying().stat("/plfs").is_err(), "mount dir not on real FS");
+        assert!(
+            s.underlying().stat("/plfs").is_err(),
+            "mount dir not on real FS"
+        );
         s.rmdir("/plfs/dir").unwrap();
         assert!(s.access("/plfs/dir").is_err());
     }
@@ -775,7 +811,10 @@ mod tests {
         s.close(fd).unwrap();
         let ents = s.readdir("/plfs").unwrap();
         let names: Vec<_> = ents.iter().map(|e| (e.name.as_str(), e.is_dir)).collect();
-        assert!(names.contains(&("file", false)), "container looks like a file");
+        assert!(
+            names.contains(&("file", false)),
+            "container looks like a file"
+        );
         assert!(names.contains(&("sub", true)));
     }
 

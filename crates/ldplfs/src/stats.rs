@@ -75,12 +75,18 @@ impl ShimStats {
 
     /// Total intercepted operations.
     pub fn total_intercepted(&self) -> u64 {
-        self.intercepted.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.intercepted
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total passed-through operations.
     pub fn total_passthrough(&self) -> u64 {
-        self.passthrough.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.passthrough
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 }
 

@@ -91,8 +91,7 @@ impl CFile {
                 self.rd_len = n;
             }
             let take = (self.rd_len - self.rd_pos).min(out.len() - copied);
-            out[copied..copied + take]
-                .copy_from_slice(&self.rbuf[self.rd_pos..self.rd_pos + take]);
+            out[copied..copied + take].copy_from_slice(&self.rbuf[self.rd_pos..self.rd_pos + take]);
             self.rd_pos += take;
             copied += take;
         }
@@ -228,11 +227,8 @@ mod tests {
     use crate::realposix::RealPosix;
 
     fn layer(name: &str) -> Arc<dyn PosixLayer> {
-        let dir = std::env::temp_dir().join(format!(
-            "ldplfs-stdio-{}-{}",
-            name,
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ldplfs-stdio-{}-{}", name, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         Arc::new(RealPosix::rooted(dir).unwrap())
     }

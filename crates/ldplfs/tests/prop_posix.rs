@@ -172,10 +172,7 @@ fn drive(layer: &Arc<dyn PosixLayer>, path: &str, ops: &[Op]) -> (Vec<u8>, Vec<S
 }
 
 fn shim_layer(tag: u64) -> Arc<dyn PosixLayer> {
-    let dir = std::env::temp_dir().join(format!(
-        "ldplfs-prop-{}-{tag}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("ldplfs-prop-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let under = Arc::new(RealPosix::rooted(dir).unwrap());
     Arc::new(

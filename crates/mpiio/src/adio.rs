@@ -57,11 +57,7 @@ pub trait AdioDriver {
     fn read_at(&mut self, fs: &mut SimFs, t: f64, req: IoReq) -> SimResult<f64>;
 
     /// Collective close; returns per-rank completions.
-    fn close(
-        &mut self,
-        fs: &mut SimFs,
-        ranks: &[(usize, usize, f64)],
-    ) -> SimResult<Vec<f64>>;
+    fn close(&mut self, fs: &mut SimFs, ranks: &[(usize, usize, f64)]) -> SimResult<Vec<f64>>;
 }
 
 // ---------------------------------------------------------------------------
@@ -153,11 +149,7 @@ impl AdioDriver for UfsDriver {
         fs.read(t, req.node, fid, req.offset, req.len)
     }
 
-    fn close(
-        &mut self,
-        fs: &mut SimFs,
-        ranks: &[(usize, usize, f64)],
-    ) -> SimResult<Vec<f64>> {
+    fn close(&mut self, fs: &mut SimFs, ranks: &[(usize, usize, f64)]) -> SimResult<Vec<f64>> {
         let fid = self.fid()?;
         let mut out = Vec::with_capacity(ranks.len());
         for &(_rank, node, t) in ranks {
@@ -217,7 +209,9 @@ impl PlfsContainer {
     /// later dropping creates are pure file creates).
     fn create_skeleton(&mut self, fs: &mut SimFs, t: f64) -> SimResult<f64> {
         let mut c = fs.mkdir(t, &self.path)?;
-        c = fs.create(c, &format!("{}/.plfsaccess", self.path), Some(1))?.0;
+        c = fs
+            .create(c, &format!("{}/.plfsaccess", self.path), Some(1))?
+            .0;
         c = fs.mkdir(c, &format!("{}/openhosts", self.path))?;
         c = fs.mkdir(c, &format!("{}/meta", self.path))?;
         for hd in 0..self.num_hostdirs {
@@ -230,12 +224,7 @@ impl PlfsContainer {
 
     /// Ensure a rank's write stream exists: hostdir + data and index
     /// droppings (2 creates, the Figure 5 load).
-    fn stream(
-        &mut self,
-        fs: &mut SimFs,
-        t: f64,
-        rank: usize,
-    ) -> SimResult<(f64, &mut Stream)> {
+    fn stream(&mut self, fs: &mut SimFs, t: f64, rank: usize) -> SimResult<(f64, &mut Stream)> {
         if !self.streams.contains_key(&rank) {
             let hd = self.hostdir(rank);
             let hd_path = format!("{}/hostdir.{hd}", self.path);
@@ -255,8 +244,7 @@ impl PlfsContainer {
             // its default stripe count). Both creates are issued
             // concurrently at the caller's clock.
             let (c1, data) = fs.create(c, &format!("{hd_path}/dropping.data.{rank}"), None)?;
-            let (c2b, index) =
-                fs.create(c, &format!("{hd_path}/dropping.index.{rank}"), None)?;
+            let (c2b, index) = fs.create(c, &format!("{hd_path}/dropping.index.{rank}"), None)?;
             let c2 = c1.max(c2b);
             fs.add_writer(data)?;
             self.streams.insert(
@@ -281,13 +269,7 @@ impl PlfsContainer {
         self.write_opt(fs, t, req, false)
     }
 
-    fn write_opt(
-        &mut self,
-        fs: &mut SimFs,
-        t: f64,
-        req: IoReq,
-        through: bool,
-    ) -> SimResult<f64> {
+    fn write_opt(&mut self, fs: &mut SimFs, t: f64, req: IoReq, through: bool) -> SimResult<f64> {
         let (t_ready, stream) = self.stream(fs, t, req.rank)?;
         let cursor = stream.cursor;
         stream.cursor += req.len;
@@ -318,7 +300,13 @@ impl PlfsContainer {
                 None => return Ok(t), // nothing written yet: zero-fill
             },
         };
-        fs.read(t, req.node, fid, req.offset.min(self.stream_size(fs, fid)), req.len)
+        fs.read(
+            t,
+            req.node,
+            fid,
+            req.offset.min(self.stream_size(fs, fid)),
+            req.len,
+        )
     }
 
     fn stream_size(&self, fs: &SimFs, fid: FileId) -> u64 {
@@ -434,7 +422,14 @@ impl AdioDriver for PlfsRomioDriver {
         create: bool,
         ranks: &[(usize, usize, f64)],
     ) -> SimResult<Vec<f64>> {
-        plfs_open(&mut self.container, fs, path, create, ranks, self.per_op_overhead)
+        plfs_open(
+            &mut self.container,
+            fs,
+            path,
+            create,
+            ranks,
+            self.per_op_overhead,
+        )
     }
 
     fn write_at(&mut self, fs: &mut SimFs, t: f64, req: IoReq) -> SimResult<f64> {
@@ -445,11 +440,7 @@ impl AdioDriver for PlfsRomioDriver {
         self.container.read(fs, t + self.per_op_overhead, req)
     }
 
-    fn close(
-        &mut self,
-        fs: &mut SimFs,
-        ranks: &[(usize, usize, f64)],
-    ) -> SimResult<Vec<f64>> {
+    fn close(&mut self, fs: &mut SimFs, ranks: &[(usize, usize, f64)]) -> SimResult<Vec<f64>> {
         let mut out = Vec::with_capacity(ranks.len());
         let mut seen_nodes = std::collections::HashSet::new();
         for &(rank, node, t) in ranks {
@@ -518,11 +509,7 @@ impl AdioDriver for LdplfsDriver {
         self.container.read(fs, t + self.per_op_overhead, req)
     }
 
-    fn close(
-        &mut self,
-        fs: &mut SimFs,
-        ranks: &[(usize, usize, f64)],
-    ) -> SimResult<Vec<f64>> {
+    fn close(&mut self, fs: &mut SimFs, ranks: &[(usize, usize, f64)]) -> SimResult<Vec<f64>> {
         let mut out = Vec::with_capacity(ranks.len());
         let mut seen_nodes = std::collections::HashSet::new();
         for &(rank, node, t) in ranks {
@@ -573,10 +560,7 @@ impl FuseDriver {
     fn daemon(&mut self, node: usize, t: f64, len: u64) -> f64 {
         let reqs = len.div_ceil(self.request_size.max(1));
         let service = reqs as f64 * self.crossing_cost + len as f64 / self.daemon_bw;
-        self.daemons
-            .entry(node)
-            .or_default()
-            .serve(t, service)
+        self.daemons.entry(node).or_default().serve(t, service)
     }
 }
 
@@ -592,7 +576,14 @@ impl AdioDriver for FuseDriver {
         create: bool,
         ranks: &[(usize, usize, f64)],
     ) -> SimResult<Vec<f64>> {
-        plfs_open(&mut self.container, fs, path, create, ranks, self.crossing_cost)
+        plfs_open(
+            &mut self.container,
+            fs,
+            path,
+            create,
+            ranks,
+            self.crossing_cost,
+        )
     }
 
     fn write_at(&mut self, fs: &mut SimFs, t: f64, req: IoReq) -> SimResult<f64> {
@@ -664,11 +655,7 @@ impl AdioDriver for FuseDriver {
         Ok(done)
     }
 
-    fn close(
-        &mut self,
-        fs: &mut SimFs,
-        ranks: &[(usize, usize, f64)],
-    ) -> SimResult<Vec<f64>> {
+    fn close(&mut self, fs: &mut SimFs, ranks: &[(usize, usize, f64)]) -> SimResult<Vec<f64>> {
         let mut out = Vec::with_capacity(ranks.len());
         let mut seen_nodes = std::collections::HashSet::new();
         for &(rank, node, t) in ranks {

@@ -195,12 +195,7 @@ impl MpiFile {
     }
 
     /// Collective read: two-phase in reverse (aggregators read, scatter).
-    pub fn read_at_all(
-        &mut self,
-        fs: &mut SimFs,
-        job: &mut Job,
-        ios: &[RankIo],
-    ) -> SimResult<f64> {
+    pub fn read_at_all(&mut self, fs: &mut SimFs, job: &mut Job, ios: &[RankIo]) -> SimResult<f64> {
         self.collective(fs, job, ios, false)
     }
 
@@ -245,9 +240,7 @@ impl MpiFile {
         let aggs: Vec<usize> = job
             .aggregator_ranks()
             .into_iter()
-            .flat_map(|lead| {
-                (0..self.info.cb_aggregators_per_node.max(1)).map(move |i| lead + i)
-            })
+            .flat_map(|lead| (0..self.info.cb_aggregators_per_node.max(1)).map(move |i| lead + i))
             .filter(|&r| r < job.ranks())
             .collect();
         let nagg = aggs.len() as u64;
@@ -258,11 +251,7 @@ impl MpiFile {
             .map(|io| io.offset)
             .min()
             .unwrap_or(0);
-        let hi = ios
-            .iter()
-            .map(|io| io.offset + io.len)
-            .max()
-            .unwrap_or(0);
+        let hi = ios.iter().map(|io| io.offset + io.len).max().unwrap_or(0);
         let span = hi - lo;
         let region = span.div_ceil(nagg);
 
@@ -332,11 +321,7 @@ mod tests {
         (SimFs::new(presets::toy()), Job::new(ranks, ppn))
     }
 
-    fn open(
-        fs: &mut SimFs,
-        job: &mut Job,
-        method: Method,
-    ) -> MpiFile {
+    fn open(fs: &mut SimFs, job: &mut Job, method: Method) -> MpiFile {
         MpiFile::open(fs, job, "/out", true, method, MpiInfo::default(), 4).unwrap()
     }
 
@@ -376,7 +361,11 @@ mod tests {
         // write ops against dropping files via stats: 2 data writes (+2
         // index flushes + meta at close).
         let s = fs.stats();
-        assert_eq!(s.bytes_written, 4 * MIB + 2 * 48, "2 aggregator index flushes");
+        assert_eq!(
+            s.bytes_written,
+            4 * MIB + 2 * 48,
+            "2 aggregator index flushes"
+        );
     }
 
     #[test]
@@ -406,8 +395,7 @@ mod tests {
             cb_enable: false,
             ..Default::default()
         };
-        let mut f =
-            MpiFile::open(&mut fs, &mut job, "/out", true, Method::MpiIo, info, 4).unwrap();
+        let mut f = MpiFile::open(&mut fs, &mut job, "/out", true, Method::MpiIo, info, 4).unwrap();
         let ios: Vec<RankIo> = (0..4)
             .map(|r| RankIo {
                 offset: r as u64 * MIB,
@@ -477,15 +465,23 @@ mod tests {
             cb_buffer_size: MIB,
             ..Default::default()
         };
-        let mut f =
-            MpiFile::open(&mut fs, &mut job, "/out", true, Method::MpiIo, info, 4).unwrap();
+        let mut f = MpiFile::open(&mut fs, &mut job, "/out", true, Method::MpiIo, info, 4).unwrap();
         // 8 MiB through a 1 MiB collective buffer: must still all land.
         let ios = vec![
-            RankIo { offset: 0, len: 4 * MIB },
-            RankIo { offset: 4 * MIB, len: 4 * MIB },
+            RankIo {
+                offset: 0,
+                len: 4 * MIB,
+            },
+            RankIo {
+                offset: 4 * MIB,
+                len: 4 * MIB,
+            },
         ];
         f.write_at_all(&mut fs, &mut job, &ios).unwrap();
         assert_eq!(fs.stats().bytes_written, 8 * MIB);
-        assert!(fs.stats().write_ops >= 8, "several rounds of buffer-size writes");
+        assert!(
+            fs.stats().write_ops >= 8,
+            "several rounds of buffer-size writes"
+        );
     }
 }

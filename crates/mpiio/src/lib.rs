@@ -18,7 +18,9 @@ pub mod hints;
 pub mod view;
 pub mod writeops;
 
-pub use adio::{AdioDriver, FuseDriver, IoReq, LdplfsDriver, Method, PlfsRomioDriver, SieveConfig, UfsDriver};
+pub use adio::{
+    AdioDriver, FuseDriver, IoReq, LdplfsDriver, Method, PlfsRomioDriver, SieveConfig, UfsDriver,
+};
 pub use comm::{CommCosts, Job};
 pub use file::MpiFile;
 pub use hints::MpiInfo;

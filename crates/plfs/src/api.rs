@@ -10,10 +10,11 @@
 //! (`/checkpoint/dump.0001`), mapped onto backend paths internally.
 
 use crate::backing::{join, Backing};
+use crate::conf::ReadConf;
 use crate::container::{self, ContainerParams};
 use crate::error::{Error, Result};
-use crate::flags::OpenFlags;
 use crate::fd::PlfsFd;
+use crate::flags::OpenFlags;
 use crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES;
 use iotrace::{Layer, OpEvent, OpKind};
 use std::sync::Arc;
@@ -52,7 +53,7 @@ pub struct Plfs {
     backing: Arc<dyn Backing>,
     defaults: ContainerParams,
     index_buffer_entries: usize,
-    read_threads: usize,
+    read_conf: ReadConf,
 }
 
 impl Plfs {
@@ -62,7 +63,7 @@ impl Plfs {
             backing,
             defaults: ContainerParams::default(),
             index_buffer_entries: DEFAULT_INDEX_BUFFER_ENTRIES,
-            read_threads: 1,
+            read_conf: ReadConf::default(),
         }
     }
 
@@ -80,9 +81,22 @@ impl Plfs {
 
     /// Fan container reads out over a worker pool (the plfsrc
     /// `threadpool_size` knob). 1 = serial reads.
-    pub fn with_threads(mut self, threads: usize) -> Plfs {
-        self.read_threads = threads.max(1);
+    pub fn with_threads(self, threads: usize) -> Plfs {
+        let conf = self.read_conf.with_threads(threads);
+        self.with_read_conf(conf)
+    }
+
+    /// Set the full read-path configuration: worker threads, the pread
+    /// fan-out threshold, handle-cache shard count, and the parallel-merge
+    /// gate (see [`ReadConf`]).
+    pub fn with_read_conf(mut self, conf: ReadConf) -> Plfs {
+        self.read_conf = conf;
         self
+    }
+
+    /// The read-path configuration open fds inherit.
+    pub fn read_conf(&self) -> &ReadConf {
+        &self.read_conf
     }
 
     /// The backing store (exposed for flatten/tool helpers).
@@ -134,15 +148,17 @@ impl Plfs {
             self.trunc_backend(&bp, 0)?;
         }
         let params = container::read_params(self.backing.as_ref(), &bp)?;
-        Ok(Arc::new(PlfsFd::new(
-            self.backing.clone(),
-            bp,
-            params,
-            flags,
-            self.index_buffer_entries,
-            pid,
-        )
-        .with_read_threads(self.read_threads)))
+        Ok(Arc::new(
+            PlfsFd::new(
+                self.backing.clone(),
+                bp,
+                params,
+                flags,
+                self.index_buffer_entries,
+                pid,
+            )
+            .with_read_conf(self.read_conf),
+        ))
     }
 
     /// `plfs_create`: create a container without holding it open.
@@ -273,7 +289,9 @@ impl Plfs {
         let t0 = iotrace::global().start();
         let r = self.trunc_backend(&self.backend_path(path), len);
         trace_op(t0, || {
-            OpEvent::new(Layer::Plfs, OpKind::Trunc).path(path).bytes(len)
+            OpEvent::new(Layer::Plfs, OpKind::Trunc)
+                .path(path)
+                .bytes(len)
         });
         r
     }
@@ -292,7 +310,8 @@ impl Plfs {
                 }
             }
             for m in self.backing.readdir(&join(bp, container::META_DIR))? {
-                self.backing.unlink(&join(&join(bp, container::META_DIR), &m))?;
+                self.backing
+                    .unlink(&join(&join(bp, container::META_DIR), &m))?;
             }
             return Ok(());
         }

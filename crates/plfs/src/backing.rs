@@ -235,7 +235,12 @@ impl Backing for RealBacking {
     fn readdir(&self, path: &str) -> Result<Vec<String>> {
         let mut names = Vec::new();
         for ent in fs::read_dir(self.resolve(path)?).map_err(|e| annotate(e, path))? {
-            names.push(ent.map_err(Error::Io)?.file_name().to_string_lossy().into_owned());
+            names.push(
+                ent.map_err(Error::Io)?
+                    .file_name()
+                    .to_string_lossy()
+                    .into_owned(),
+            );
         }
         names.sort_unstable();
         Ok(names)
@@ -409,9 +414,10 @@ impl Backing for MemBacking {
             }
             inner.files.get(&path).unwrap().lock().data.clear();
         } else {
-            inner
-                .files
-                .insert(path.clone(), std::sync::Arc::new(Mutex::new(MemNode::default())));
+            inner.files.insert(
+                path.clone(),
+                std::sync::Arc::new(Mutex::new(MemNode::default())),
+            );
         }
         inner.clock += 1;
         let node = inner.files.get(&path).unwrap().clone();
@@ -478,7 +484,11 @@ impl Backing for MemBacking {
                 Error::NotFound(path)
             });
         }
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         let mut names: Vec<String> = inner
             .dirs
             .iter()
@@ -647,7 +657,10 @@ mod tests {
     #[test]
     fn open_missing_is_not_found() {
         for (name, b) in backings() {
-            assert!(matches!(b.open("/nope", false), Err(Error::NotFound(_))), "{name}");
+            assert!(
+                matches!(b.open("/nope", false), Err(Error::NotFound(_))),
+                "{name}"
+            );
         }
     }
 

@@ -165,7 +165,9 @@ pub fn check(b: &dyn Backing, path: &str) -> Result<CheckReport> {
     // Open-writer markers.
     let writers = container::open_writers(b, path)?;
     if writers > 0 {
-        report.findings.push(Finding::OpenWriters { count: writers });
+        report
+            .findings
+            .push(Finding::OpenWriters { count: writers });
     }
 
     let droppings = container::list_droppings(b, path)?;
@@ -295,8 +297,7 @@ pub fn repair(b: &dyn Backing, path: &str, clear_markers: bool) -> Result<Repair
                 }
                 report.markers_cleared += count;
             }
-            Finding::CorruptIndexRecord { .. }
-            | Finding::OrphanData { .. } => {
+            Finding::CorruptIndexRecord { .. } | Finding::OrphanData { .. } => {
                 report.unrepairable.push(finding.clone());
             }
             _ => {}
@@ -357,7 +358,8 @@ mod tests {
             .unwrap();
         for pid in 0..3u64 {
             fd.add_ref(pid);
-            plfs.write(&fd, &[pid as u8 + 1; 100], pid * 100, pid).unwrap();
+            plfs.write(&fd, &[pid as u8 + 1; 100], pid * 100, pid)
+                .unwrap();
         }
         for pid in 0..3 {
             let _ = plfs.close(&fd, pid);
@@ -400,10 +402,9 @@ mod tests {
         f.append(&[0xde; RECORD_SIZE / 2]).unwrap();
         drop(f);
         let r = check(b.as_ref(), "/c").unwrap();
-        assert!(r
-            .findings
-            .iter()
-            .any(|f| matches!(f, Finding::TornIndex { excess, .. } if *excess == RECORD_SIZE as u64 / 2)));
+        assert!(r.findings.iter().any(
+            |f| matches!(f, Finding::TornIndex { excess, .. } if *excess == RECORD_SIZE as u64 / 2)
+        ));
 
         let rep = repair(b.as_ref(), "/c", false).unwrap();
         assert_eq!(rep.indices_truncated, 1);
@@ -456,9 +457,13 @@ mod tests {
         let b = written_container();
         let d = &container::list_droppings(b.as_ref(), "/c").unwrap()[0];
         let hd = d.data_path.rsplit_once('/').unwrap().0.to_string();
-        b.create(&format!("{hd}/dropping.index.999.0"), true).unwrap();
+        b.create(&format!("{hd}/dropping.index.999.0"), true)
+            .unwrap();
         let r = check(b.as_ref(), "/c").unwrap();
-        assert!(r.findings.iter().any(|f| matches!(f, Finding::OrphanIndex { .. })));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::OrphanIndex { .. })));
         let rep = repair(b.as_ref(), "/c", false).unwrap();
         assert_eq!(rep.orphan_indices_removed, 1);
         assert!(check(b.as_ref(), "/c").unwrap().is_clean());
@@ -470,7 +475,10 @@ mod tests {
         let d = &container::list_droppings(b.as_ref(), "/c").unwrap()[0];
         b.unlink(d.index_path.as_ref().unwrap()).unwrap();
         let r = check(b.as_ref(), "/c").unwrap();
-        assert!(r.findings.iter().any(|f| matches!(f, Finding::OrphanData { .. })));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::OrphanData { .. })));
         assert_eq!(r.worst(), Some(Severity::DataLoss));
     }
 
@@ -479,7 +487,10 @@ mod tests {
         let b = written_container();
         container::mark_open(b.as_ref(), "/c", 77).unwrap();
         let r = check(b.as_ref(), "/c").unwrap();
-        assert!(r.findings.iter().any(|f| matches!(f, Finding::OpenWriters { count: 1 })));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::OpenWriters { count: 1 })));
         let rep = repair(b.as_ref(), "/c", true).unwrap();
         assert_eq!(rep.markers_cleared, 1);
         assert!(check(b.as_ref(), "/c").unwrap().is_clean());
@@ -495,7 +506,10 @@ mod tests {
         }
         container::drop_meta(b.as_ref(), "/c", 999_999, 1, 0).unwrap();
         let r = check(b.as_ref(), "/c").unwrap();
-        assert!(r.findings.iter().any(|f| matches!(f, Finding::StaleMeta { .. })));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::StaleMeta { .. })));
         let rep = repair(b.as_ref(), "/c", false).unwrap();
         assert!(rep.meta_rebuilt);
         let plfs = Plfs::new(b.clone());

@@ -1,0 +1,118 @@
+//! Read-path tuning knobs.
+//!
+//! Real PLFS exposes a `threadpool_size` in `plfsrc`; LDPLFS inherits it.
+//! [`ReadConf`] generalises that into the three knobs the parallel read
+//! path needs: how many worker threads to fan `pread`s over, how large a
+//! request must be before fanning out pays for the thread handoff, and how
+//! many shards the dropping-handle cache is split into. The same struct is
+//! plumbed from `plfsrc` (`mount::PlfsRc::read_conf`) through
+//! [`crate::api::Plfs`] and [`crate::fd::PlfsFd`] down to
+//! [`crate::reader::ReadFile`], so the LDPLFS shim and direct API users
+//! share one configuration surface.
+
+/// Tuning knobs for the container read path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadConf {
+    /// Worker threads for fan-out `pread` (1 = always serial). Also gates
+    /// the parallel index merge: any value above 1 enables it.
+    pub threads: usize,
+    /// Minimum request size in bytes before a `pread` fans out over the
+    /// worker pool; smaller requests take the serial loop, which is faster
+    /// than a thread handoff for little reads.
+    pub fanout_threshold: u64,
+    /// Number of shards the dropping-handle cache is split over (rounded up
+    /// to a power of two). Concurrent readers touching distinct droppings
+    /// only contend when their ids collide in a shard.
+    pub handle_shards: usize,
+    /// Minimum dropping count before the index merge decodes droppings in
+    /// parallel; tiny containers stay serial.
+    pub parallel_merge_min_droppings: usize,
+}
+
+impl Default for ReadConf {
+    fn default() -> ReadConf {
+        ReadConf {
+            threads: 1,
+            fanout_threshold: DEFAULT_FANOUT_THRESHOLD,
+            handle_shards: DEFAULT_HANDLE_SHARDS,
+            parallel_merge_min_droppings: DEFAULT_PARALLEL_MERGE_MIN,
+        }
+    }
+}
+
+/// Default fan-out threshold: 1 MiB.
+pub const DEFAULT_FANOUT_THRESHOLD: u64 = 1 << 20;
+/// Default handle-cache shard count.
+pub const DEFAULT_HANDLE_SHARDS: usize = 16;
+/// Default minimum dropping count for the parallel index merge.
+pub const DEFAULT_PARALLEL_MERGE_MIN: usize = 4;
+
+impl ReadConf {
+    /// A serial configuration (threads = 1), regardless of defaults.
+    pub fn serial() -> ReadConf {
+        ReadConf {
+            threads: 1,
+            ..ReadConf::default()
+        }
+    }
+
+    /// Builder-style: set the worker-thread count (min 1).
+    pub fn with_threads(mut self, threads: usize) -> ReadConf {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style: set the fan-out threshold in bytes.
+    pub fn with_fanout_threshold(mut self, bytes: u64) -> ReadConf {
+        self.fanout_threshold = bytes;
+        self
+    }
+
+    /// Builder-style: set the handle-cache shard count (min 1).
+    pub fn with_handle_shards(mut self, shards: usize) -> ReadConf {
+        self.handle_shards = shards.max(1);
+        self
+    }
+
+    /// Should the index merge for a container with `droppings` droppings
+    /// run in parallel under this configuration?
+    pub fn parallel_merge(&self, droppings: usize) -> bool {
+        self.threads > 1 && droppings >= self.parallel_merge_min_droppings
+    }
+
+    /// Should a `pread` of `bytes` bytes fan out under this configuration?
+    pub fn fanout(&self, bytes: u64) -> bool {
+        self.threads > 1 && bytes >= self.fanout_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_serial() {
+        let c = ReadConf::default();
+        assert_eq!(c.threads, 1);
+        assert!(!c.parallel_merge(1000));
+        assert!(!c.fanout(u64::MAX));
+    }
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let c = ReadConf::default().with_threads(0).with_handle_shards(0);
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.handle_shards, 1);
+    }
+
+    #[test]
+    fn gates_respect_thresholds() {
+        let c = ReadConf::default()
+            .with_threads(8)
+            .with_fanout_threshold(4096);
+        assert!(c.fanout(4096));
+        assert!(!c.fanout(4095));
+        assert!(c.parallel_merge(DEFAULT_PARALLEL_MERGE_MIN));
+        assert!(!c.parallel_merge(DEFAULT_PARALLEL_MERGE_MIN - 1));
+    }
+}

@@ -6,6 +6,7 @@
 //! lazily built, write-invalidated [`ReadFile`].
 
 use crate::backing::Backing;
+use crate::conf::ReadConf;
 use crate::container::{self, ContainerParams};
 use crate::error::{Error, Result};
 use crate::flags::OpenFlags;
@@ -32,7 +33,7 @@ pub struct PlfsFd {
     params: ContainerParams,
     flags: OpenFlags,
     index_buffer_entries: usize,
-    read_threads: usize,
+    read_conf: ReadConf,
     inner: Mutex<FdInner>,
 }
 
@@ -53,7 +54,7 @@ impl PlfsFd {
             params,
             flags,
             index_buffer_entries,
-            read_threads: 1,
+            read_conf: ReadConf::default(),
             inner: Mutex::new(FdInner {
                 writers: HashMap::new(),
                 refs,
@@ -64,9 +65,20 @@ impl PlfsFd {
     }
 
     /// Set the reader thread-pool size (builder style, pre-Arc).
-    pub fn with_read_threads(mut self, threads: usize) -> PlfsFd {
-        self.read_threads = threads.max(1);
+    pub fn with_read_threads(self, threads: usize) -> PlfsFd {
+        let conf = self.read_conf.with_threads(threads);
+        self.with_read_conf(conf)
+    }
+
+    /// Set the full read-path configuration (builder style, pre-Arc).
+    pub fn with_read_conf(mut self, conf: ReadConf) -> PlfsFd {
+        self.read_conf = conf;
         self
+    }
+
+    /// The read-path configuration readers built from this fd use.
+    pub fn read_conf(&self) -> &ReadConf {
+        &self.read_conf
     }
 
     /// Backend path of the container.
@@ -118,7 +130,13 @@ impl PlfsFd {
         Ok((offset, n))
     }
 
-    fn write_locked(&self, inner: &mut FdInner, buf: &[u8], offset: u64, pid: u64) -> Result<usize> {
+    fn write_locked(
+        &self,
+        inner: &mut FdInner,
+        buf: &[u8],
+        offset: u64,
+        pid: u64,
+    ) -> Result<usize> {
         if let std::collections::hash_map::Entry::Vacant(e) = inner.writers.entry(pid) {
             let w = WriteFile::open(
                 self.backing.as_ref(),
@@ -143,11 +161,7 @@ impl PlfsFd {
             return Err(Error::BadMode("file not open for reading"));
         }
         let reader = self.reader()?;
-        if self.read_threads > 1 {
-            reader.pread_parallel(self.backing.as_ref(), buf, offset, self.read_threads)
-        } else {
-            reader.pread(self.backing.as_ref(), buf, offset)
-        }
+        reader.pread_auto(self.backing.as_ref(), buf, offset)
     }
 
     /// Get (building if necessary) the merged read view.
@@ -159,7 +173,8 @@ impl PlfsFd {
     /// The reader-building body of [`PlfsFd::reader`], for callers that
     /// already hold the (non-reentrant) inner lock. A rebuild is the
     /// index-merge step of the paper — every dropping's index is read and
-    /// merged — so it is traced as an `index_merge` op when tracing is on.
+    /// merged — so it is traced when tracing is on: `index_merge` for the
+    /// serial path, `index_merge_par` when the concurrent merge ran.
     fn reader_locked(&self, inner: &mut FdInner) -> Result<Arc<ReadFile>> {
         if inner.dirty {
             for w in inner.writers.values_mut() {
@@ -172,11 +187,20 @@ impl PlfsFd {
             return Ok(r.clone());
         }
         let t0 = iotrace::global().start();
-        let r = Arc::new(ReadFile::open(self.backing.as_ref(), &self.container)?);
+        let r = Arc::new(ReadFile::open_with(
+            self.backing.as_ref(),
+            &self.container,
+            self.read_conf,
+        )?);
         if let Some(t0) = t0 {
+            let op = if r.merged_parallel() {
+                iotrace::OpKind::IndexMergePar
+            } else {
+                iotrace::OpKind::IndexMerge
+            };
             iotrace::global().record(
                 t0,
-                iotrace::OpEvent::new(iotrace::Layer::Index, iotrace::OpKind::IndexMerge)
+                iotrace::OpEvent::new(iotrace::Layer::Index, op)
                     .path(&self.container)
                     .bytes(r.eof()),
             );
@@ -284,10 +308,7 @@ mod tests {
     #[test]
     fn write_on_readonly_fd_fails() {
         let (_b, fd) = open_fd(OpenFlags::RDONLY);
-        assert!(matches!(
-            fd.write(b"x", 0, 100),
-            Err(Error::BadMode(_))
-        ));
+        assert!(matches!(fd.write(b"x", 0, 100), Err(Error::BadMode(_))));
     }
 
     #[test]
@@ -380,11 +401,17 @@ mod tests {
         });
         // Every append resolved a distinct EOF: total size is exact, and
         // every 8-byte slot is one thread's payload, unmixed.
-        assert_eq!(fd.size().unwrap() as usize, THREADS as usize * PER_THREAD * 8);
+        assert_eq!(
+            fd.size().unwrap() as usize,
+            THREADS as usize * PER_THREAD * 8
+        );
         let mut buf = vec![0u8; THREADS as usize * PER_THREAD * 8];
         fd.read(&mut buf, 0).unwrap();
         for chunk in buf.chunks(8) {
-            assert!(chunk.iter().all(|&b| b == chunk[0]), "interleaved append: {chunk:?}");
+            assert!(
+                chunk.iter().all(|&b| b == chunk[0]),
+                "interleaved append: {chunk:?}"
+            );
         }
     }
 }

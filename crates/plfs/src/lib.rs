@@ -47,6 +47,7 @@
 pub mod api;
 pub mod backing;
 pub mod check;
+pub mod conf;
 pub mod container;
 pub mod error;
 pub mod faults;
@@ -61,6 +62,7 @@ pub mod writer;
 pub use api::{Dirent, Plfs, Stat};
 pub use backing::{BackStat, Backing, BackingFile, MemBacking, RealBacking};
 pub use check::{check, repair, CheckReport, Finding, RepairReport, Severity};
+pub use conf::ReadConf;
 pub use container::{ContainerParams, LayoutMode};
 pub use error::{Error, Result};
 pub use faults::{FaultKind, FaultOp, FaultRule, Faulty};

@@ -18,7 +18,8 @@
 //! that routing as a [`Backing`] decorator, so the container layer is
 //! oblivious.
 
-use crate::backing::{Backing, BackingFile, BackStat};
+use crate::backing::{BackStat, Backing, BackingFile};
+use crate::conf::{ReadConf, DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS};
 use crate::container::{ContainerParams, LayoutMode, HOSTDIR_PREFIX};
 use crate::error::{Error, Result};
 use crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES;
@@ -54,8 +55,14 @@ impl MountSpec {
 pub struct PlfsRc {
     /// All configured mounts, in file order.
     pub mounts: Vec<MountSpec>,
-    /// Worker threads hint (accepted for compatibility; informational).
+    /// Reader worker-thread count (the real plfsrc `threadpool_size` knob):
+    /// values above 1 enable the parallel index merge and pread fan-out.
     pub threadpool_size: usize,
+    /// Minimum `pread` size in bytes before the request fans out over the
+    /// worker pool (`read_fanout_threshold` key).
+    pub read_fanout_threshold: u64,
+    /// Dropping-handle cache shard count (`handle_cache_shards` key).
+    pub handle_cache_shards: usize,
 }
 
 impl PlfsRc {
@@ -65,6 +72,8 @@ impl PlfsRc {
         let mut rc = PlfsRc {
             mounts: Vec::new(),
             threadpool_size: 16,
+            read_fanout_threshold: DEFAULT_FANOUT_THRESHOLD,
+            handle_cache_shards: DEFAULT_HANDLE_SHARDS,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -87,6 +96,12 @@ impl PlfsRc {
                 }),
                 "threadpool_size" => {
                     rc.threadpool_size = parse_num(value, lineno)? as usize;
+                }
+                "read_fanout_threshold" => {
+                    rc.read_fanout_threshold = parse_num(value, lineno)?;
+                }
+                "handle_cache_shards" => {
+                    rc.handle_cache_shards = parse_num(value, lineno)? as usize;
                 }
                 _ => {
                     let Some(m) = rc.mounts.last_mut() else {
@@ -135,6 +150,15 @@ impl PlfsRc {
         Ok(rc)
     }
 
+    /// The read-path configuration these global knobs describe, ready to
+    /// hand to [`crate::api::Plfs::with_read_conf`].
+    pub fn read_conf(&self) -> ReadConf {
+        ReadConf::default()
+            .with_threads(self.threadpool_size)
+            .with_fanout_threshold(self.read_fanout_threshold)
+            .with_handle_shards(self.handle_cache_shards)
+    }
+
     /// Find the mount whose mount point prefixes `path` (longest match).
     pub fn mount_for(&self, path: &str) -> Option<&MountSpec> {
         self.mounts
@@ -145,7 +169,8 @@ impl PlfsRc {
 }
 
 fn parse_num(v: &str, _lineno: usize) -> Result<u64> {
-    v.parse().map_err(|_| Error::InvalidArg("bad numeric value in plfsrc"))
+    v.parse()
+        .map_err(|_| Error::InvalidArg("bad numeric value in plfsrc"))
 }
 
 fn annotate_line(e: Error, _lineno: usize) -> Error {
@@ -157,8 +182,7 @@ pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
     if prefix == "/" {
         return path.starts_with('/');
     }
-    path == prefix
-        || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
+    path == prefix || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
 }
 
 // ---------------------------------------------------------------------------
@@ -177,7 +201,9 @@ impl SpreadBacking {
     /// Build from at least one backend.
     pub fn new(backends: Vec<Arc<dyn Backing>>) -> Result<SpreadBacking> {
         if backends.is_empty() {
-            return Err(Error::InvalidArg("SpreadBacking needs at least one backend"));
+            return Err(Error::InvalidArg(
+                "SpreadBacking needs at least one backend",
+            ));
         }
         Ok(SpreadBacking { backends })
     }
@@ -314,6 +340,28 @@ mod tests {
     }
 
     #[test]
+    fn parse_read_path_knobs_into_read_conf() {
+        let rc = PlfsRc::parse(
+            "threadpool_size 8\n\
+             read_fanout_threshold 4096\n\
+             handle_cache_shards 4\n\
+             mount_point /plfs\n\
+             backends /be\n",
+        )
+        .unwrap();
+        let conf = rc.read_conf();
+        assert_eq!(conf.threads, 8);
+        assert_eq!(conf.fanout_threshold, 4096);
+        assert_eq!(conf.handle_shards, 4);
+        // Defaults when the keys are absent.
+        let rc = PlfsRc::parse("mount_point /p\nbackends /b\n").unwrap();
+        let conf = rc.read_conf();
+        assert_eq!(conf.threads, 16);
+        assert_eq!(conf.fanout_threshold, DEFAULT_FANOUT_THRESHOLD);
+        assert_eq!(conf.handle_shards, DEFAULT_HANDLE_SHARDS);
+    }
+
+    #[test]
     fn parse_rejects_mount_without_backends() {
         assert!(PlfsRc::parse("mount_point /plfs\n").is_err());
     }
@@ -331,16 +379,15 @@ mod tests {
 
     #[test]
     fn mount_for_picks_longest_prefix() {
-        let rc = PlfsRc::parse(
-            "mount_point /plfs\nbackends /a\nmount_point /plfs/deep\nbackends /b\n",
-        )
-        .unwrap();
-        assert_eq!(
-            rc.mount_for("/plfs/deep/f").unwrap().backends,
-            vec!["/b"]
-        );
+        let rc =
+            PlfsRc::parse("mount_point /plfs\nbackends /a\nmount_point /plfs/deep\nbackends /b\n")
+                .unwrap();
+        assert_eq!(rc.mount_for("/plfs/deep/f").unwrap().backends, vec!["/b"]);
         assert_eq!(rc.mount_for("/plfs/f").unwrap().backends, vec!["/a"]);
-        assert!(rc.mount_for("/plfsx/f").is_none(), "no partial-component match");
+        assert!(
+            rc.mount_for("/plfsx/f").is_none(),
+            "no partial-component match"
+        );
         assert!(rc.mount_for("/elsewhere").is_none());
     }
 

@@ -7,28 +7,70 @@
 //! thousands of opens to read one block.
 
 use crate::backing::{Backing, BackingFile};
+use crate::conf::ReadConf;
 use crate::container::{self, DroppingRef};
 use crate::error::{Error, Result};
 use crate::index::{ChunkSlice, GlobalIndex};
+use iotrace::{Layer, OpEvent, OpKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Sharded dropping-handle cache: concurrent readers touching distinct
+/// droppings only contend when their ids collide in a shard, instead of
+/// funneling every lookup through one global mutex.
+/// One shard: dropping id -> cached open handle.
+type HandleShard = Mutex<HashMap<u32, Arc<dyn BackingFile>>>;
+
+struct HandleCache {
+    shards: Box<[HandleShard]>,
+    mask: usize,
+}
+
+impl HandleCache {
+    fn new(shards: usize) -> HandleCache {
+        // Dropping ids are dense (positions in list_droppings order), so a
+        // power-of-two mask spreads them perfectly.
+        let n = shards.max(1).next_power_of_two();
+        HandleCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, id: u32) -> &HandleShard {
+        &self.shards[id as usize & self.mask]
+    }
+}
 
 /// An open read view of a container.
 pub struct ReadFile {
     index: GlobalIndex,
     droppings: Vec<DroppingRef>,
-    handles: Mutex<HashMap<u32, Arc<dyn BackingFile>>>,
+    handles: HandleCache,
+    conf: ReadConf,
+    merged_parallel: bool,
 }
 
 impl ReadFile {
-    /// Build a read view by merging all index droppings in `container`.
+    /// Build a read view by merging all index droppings in `container`,
+    /// using the default (serial) configuration.
     pub fn open(b: &dyn Backing, container: &str) -> Result<ReadFile> {
-        let (index, droppings) = container::build_global_index(b, container)?;
+        ReadFile::open_with(b, container, ReadConf::default())
+    }
+
+    /// Build a read view under an explicit [`ReadConf`]: the index merge
+    /// runs in parallel when the configuration allows it, and the handle
+    /// cache is sharded `conf.handle_shards` ways.
+    pub fn open_with(b: &dyn Backing, container: &str, conf: ReadConf) -> Result<ReadFile> {
+        let (index, droppings, merged_parallel) =
+            container::build_global_index_with(b, container, &conf)?;
         Ok(ReadFile {
             index,
             droppings,
-            handles: Mutex::new(HashMap::new()),
+            handles: HandleCache::new(conf.handle_shards),
+            conf,
+            merged_parallel,
         })
     }
 
@@ -47,18 +89,30 @@ impl ReadFile {
         &self.droppings
     }
 
+    /// The configuration this view was opened with.
+    pub fn conf(&self) -> &ReadConf {
+        &self.conf
+    }
+
+    /// Did the index merge at open time take the parallel path?
+    pub fn merged_parallel(&self) -> bool {
+        self.merged_parallel
+    }
+
     fn handle(&self, b: &dyn Backing, id: u32) -> Result<Arc<dyn BackingFile>> {
-        let mut handles = self.handles.lock();
-        if let Some(h) = handles.get(&id) {
+        let shard = self.handles.shard(id);
+        if let Some(h) = shard.lock().get(&id) {
             return Ok(h.clone());
         }
         let dr = self
             .droppings
             .get(id as usize)
             .ok_or_else(|| Error::Corrupt(format!("dropping id {id} out of range")))?;
+        // Open outside the lock: a slow backing open must not serialize
+        // every other reader hashing to this shard. Racing openers both
+        // succeed; the loser's handle is dropped in favor of the cached one.
         let h: Arc<dyn BackingFile> = Arc::from(b.open(&dr.data_path, false)?);
-        handles.insert(id, h.clone());
-        Ok(h)
+        Ok(shard.lock().entry(id).or_insert(h).clone())
     }
 
     /// Positional read of logical bytes. Returns bytes read; 0 at EOF.
@@ -92,6 +146,28 @@ impl ReadFile {
         Ok(total)
     }
 
+    /// Positional read that picks the fan-out path when this view's
+    /// [`ReadConf`] says the request is worth it (`threads > 1` and at
+    /// least `fanout_threshold` bytes), the serial loop otherwise. Fanned
+    /// reads are traced as `read_fanout` ops.
+    pub fn pread_auto(&self, b: &dyn Backing, buf: &mut [u8], off: u64) -> Result<usize> {
+        if !self.conf.fanout(buf.len() as u64) {
+            return self.pread(b, buf, off);
+        }
+        let t = iotrace::global().start();
+        let r = self.pread_parallel(b, buf, off, self.conf.threads);
+        if let Some(t0) = t {
+            iotrace::global().record(
+                t0,
+                OpEvent::new(Layer::Plfs, OpKind::ReadFanout)
+                    .offset(off)
+                    .bytes(*r.as_ref().unwrap_or(&0) as u64)
+                    .hit(r.is_ok()),
+            );
+        }
+        r
+    }
+
     /// Positional read fanned out over `threads` worker threads — the
     /// `threadpool_size` feature of real PLFS: a container written by many
     /// processes holds its data in many droppings, and reading them
@@ -110,12 +186,6 @@ impl ReadFile {
         let slices = self.index.resolve(off, buf.len() as u64);
         if threads <= 1 || slices.len() < 2 {
             return self.pread(b, buf, off);
-        }
-        // Open every needed dropping up front (serial, cheap, cached).
-        for s in &slices {
-            if let Some(id) = s.dropping_id {
-                self.handle(b, id)?;
-            }
         }
         // Carve the output buffer into per-slice disjoint regions.
         let total = {
@@ -147,8 +217,9 @@ impl ReadFile {
                         match s.dropping_id {
                             None => dst.fill(0),
                             Some(id) => {
-                                // Handle cache was warmed above; a miss here
-                                // is a logic error, not a race.
+                                // Misses open through the sharded cache, so
+                                // workers on distinct droppings open their
+                                // handles concurrently.
                                 let h = match self.handle(b, id) {
                                     Ok(h) => h,
                                     Err(e) => {
@@ -309,10 +380,7 @@ mod tests {
         b.truncate(&dp, 4).unwrap();
         let r = ReadFile::open(&b, "/c").unwrap();
         let mut buf = [0u8; 10];
-        assert!(matches!(
-            r.pread(&b, &mut buf, 0),
-            Err(Error::Corrupt(_))
-        ));
+        assert!(matches!(r.pread(&b, &mut buf, 0), Err(Error::Corrupt(_))));
     }
 
     #[test]
@@ -341,7 +409,8 @@ mod tests {
         for pid in 0..8u64 {
             let mut w = WriteFile::open(&b, "/c", &p, pid, 64).unwrap();
             for row in 0..16u64 {
-                w.write(&[pid as u8 + 1; 100], (row * 8 + pid) * 100).unwrap();
+                w.write(&[pid as u8 + 1; 100], (row * 8 + pid) * 100)
+                    .unwrap();
             }
             w.sync().unwrap();
         }
@@ -392,6 +461,66 @@ mod tests {
         assert_eq!(&buf[..4], b"head");
         assert!(buf[4..1000].iter().all(|&x| x == 0));
         assert_eq!(&buf[1000..], b"tail");
+    }
+
+    #[test]
+    fn open_with_parallel_conf_matches_serial_open() {
+        let (b, p) = setup();
+        for pid in 0..8u64 {
+            let mut w = WriteFile::open(&b, "/c", &p, pid, 64).unwrap();
+            for row in 0..8u64 {
+                w.write(&[pid as u8 + 1; 32], (row * 8 + pid) * 32).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let serial = ReadFile::open(&b, "/c").unwrap();
+        assert!(!serial.merged_parallel());
+        let conf = ReadConf::default().with_threads(4).with_handle_shards(4);
+        let par = ReadFile::open_with(&b, "/c", conf).unwrap();
+        assert!(par.merged_parallel(), "8 droppings exceed the merge gate");
+        assert_eq!(par.eof(), serial.eof());
+        assert_eq!(par.index().raw_entries(), serial.index().raw_entries());
+        assert_eq!(par.index().segments(), serial.index().segments());
+        assert_eq!(par.read_all(&b).unwrap(), serial.read_all(&b).unwrap());
+    }
+
+    #[test]
+    fn pread_auto_respects_fanout_threshold() {
+        let (b, p) = setup();
+        for pid in 0..4u64 {
+            let mut w = WriteFile::open(&b, "/c", &p, pid, 64).unwrap();
+            w.write(&[pid as u8 + 1; 256], pid * 256).unwrap();
+            w.sync().unwrap();
+        }
+        let conf = ReadConf::default()
+            .with_threads(4)
+            .with_fanout_threshold(512);
+        let r = ReadFile::open_with(&b, "/c", conf).unwrap();
+        let mut expect = vec![0u8; 1024];
+        r.pread(&b, &mut expect, 0).unwrap();
+        // Above threshold (fans out) and below it (serial): same bytes.
+        let mut big = vec![0u8; 1024];
+        assert_eq!(r.pread_auto(&b, &mut big, 0).unwrap(), 1024);
+        assert_eq!(big, expect);
+        let mut small = vec![0u8; 300];
+        let n = r.pread_auto(&b, &mut small, 100).unwrap();
+        assert_eq!(&small[..n], &expect[100..100 + n]);
+    }
+
+    #[test]
+    fn handle_cache_single_shard_still_works() {
+        let (b, p) = setup();
+        for pid in 0..5u64 {
+            let mut w = WriteFile::open(&b, "/c", &p, pid, 64).unwrap();
+            w.write(&[pid as u8 + b'0'; 8], pid * 8).unwrap();
+            w.sync().unwrap();
+        }
+        let conf = ReadConf::default().with_handle_shards(1);
+        let r = ReadFile::open_with(&b, "/c", conf).unwrap();
+        assert_eq!(
+            r.read_all(&b).unwrap(),
+            b"0000000011111111222222223333333344444444"
+        );
     }
 
     #[test]

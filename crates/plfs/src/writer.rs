@@ -14,9 +14,7 @@
 //! pids.
 
 use crate::backing::{Backing, BackingFile};
-use crate::container::{
-    self, ContainerParams, LayoutMode, DATA_PREFIX,
-};
+use crate::container::{self, ContainerParams, LayoutMode, DATA_PREFIX};
 use crate::error::{Error, Result};
 use crate::index::{encode_compressed, next_timestamp, IndexEntry};
 

@@ -1,7 +1,10 @@
 //! Property tests: the container's logical-file semantics against a
 //! byte-vector reference model.
 
-use plfs::{ContainerParams, LayoutMode, MemBacking, OpenFlags, Plfs};
+use plfs::{
+    ContainerParams, GlobalIndex, IndexEntry, LayoutMode, MemBacking, OpenFlags, Plfs, ReadConf,
+    ReadFile,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -16,7 +19,11 @@ struct W {
 
 fn writes(max_writes: usize, max_off: u64, max_len: usize) -> impl Strategy<Value = Vec<W>> {
     prop::collection::vec(
-        (0u64..6, 0u64..max_off, prop::collection::vec(any::<u8>(), 1..max_len)),
+        (
+            0u64..6,
+            0u64..max_off,
+            prop::collection::vec(any::<u8>(), 1..max_len),
+        ),
         1..max_writes,
     )
     .prop_map(|v| {
@@ -41,10 +48,8 @@ fn reference(ws: &[W]) -> Vec<u8> {
 }
 
 fn run_against_plfs(ws: &[W], mode: LayoutMode, num_hostdirs: u32) -> Vec<u8> {
-    let plfs = Plfs::new(Arc::new(MemBacking::new())).with_params(ContainerParams {
-        num_hostdirs,
-        mode,
-    });
+    let plfs =
+        Plfs::new(Arc::new(MemBacking::new())).with_params(ContainerParams { num_hostdirs, mode });
     let fd = plfs
         .open("/f", OpenFlags::RDWR | OpenFlags::CREAT, 0)
         .unwrap();
@@ -145,6 +150,99 @@ proptest! {
             };
             prop_assert_eq!(&buf[..n], expect);
         }
+    }
+
+    /// The k-way run merge behind the parallel read-open produces a
+    /// `GlobalIndex` indistinguishable from the serial
+    /// `from_entries(concat)` — same EOF, same raw-entry count, same
+    /// segment map, same resolution of arbitrary ranges — for any entry
+    /// set (overlaps, timestamp ties, zero lengths) and any partition of
+    /// it into runs.
+    #[test]
+    fn parallel_run_merge_identical_to_serial(
+        raw in prop::collection::vec(
+            (0u64..2048, 0u64..128, 0u64..4096, 0u32..8, 0u64..48, 0u64..8),
+            0..80,
+        ),
+        cuts in prop::collection::vec(0usize..81, 0..6),
+        reads in prop::collection::vec((0u64..4096, 1u64..512), 1..6),
+    ) {
+        let entries: Vec<IndexEntry> = raw
+            .iter()
+            .map(|&(lo, len, phys, id, ts, pid)| IndexEntry {
+                logical_offset: lo,
+                length: len,
+                physical_offset: phys,
+                dropping_id: id,
+                timestamp: ts,
+                pid,
+            })
+            .collect();
+        // Split the concatenation order at arbitrary points: the runs'
+        // concatenation must equal the serial input for the tie-break
+        // equivalence to be meaningful.
+        let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (entries.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut runs = Vec::new();
+        let mut prev = 0;
+        for c in cuts {
+            runs.push(entries[prev..c].to_vec());
+            prev = c;
+        }
+        runs.push(entries[prev..].to_vec());
+
+        let serial = GlobalIndex::from_entries(entries);
+        let merged = GlobalIndex::from_sorted_runs(runs);
+        prop_assert_eq!(merged.eof(), serial.eof());
+        prop_assert_eq!(merged.raw_entries(), serial.raw_entries());
+        prop_assert_eq!(
+            merged.iter_segments().collect::<Vec<_>>(),
+            serial.iter_segments().collect::<Vec<_>>()
+        );
+        for (off, len) in reads {
+            prop_assert_eq!(merged.resolve(off, len), serial.resolve(off, len));
+        }
+    }
+
+    /// End to end: opening a written container with the parallel merge
+    /// enabled yields the same index structure and the same bytes as the
+    /// serial open.
+    #[test]
+    fn parallel_open_reads_same_bytes(ws in writes(24, 4096, 256)) {
+        let backing = Arc::new(MemBacking::new());
+        let plfs = Plfs::new(backing.clone()).with_params(ContainerParams {
+            num_hostdirs: 4,
+            mode: LayoutMode::Both,
+        });
+        let fd = plfs.open("/f", OpenFlags::RDWR | OpenFlags::CREAT, 0).unwrap();
+        for w in &ws {
+            fd.add_ref(w.pid);
+            plfs.write(&fd, &w.data, w.offset, w.pid).unwrap();
+        }
+        for w in &ws {
+            let _ = plfs.close(&fd, w.pid);
+        }
+        plfs.close(&fd, 0).unwrap();
+
+        let serial = ReadFile::open(backing.as_ref(), "/f").unwrap();
+        let conf = ReadConf {
+            threads: 4,
+            parallel_merge_min_droppings: 1,
+            ..ReadConf::default()
+        };
+        let par = ReadFile::open_with(backing.as_ref(), "/f", conf).unwrap();
+        prop_assert!(par.merged_parallel());
+        prop_assert_eq!(par.eof(), serial.eof());
+        prop_assert_eq!(par.index().raw_entries(), serial.index().raw_entries());
+        prop_assert_eq!(
+            par.index().iter_segments().collect::<Vec<_>>(),
+            serial.index().iter_segments().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            par.read_all(backing.as_ref()).unwrap(),
+            serial.read_all(backing.as_ref()).unwrap()
+        );
     }
 
     /// Truncation to an arbitrary length behaves like Vec::resize.

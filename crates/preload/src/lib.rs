@@ -230,7 +230,10 @@ fn cursor_set(fd: c_int, off: OffT) -> OffT {
 // ---------------------------------------------------------------------------
 
 unsafe fn do_open(path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
-    let real_open = real!(open, unsafe extern "C" fn(*const c_char, c_int, ModeT) -> c_int);
+    let real_open = real!(
+        open,
+        unsafe extern "C" fn(*const c_char, c_int, ModeT) -> c_int
+    );
     let Some(sh) = shim() else {
         return real_open(path, flags, mode);
     };
@@ -241,9 +244,7 @@ unsafe fn do_open(path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
         return real_open(path, flags, mode);
     };
     // Translate flags (numeric values match plfs::OpenFlags on Linux).
-    let oflags = OpenFlags(
-        (flags & (O_ACCMODE | O_CREAT | O_EXCL | O_TRUNC | O_APPEND)) as u32,
-    );
+    let oflags = OpenFlags((flags & (O_ACCMODE | O_CREAT | O_EXCL | O_TRUNC | O_APPEND)) as u32);
     let pid = getpid() as u64;
     // Read-only opens: materialise a snapshot of the container's logical
     // bytes into the reserved memfd and hand that fd out *unregistered*.
@@ -346,7 +347,10 @@ fn snapshot_open(sh: &Shim, rel: &str, pid: u64) -> plfs::Result<c_int> {
         let _ = pfd.close(pid);
         return Err(plfs::Error::Io(std::io::Error::from_raw_os_error(ENOMEM)));
     }
-    let real_write = real!(write, unsafe extern "C" fn(c_int, *const c_void, SizeT) -> SsizeT);
+    let real_write = real!(
+        write,
+        unsafe extern "C" fn(c_int, *const c_void, SizeT) -> SsizeT
+    );
     let mut off = 0u64;
     let mut buf = vec![0u8; 1 << 20];
     loop {
@@ -362,9 +366,7 @@ fn snapshot_open(sh: &Shim, rel: &str, pid: u64) -> plfs::Result<c_int> {
         };
         let mut done = 0usize;
         while done < n {
-            let w = unsafe {
-                real_write(fd, buf[done..].as_ptr() as *const c_void, n - done)
-            };
+            let w = unsafe { real_write(fd, buf[done..].as_ptr() as *const c_void, n - done) };
             if w <= 0 {
                 break;
             }
@@ -387,7 +389,10 @@ fn snapshot_open(sh: &Shim, rel: &str, pid: u64) -> plfs::Result<c_int> {
 pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: SizeT) -> SsizeT {
     match lookup(fd) {
         None => {
-            let f = real!(read, unsafe extern "C" fn(c_int, *mut c_void, SizeT) -> SsizeT);
+            let f = real!(
+                read,
+                unsafe extern "C" fn(c_int, *mut c_void, SizeT) -> SsizeT
+            );
             f(fd, buf, count)
         }
         Some(st) => {
@@ -412,7 +417,10 @@ pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: SizeT) -> Ssiz
 pub unsafe extern "C" fn write(fd: c_int, buf: *const c_void, count: SizeT) -> SsizeT {
     match lookup(fd) {
         None => {
-            let f = real!(write, unsafe extern "C" fn(c_int, *const c_void, SizeT) -> SsizeT);
+            let f = real!(
+                write,
+                unsafe extern "C" fn(c_int, *const c_void, SizeT) -> SsizeT
+            );
             f(fd, buf, count)
         }
         Some(st) => {
@@ -674,7 +682,11 @@ const S_IFDIR: u32 = 0o040000;
 unsafe fn fill_stat(out: *mut CStat, size: u64, is_dir: bool, ino: u64) {
     std::ptr::write_bytes(out as *mut u8, 0, std::mem::size_of::<CStat>());
     let st = &mut *out;
-    st.st_mode = if is_dir { S_IFDIR | 0o755 } else { S_IFREG | 0o644 };
+    st.st_mode = if is_dir {
+        S_IFDIR | 0o755
+    } else {
+        S_IFREG | 0o644
+    };
     st.st_nlink = 1;
     st.st_size = size as i64;
     st.st_blksize = 4096;
@@ -683,7 +695,10 @@ unsafe fn fill_stat(out: *mut CStat, size: u64, is_dir: bool, ino: u64) {
 }
 
 unsafe fn do_stat(path: *const c_char, out: *mut CStat) -> c_int {
-    let real_stat = real!(stat, unsafe extern "C" fn(*const c_char, *mut CStat) -> c_int);
+    let real_stat = real!(
+        stat,
+        unsafe extern "C" fn(*const c_char, *mut CStat) -> c_int
+    );
     let Some(sh) = shim() else {
         return real_stat(path, out);
     };
@@ -724,7 +739,10 @@ pub unsafe extern "C" fn stat64(path: *const c_char, out: *mut CStat) -> c_int {
 /// `lstat(2)` — containers have no symlinks; same as stat within the mount.
 #[no_mangle]
 pub unsafe extern "C" fn lstat(path: *const c_char, out: *mut CStat) -> c_int {
-    let real_lstat = real!(lstat, unsafe extern "C" fn(*const c_char, *mut CStat) -> c_int);
+    let real_lstat = real!(
+        lstat,
+        unsafe extern "C" fn(*const c_char, *mut CStat) -> c_int
+    );
     let Some(sh) = shim() else {
         return real_lstat(path, out);
     };

@@ -29,7 +29,11 @@ fn ensure_built() {
         .status()
         .expect("cargo build");
     assert!(status.success(), "building the preload crate failed");
-    assert!(preload_lib().exists(), "cdylib missing at {:?}", preload_lib());
+    assert!(
+        preload_lib().exists(),
+        "cdylib missing at {:?}",
+        preload_lib()
+    );
     assert!(smoke_bin().exists(), "smoke binary missing");
 }
 
@@ -120,12 +124,17 @@ fn real_unix_tools_read_containers() {
         .arg("count=32")
         .arg("status=none");
     let out = run_preloaded(&env, dd);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // cp the container out to a plain file (read path through the preload).
     let plain = env.outside.join("copy.bin");
     let mut cp = Command::new("cp");
-    cp.arg(format!("{}/data.bin", env.mount.display())).arg(&plain);
+    cp.arg(format!("{}/data.bin", env.mount.display()))
+        .arg(&plain);
     let out = run_preloaded(&env, cp);
     assert!(
         out.status.success(),
@@ -155,7 +164,10 @@ fn real_unix_tools_read_containers() {
         .next()
         .unwrap()
         .to_string();
-    assert_eq!(digest_in, digest_plain, "identical bytes through the preload");
+    assert_eq!(
+        digest_in, digest_plain,
+        "identical bytes through the preload"
+    );
 
     // cat the container and pipe-count the bytes.
     let mut cat = Command::new("cat");

@@ -413,8 +413,8 @@ impl SimFs {
         //    revokes caching. Contention is between nodes actively writing.
         self.files[fid.0].writing_nodes.insert(node);
         let writers = self.files[fid.0].writing_nodes.len();
-        let cacheable = allow_cache
-            && !(self.platform.fs.lock.revoke_cache_on_shared && writers > 1);
+        let cacheable =
+            allow_cache && !(self.platform.fs.lock.revoke_cache_on_shared && writers > 1);
         let absorbed = self.node_caches[node].absorb(t0, fid.0 as u64, len, cacheable);
         if absorbed {
             self.stats.cache_hits += 1;
@@ -636,10 +636,16 @@ mod tests {
         let mut f = fs();
         f.mkdir(0.0, "/d").unwrap();
         assert!(matches!(f.mkdir(0.0, "/d"), Err(SimError::Exists(_))));
-        assert!(matches!(f.mkdir(0.0, "/no/parent"), Err(SimError::NotFound(_))));
+        assert!(matches!(
+            f.mkdir(0.0, "/no/parent"),
+            Err(SimError::NotFound(_))
+        ));
         let (_, id) = f.create(0.0, "/d/f", None).unwrap();
         assert!(f.exists("/d/f"));
-        assert!(matches!(f.create(0.0, "/d/f", None), Err(SimError::Exists(_))));
+        assert!(matches!(
+            f.create(0.0, "/d/f", None),
+            Err(SimError::Exists(_))
+        ));
         let (_, names) = f.readdir(0.0, "/d").unwrap();
         assert_eq!(names, vec!["f"]);
         f.unlink(1.0, "/d/f").unwrap();

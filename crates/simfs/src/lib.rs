@@ -30,6 +30,7 @@ pub mod locks;
 pub mod mds;
 pub mod presets;
 pub mod queue;
+pub mod readpath;
 pub mod trace;
 
 pub use config::{CacheConfig, ClusterConfig, FsConfig, LockConfig, MdsConfig, Platform};

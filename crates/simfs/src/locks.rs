@@ -36,13 +36,7 @@ impl FileLock {
     /// plus the acquisition RPC. The window occupies the lock for
     /// `acquire_latency + fraction × transfer` — the caller's own transfer
     /// overlaps its window; only *other* writers are excluded during it.
-    pub fn acquire(
-        &mut self,
-        cfg: &LockConfig,
-        t: f64,
-        transfer_time: f64,
-        writers: usize,
-    ) -> f64 {
+    pub fn acquire(&mut self, cfg: &LockConfig, t: f64, transfer_time: f64, writers: usize) -> f64 {
         if writers <= 1 {
             // Lock cached at the sole writer: free.
             return t;
@@ -85,7 +79,10 @@ mod tests {
         let a = l.acquire(&c, 0.0, 1.0, 4);
         let b = l.acquire(&c, 0.0, 1.0, 4);
         assert!((a - 0.001).abs() < 1e-12);
-        assert!((b - 0.002).abs() < 1e-12, "second writer queues on the lock");
+        assert!(
+            (b - 0.002).abs() < 1e-12,
+            "second writer queues on the lock"
+        );
         assert_eq!(l.conflicts(), 2);
     }
 

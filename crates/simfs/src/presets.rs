@@ -10,8 +10,7 @@
 //! "4 GB/s" GPFS setup), and the shapes depend on the effective rates.
 
 use crate::config::{
-    units::MIB,
-    CacheConfig, ClusterConfig, FsConfig, LockConfig, MdsConfig, Platform,
+    units::MIB, CacheConfig, ClusterConfig, FsConfig, LockConfig, MdsConfig, Platform,
 };
 
 /// Minerva (University of Warwick): 258 nodes, 2-server GPFS.

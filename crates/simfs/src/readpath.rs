@@ -1,0 +1,110 @@
+//! First-byte latency model for PLFS container opens.
+//!
+//! Before a reader can serve one byte, every per-process index dropping
+//! must be opened, read and merged into the global index — the metadata
+//! round-trips scale with writer count, which is exactly the cost the
+//! paper's Lustre collapse traces to. This module projects what the
+//! parallel read-open (concurrent dropping fetch + linear bulk merge)
+//! buys at paper scale on a [`Platform`], complementing the *measured*
+//! numbers from `micro_plfs`/`paperbench readpath`.
+
+use crate::config::{MdsConfig, Platform};
+
+/// Per-entry CPU cost of the serial merge (timestamp sort plus one
+/// interval-map insert with overlap/coalesce checks per entry), calibrated
+/// against `micro_plfs`'s `open_path` group.
+pub const SERIAL_MERGE_PER_ENTRY: f64 = 450e-9;
+
+/// Per-entry CPU cost of the bulk path (k-way run merge plus one linear
+/// coalescing pass over offset-sorted entries), same calibration.
+pub const BULK_MERGE_PER_ENTRY: f64 = 80e-9;
+
+/// Projected open latencies for one container on one platform.
+#[derive(Debug, Clone)]
+pub struct OpenEstimate {
+    /// Index droppings in the container (= writer processes).
+    pub droppings: usize,
+    /// Serial open: sequential dropping fetches, insert-based merge.
+    pub serial_secs: f64,
+    /// Parallel open: `threads`-wide dropping fetches, bulk merge.
+    pub parallel_secs: f64,
+}
+
+impl OpenEstimate {
+    /// Serial-over-parallel speedup.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-12)
+    }
+}
+
+/// One metadata round-trip (open + getattr of an index dropping) plus one
+/// small read to fetch its records.
+fn per_dropping_fetch(p: &Platform) -> f64 {
+    let meta = match p.fs.mds {
+        MdsConfig::Dedicated { base_op, .. } => base_op,
+        MdsConfig::Distributed { base_op, .. } => base_op,
+    };
+    meta + p.fs.per_op_latency + p.cluster.syscall_overhead
+}
+
+/// Estimate serial vs parallel open time for a container of `droppings`
+/// index droppings carrying `entries_per_dropping` records each, with the
+/// parallel path running `threads` concurrent fetches.
+pub fn open_time(
+    p: &Platform,
+    droppings: usize,
+    entries_per_dropping: usize,
+    threads: usize,
+) -> OpenEstimate {
+    let fetch = per_dropping_fetch(p);
+    let entries = (droppings * entries_per_dropping) as f64;
+    let threads = threads.max(1).min(droppings.max(1));
+    let serial_secs = droppings as f64 * fetch + entries * SERIAL_MERGE_PER_ENTRY;
+    // Fetches overlap `threads` at a time; the merge itself is the linear
+    // bulk pass (single-threaded, but a different algorithm).
+    let rounds = droppings.div_ceil(threads) as f64;
+    let parallel_secs = rounds * fetch + entries * BULK_MERGE_PER_ENTRY;
+    OpenEstimate {
+        droppings,
+        serial_secs,
+        parallel_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn parallel_open_wins_and_scales_with_droppings() {
+        let p = presets::sierra();
+        let small = open_time(&p, 16, 256, 8);
+        let big = open_time(&p, 256, 256, 8);
+        assert!(small.speedup() > 1.0);
+        assert!(big.speedup() > 1.0);
+        // Absolute time saved grows with the dropping count.
+        assert!(big.serial_secs - big.parallel_secs > small.serial_secs - small.parallel_secs);
+        assert!(big.serial_secs > small.serial_secs);
+    }
+
+    #[test]
+    fn one_thread_still_beats_serial_only_on_merge() {
+        // threads=1: fetches are serial either way, only the bulk merge
+        // differs — the gap must come purely from the per-entry constants.
+        let p = presets::minerva();
+        let e = open_time(&p, 64, 512, 1);
+        let fetch_cost = 64.0 * per_dropping_fetch(&p);
+        let merge_gap = 64.0 * 512.0 * (SERIAL_MERGE_PER_ENTRY - BULK_MERGE_PER_ENTRY);
+        assert!((e.serial_secs - e.parallel_secs - merge_gap).abs() < 1e-9);
+        assert!(e.serial_secs > fetch_cost);
+    }
+
+    #[test]
+    fn threads_clamped_to_droppings() {
+        let p = presets::toy();
+        let a = open_time(&p, 4, 100, 64);
+        let b = open_time(&p, 4, 100, 4);
+        assert!((a.parallel_secs - b.parallel_secs).abs() < 1e-12);
+    }
+}

@@ -15,10 +15,16 @@ enum SimOp {
 fn ops(max: usize) -> impl Strategy<Value = Vec<SimOp>> {
     prop::collection::vec(
         prop_oneof![
-            (0u8..4, 0u32..(64 << 20), 1u32..(8 << 20))
-                .prop_map(|(node, off, len)| SimOp::Write { node, off, len }),
-            (0u8..4, 0u32..(64 << 20), 1u32..(8 << 20))
-                .prop_map(|(node, off, len)| SimOp::Read { node, off, len }),
+            (0u8..4, 0u32..(64 << 20), 1u32..(8 << 20)).prop_map(|(node, off, len)| SimOp::Write {
+                node,
+                off,
+                len
+            }),
+            (0u8..4, 0u32..(64 << 20), 1u32..(8 << 20)).prop_map(|(node, off, len)| SimOp::Read {
+                node,
+                off,
+                len
+            }),
             (0u8..4).prop_map(|node| SimOp::Fsync { node }),
             Just(SimOp::Stat),
         ],

@@ -16,13 +16,16 @@ use plfs::{Backing, RealBacking};
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Tool errors: either a container-layer error or a usage problem.
+/// Tool errors: a container-layer error, a usage problem, or a failed
+/// benchmark gate.
 #[derive(Debug)]
 pub enum ToolError {
     /// Underlying PLFS error.
     Plfs(plfs::Error),
     /// Bad invocation.
     Usage(String),
+    /// A `benchgate` comparison found a regression.
+    Gate(String),
 }
 
 impl std::fmt::Display for ToolError {
@@ -30,6 +33,7 @@ impl std::fmt::Display for ToolError {
         match self {
             ToolError::Plfs(e) => write!(f, "{e}"),
             ToolError::Usage(m) => write!(f, "usage error: {m}"),
+            ToolError::Gate(m) => write!(f, "bench gate: {m}"),
         }
     }
 }
@@ -83,7 +87,11 @@ pub fn stat(b: &dyn Backing, container: &str) -> ToolResult {
 pub fn map(b: &dyn Backing, container: &str) -> ToolResult {
     let entries = plfs::flatten::map(b, container)?;
     let mut out = String::new();
-    let _ = writeln!(out, "{:>12} {:>10} {:>12}  dropping", "logical", "length", "physical");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10} {:>12}  dropping",
+        "logical", "length", "physical"
+    );
     for e in &entries {
         let _ = writeln!(
             out,
@@ -128,7 +136,11 @@ pub fn repair(b: &dyn Backing, container: &str, clear_markers: bool) -> ToolResu
     let mut out = String::new();
     let _ = writeln!(out, "indices truncated:      {}", rep.indices_truncated);
     let _ = writeln!(out, "overrun entries dropped: {}", rep.entries_dropped);
-    let _ = writeln!(out, "orphan indices removed: {}", rep.orphan_indices_removed);
+    let _ = writeln!(
+        out,
+        "orphan indices removed: {}",
+        rep.orphan_indices_removed
+    );
     let _ = writeln!(out, "markers cleared:        {}", rep.markers_cleared);
     let _ = writeln!(out, "meta cache rebuilt:     {}", rep.meta_rebuilt);
     for f in &rep.unrepairable {
@@ -193,9 +205,19 @@ pub fn du(b: &dyn Backing, dir: &str) -> ToolResult {
         } else {
             0.0
         };
-        let _ = writeln!(out, "{:>14} {:>14} {:>7.2}x  {}", idx.eof(), phys, ratio, name);
+        let _ = writeln!(
+            out,
+            "{:>14} {:>14} {:>7.2}x  {}",
+            idx.eof(),
+            phys,
+            ratio,
+            name
+        );
     }
-    let _ = writeln!(out, "{total_logical:>14} {total_physical:>14}           total");
+    let _ = writeln!(
+        out,
+        "{total_logical:>14} {total_physical:>14}           total"
+    );
     Ok(out)
 }
 
@@ -273,7 +295,10 @@ pub fn trace_summary(jsonl: &str) -> ToolResult {
     let recs = parse_trace(jsonl)?;
     let mut metrics: Vec<iotrace::OpMetrics> = Vec::new();
     for (r, _path) in &recs {
-        let m = match metrics.iter_mut().find(|m| m.layer == r.layer && m.op == r.op) {
+        let m = match metrics
+            .iter_mut()
+            .find(|m| m.layer == r.layer && m.op == r.op)
+        {
             Some(m) => m,
             None => {
                 metrics.push(iotrace::OpMetrics {
@@ -331,6 +356,149 @@ pub fn rccheck(text: &str) -> ToolResult {
         );
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_*.json checking and gating (CI).
+// ---------------------------------------------------------------------------
+
+/// `benchcheck`: parse one emitted `BENCH_*.json` and verify its shape —
+/// a `figure` name, a `data` payload, and a `trace` section. The CI smoke
+/// stage round-trips every file `paperbench --emit-json` wrote through
+/// this to catch emitter/schema drift.
+pub fn benchcheck(text: &str, name: &str) -> ToolResult {
+    let doc = jsonlite::parse(text)
+        .map_err(|e| ToolError::Usage(format!("{name}: not valid JSON: {e:?}")))?;
+    let figure = doc
+        .get("figure")
+        .and_then(|f| f.as_str())
+        .ok_or_else(|| ToolError::Usage(format!("{name}: missing \"figure\"")))?;
+    if doc.get("data").is_none() {
+        return Err(ToolError::Usage(format!("{name}: missing \"data\"")));
+    }
+    let trace_rows = doc
+        .get("trace")
+        .and_then(|t| t.get("layers"))
+        .and_then(|l| l.as_object())
+        .map(|layers| {
+            layers
+                .iter()
+                .filter_map(|(_, v)| v.get("per_op").and_then(|p| p.as_object()))
+                .map(<[(String, jsonlite::Value)]>::len)
+                .sum::<usize>()
+        });
+    let gated = gate_metrics(&doc).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "ok: {name}: figure {figure}, {} trace op rows, {gated} gated metric(s)\n",
+        trace_rows.map_or("no".to_string(), |n| n.to_string()),
+    ))
+}
+
+/// The metrics `benchgate` compares for a figure: `(name, value,
+/// higher_is_better)`. Only ratios that are stable across runner speeds
+/// are gated — the shim-overhead ratios of Table II and the read-path
+/// open speedups — not raw wall-clock numbers.
+fn gate_metrics(doc: &jsonlite::Value) -> Result<Vec<(String, f64, bool)>, ToolError> {
+    let figure = doc.get("figure").and_then(|f| f.as_str()).unwrap_or("");
+    let data = doc
+        .get("data")
+        .ok_or_else(|| ToolError::Usage("missing \"data\"".to_string()))?;
+    let mut out = Vec::new();
+    match figure {
+        "readpath" => {
+            for row in data
+                .get("measured")
+                .and_then(|m| m.as_array())
+                .unwrap_or(&[])
+            {
+                if let (Some(d), Some(s)) = (
+                    row.get("droppings").and_then(|v| v.as_u64()),
+                    row.get("open_speedup").and_then(|v| v.as_f64()),
+                ) {
+                    out.push((format!("open_speedup[{d} droppings]"), s, true));
+                }
+            }
+        }
+        "table2" => {
+            for row in data.as_array().unwrap_or(&[]) {
+                if let (Some(tool), Some(plfs), Some(std_)) = (
+                    row.get("tool").and_then(|v| v.as_str()),
+                    row.get("plfs_secs").and_then(|v| v.as_f64()),
+                    row.get("standard_secs").and_then(|v| v.as_f64()),
+                ) {
+                    out.push((
+                        format!("shim_overhead[{tool}]"),
+                        plfs / std_.max(1e-12),
+                        false,
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(out)
+}
+
+/// `benchgate`: compare a fresh `BENCH_*.json` against the committed
+/// baseline and fail if any gated metric regressed by more than
+/// `threshold` (a fraction, e.g. 0.30). Figures with no gated metrics
+/// pass trivially.
+pub fn benchgate(baseline: &str, fresh: &str, threshold: f64) -> ToolResult {
+    let base = jsonlite::parse(baseline)
+        .map_err(|e| ToolError::Usage(format!("baseline: not valid JSON: {e:?}")))?;
+    let new = jsonlite::parse(fresh)
+        .map_err(|e| ToolError::Usage(format!("fresh: not valid JSON: {e:?}")))?;
+    let bf = base.get("figure").and_then(|f| f.as_str()).unwrap_or("?");
+    let nf = new.get("figure").and_then(|f| f.as_str()).unwrap_or("?");
+    if bf != nf {
+        return Err(ToolError::Usage(format!(
+            "figure mismatch: baseline {bf}, fresh {nf}"
+        )));
+    }
+    let base_metrics = gate_metrics(&base)?;
+    let new_metrics = gate_metrics(&new)?;
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    for (name, old, higher_is_better) in &base_metrics {
+        let Some((_, fresh_v, _)) = new_metrics.iter().find(|(n, _, _)| n == name) else {
+            regressions.push(format!("{name}: missing from fresh snapshot"));
+            continue;
+        };
+        let regressed = if *higher_is_better {
+            *fresh_v < old * (1.0 - threshold)
+        } else {
+            *fresh_v > old * (1.0 + threshold)
+        };
+        let _ = writeln!(
+            out,
+            "{:<34} baseline {:>8.3}  fresh {:>8.3}  {}",
+            name,
+            old,
+            fresh_v,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if regressed {
+            regressions.push(format!(
+                "{name}: baseline {old:.3}, fresh {fresh_v:.3} (>{:.0}% worse)",
+                threshold * 100.0
+            ));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} gated metric(s), {} regression(s)",
+        base_metrics.len(),
+        regressions.len()
+    );
+    if regressions.is_empty() {
+        Ok(out)
+    } else {
+        Err(ToolError::Gate(format!(
+            "{}\n{}",
+            out.trim_end(),
+            regressions.join("\n")
+        )))
+    }
 }
 
 #[cfg(test)]
@@ -441,7 +609,9 @@ mod tests {
 
     #[test]
     fn rccheck_accepts_and_rejects() {
-        assert!(rccheck("mount_point /p\nbackends /b\n").unwrap().contains("ok: 1"));
+        assert!(rccheck("mount_point /p\nbackends /b\n")
+            .unwrap()
+            .contains("ok: 1"));
         assert!(rccheck("backends /b\n").is_err());
     }
 
@@ -501,10 +671,75 @@ mod tests {
         assert!(out.contains("3 records total"), "{out}");
     }
 
+    fn readpath_doc(speedup: f64) -> String {
+        format!(
+            "{{\"figure\":\"readpath\",\"data\":{{\"measured\":[\
+             {{\"droppings\":256,\"open_speedup\":{speedup}}}]}},\
+             \"trace\":{{\"layers\":{{\"plfs\":{{\"per_op\":{{\"open\":{{}},\"read\":{{}}}}}}}}}}}}"
+        )
+    }
+
+    #[test]
+    fn benchcheck_validates_shape() {
+        let out = benchcheck(&readpath_doc(3.0), "BENCH_readpath.json").unwrap();
+        assert!(out.contains("figure readpath"), "{out}");
+        assert!(out.contains("2 trace op rows"), "{out}");
+        assert!(out.contains("1 gated metric"), "{out}");
+        assert!(benchcheck("not json", "x").is_err());
+        assert!(benchcheck("{\"data\":1}", "x").is_err(), "missing figure");
+        assert!(
+            benchcheck("{\"figure\":\"f\"}", "x").is_err(),
+            "missing data"
+        );
+    }
+
+    #[test]
+    fn benchgate_passes_within_threshold_and_fails_beyond() {
+        // 3.0 -> 2.5 is a 17% drop: inside a 30% threshold.
+        let out = benchgate(&readpath_doc(3.0), &readpath_doc(2.5), 0.30).unwrap();
+        assert!(out.contains("0 regression"), "{out}");
+        // 3.0 -> 1.8 is a 40% drop: gate fails.
+        let err = benchgate(&readpath_doc(3.0), &readpath_doc(1.8), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("open_speedup")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn benchgate_table2_overhead_is_lower_is_better() {
+        let doc = |plfs: f64| {
+            format!(
+                "{{\"figure\":\"table2\",\"data\":[\
+                 {{\"tool\":\"cat\",\"plfs_secs\":{plfs},\"standard_secs\":10.0}}],\
+                 \"trace\":{{}}}}"
+            )
+        };
+        assert!(benchgate(&doc(10.0), &doc(11.0), 0.30).is_ok());
+        let err = benchgate(&doc(10.0), &doc(14.0), 0.30).unwrap_err();
+        assert!(matches!(err, ToolError::Gate(_)), "{err:?}");
+    }
+
+    #[test]
+    fn benchgate_rejects_figure_mismatch_and_unknown_passes() {
+        let a = "{\"figure\":\"fig3\",\"data\":[],\"trace\":{}}";
+        let b = "{\"figure\":\"fig5\",\"data\":[],\"trace\":{}}";
+        assert!(matches!(
+            benchgate(a, b, 0.3).unwrap_err(),
+            ToolError::Usage(_)
+        ));
+        // Ungated figures compare trivially clean.
+        let out = benchgate(a, a, 0.3).unwrap();
+        assert!(out.contains("0 gated metric(s), 0 regression(s)"), "{out}");
+    }
+
     #[test]
     fn trace_parse_rejects_malformed_lines() {
         let err = trace_dump("{\"layer\":\"shim\",\"op\":\"read\"}\nnot json\n").unwrap_err();
-        assert!(matches!(err, ToolError::Usage(ref m) if m.contains("line 2")), "{err:?}");
+        assert!(
+            matches!(err, ToolError::Usage(ref m) if m.contains("line 2")),
+            "{err:?}"
+        );
         let err = trace_summary("{\"nope\":1}\n").unwrap_err();
         assert!(
             matches!(err, ToolError::Usage(ref m) if m.contains("not a trace record")),

@@ -14,6 +14,8 @@
 //! plfs-tools rccheck /path/to/plfsrc            # validate a config file
 //! plfs-tools trace   /path/to/trace.jsonl       # summarize a recorded trace
 //! plfs-tools trace   /path/to/trace.jsonl --dump  # one line per op
+//! plfs-tools benchcheck BENCH.json [...]        # validate emitted bench JSON
+//! plfs-tools benchgate  BASELINE.json FRESH.json [--threshold 0.30]
 //! ```
 
 use plfs::RealBacking;
@@ -32,7 +34,8 @@ fn main() {
 fn run(args: &[String]) -> plfs_tools::ToolResult {
     let usage = || {
         plfs_tools::ToolError::Usage(
-            "commands: stat|map|flatten|check|repair|ls|du|rm|version|rccheck|trace (see --help)"
+            "commands: stat|map|flatten|check|repair|ls|du|rm|version|rccheck|trace|\
+             benchcheck|benchgate (see --help)"
                 .to_string(),
         )
     };
@@ -51,6 +54,36 @@ fn run(args: &[String]) -> plfs_tools::ToolResult {
         .get(1)
         .ok_or_else(|| plfs_tools::ToolError::Usage(format!("{cmd} needs a path")))?;
 
+    if cmd == "benchcheck" {
+        let mut out = String::new();
+        for p in &args[1..] {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| plfs_tools::ToolError::Usage(format!("{p}: {e}")))?;
+            out.push_str(&plfs_tools::benchcheck(&text, p)?);
+        }
+        return Ok(out);
+    }
+    if cmd == "benchgate" {
+        let fresh_path = args
+            .get(2)
+            .ok_or_else(|| plfs_tools::ToolError::Usage("benchgate BASELINE FRESH".to_string()))?;
+        let threshold = args
+            .iter()
+            .position(|a| a == "--threshold")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse::<f64>().map_err(|_| {
+                    plfs_tools::ToolError::Usage("--threshold needs a fraction".to_string())
+                })
+            })
+            .transpose()?
+            .unwrap_or(0.30);
+        let read = |p: &str| {
+            std::fs::read_to_string(p)
+                .map_err(|e| plfs_tools::ToolError::Usage(format!("{p}: {e}")))
+        };
+        return plfs_tools::benchgate(&read(path)?, &read(fresh_path)?, threshold);
+    }
     if cmd == "rccheck" {
         let text = std::fs::read_to_string(path)
             .map_err(|e| plfs_tools::ToolError::Usage(format!("{path}: {e}")))?;

@@ -29,7 +29,11 @@ fn main() {
 
     // 3. An unmodified application: ordinary open/write/lseek/read/close.
     let fd = shim
-        .open("/plfs/checkpoint.dat", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+        .open(
+            "/plfs/checkpoint.dat",
+            OpenFlags::RDWR | OpenFlags::CREAT,
+            0o644,
+        )
         .unwrap();
     let payload = b"simulation state at t=42";
     shim.write(fd, payload).unwrap();
@@ -59,7 +63,9 @@ fn main() {
 }
 
 fn print_tree(dir: &std::path::Path, depth: usize) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
     let mut names: Vec<_> = entries.filter_map(|e| e.ok()).collect();
     names.sort_by_key(|e| e.file_name());
     for e in names {

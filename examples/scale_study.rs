@@ -18,7 +18,10 @@ fn main() {
         (presets::minerva(), "Minerva (GPFS, distributed metadata)"),
     ] {
         println!("== {label} ==");
-        println!("{:>8}{:>12}{:>12}{:>10}", "Cores", "MPI-IO", "LDPLFS", "speedup");
+        println!(
+            "{:>8}{:>12}{:>12}{:>10}",
+            "Cores", "MPI-IO", "LDPLFS", "speedup"
+        );
         let mut harmful = None;
         for &cores in FlashConfig::core_sweep() {
             if cores > platform.cluster.nodes * platform.cluster.cores_per_node {

@@ -10,8 +10,8 @@
 //! cargo run --release --example unix_tools -- 128
 //! ```
 
-use apps::unix_tools::{cat, cp, grep, md5sum};
 use apps::md5::hex;
+use apps::unix_tools::{cat, cp, grep, md5sum};
 use ldplfs::{CFile, LdPlfsBuilder, PosixLayer, RealPosix};
 use plfs::{Plfs, RealBacking};
 use std::sync::Arc;
@@ -45,8 +45,14 @@ fn main() {
     let mut line = String::new();
     while written < size {
         line.clear();
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let marker = if rng.is_multiple_of(97) { " NEEDLE" } else { "" };
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let marker = if rng.is_multiple_of(97) {
+            " NEEDLE"
+        } else {
+            ""
+        };
         line.push_str(&format!("record {rng:016x} payload{marker}\n"));
         plfs_f.write(line.as_bytes()).unwrap();
         flat_f.write(line.as_bytes()).unwrap();

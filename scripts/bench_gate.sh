@@ -1,0 +1,39 @@
+#!/bin/sh
+# Benchmark regression gate: regenerate the gated paperbench figures and
+# diff them against the committed baselines in results/. Fails when a
+# gated metric (read-path open speedup, Table II shim-overhead ratio)
+# regresses by more than the threshold. Only runner-speed-independent
+# ratios are gated, so the comparison is meaningful across machines; CI
+# runs this as a non-blocking job to start.
+#
+#   BENCH_GATE_THRESHOLD=0.30 scripts/bench_gate.sh
+set -eu
+
+threshold=${BENCH_GATE_THRESHOLD:-0.30}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Regenerate the gated figures at the same scale as the committed files.
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    readpath --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    table2 --emit-json "$tmp" > /dev/null
+
+status=0
+for fig in readpath table2; do
+    base="results/BENCH_${fig}.json"
+    fresh="$tmp/BENCH_${fig}.json"
+    if [ ! -f "$base" ]; then
+        echo "bench_gate: no committed baseline $base, skipping"
+        continue
+    fi
+    echo "== $fig (threshold ${threshold}) =="
+    if cargo run --offline --release -q -p plfs-tools -- \
+        benchgate "$base" "$fresh" --threshold "$threshold"; then
+        echo "bench_gate: $fig ok"
+    else
+        echo "bench_gate: $fig REGRESSED"
+        status=1
+    fi
+done
+exit $status

@@ -1,9 +1,25 @@
 #!/bin/sh
-# Tier-1 verification: build, full test suite, lint. Run from the repo root.
+# Tier-1 verification: build, full test suite, lint, bench smoke.
+# Run from the repo root.
 set -eu
 
 cargo build --release --offline
 cargo test --workspace -q --offline
 cargo clippy --workspace --offline --all-targets -- -D warnings
+
+# Bench smoke: a fast pass through the micro benches (CRITERION_QUICK
+# shrinks the measurement budget; benches still execute every group).
+CRITERION_QUICK=1 cargo bench --offline -p bench --bench micro_plfs
+CRITERION_QUICK=1 cargo bench --offline -p bench --bench micro_shim
+
+# paperbench --emit-json round-trip: the emitted BENCH_*.json must parse
+# back through jsonlite (schema drift in the emitter fails here).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    readpath --quick --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    table2 --gb 1 --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p plfs-tools -- benchcheck "$tmp"/BENCH_*.json
 
 echo "verify: OK"

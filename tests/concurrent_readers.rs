@@ -1,0 +1,143 @@
+//! Integration: thread-parallel reads through the parallel PLFS read path.
+//!
+//! Counterpart to `concurrent_writers.rs`: a many-dropping container is
+//! written once, then hammered by N OS threads issuing random preads
+//! through one shared `ReadFile`, under the sharded handle cache and the
+//! fan-out configurations. Every read must be byte-identical to the
+//! serially-built reference, whatever interleaving the scheduler picks.
+
+use plfs::{Backing, ContainerParams, LayoutMode, MemBacking, OpenFlags, Plfs, ReadConf, ReadFile};
+use std::sync::Arc;
+
+/// Write a strided N-writer pattern and return the expected logical bytes.
+/// `writers` pids produce `writers` data droppings (one stream each).
+fn build_container(
+    backing: &Arc<MemBacking>,
+    writers: usize,
+    rows: usize,
+    block: usize,
+) -> Vec<u8> {
+    let plfs = Plfs::new(backing.clone()).with_params(ContainerParams {
+        num_hostdirs: 4,
+        mode: LayoutMode::Both,
+    });
+    let fd = plfs
+        .open("/shared", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+        .unwrap();
+    let mut want = vec![0u8; writers * rows * block];
+    for r in 0..writers {
+        fd.add_ref(r as u64);
+        let fill = (r as u8).wrapping_mul(37).wrapping_add(1);
+        let data = vec![fill; block];
+        for row in 0..rows {
+            let off = (row * writers + r) * block;
+            plfs.write(&fd, &data, off as u64, r as u64).unwrap();
+            want[off..off + block].fill(fill);
+        }
+    }
+    for r in 0..writers {
+        let _ = plfs.close(&fd, r as u64);
+    }
+    plfs.close(&fd, 0).unwrap();
+    want
+}
+
+/// Tiny deterministic PRNG so each thread gets a reproducible but distinct
+/// offset/length sequence.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// N threads share one `ReadFile` and issue random preads through
+/// `pread_auto`; each result must match the reference slice exactly.
+fn hammer(rf: &ReadFile, b: &dyn Backing, want: &[u8], threads: usize, reads_per_thread: usize) {
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move |_| {
+                let mut rng = 0x9E3779B97F4A7C15u64.wrapping_add(t as u64);
+                for _ in 0..reads_per_thread {
+                    let off = (xorshift(&mut rng) % (want.len() as u64 + 512)) as usize;
+                    let len = 1 + (xorshift(&mut rng) % (64 * 1024)) as usize;
+                    let mut buf = vec![0xA5u8; len];
+                    let n = rf.pread_auto(b, &mut buf, off as u64).unwrap();
+                    let expect: &[u8] = if off < want.len() {
+                        &want[off..(off + len).min(want.len())]
+                    } else {
+                        &[]
+                    };
+                    assert_eq!(n, expect.len(), "pread length at off={off} len={len}");
+                    assert_eq!(&buf[..n], expect, "pread bytes at off={off} len={len}");
+                }
+            });
+        }
+    })
+    .expect("reader thread panicked");
+}
+
+#[test]
+fn random_preads_match_serial_under_sharded_cache() {
+    let backing = Arc::new(MemBacking::new());
+    let want = build_container(&backing, 8, 16, 4096);
+    // Parallel merge on open, default 16-way sharded cache, fan-out enabled
+    // for anything over 8 KiB so most random reads exercise both paths.
+    let conf = ReadConf {
+        threads: 4,
+        parallel_merge_min_droppings: 1,
+        ..ReadConf::default()
+    }
+    .with_fanout_threshold(8 * 1024);
+    let rf = ReadFile::open_with(backing.as_ref(), "/shared", conf).unwrap();
+    assert!(rf.merged_parallel());
+    assert_eq!(
+        rf.read_all(backing.as_ref()).unwrap(),
+        want,
+        "parallel open must reconstruct the file before we stress it"
+    );
+    hammer(&rf, backing.as_ref(), &want, 8, 64);
+}
+
+#[test]
+fn fanout_reads_match_with_tiny_threshold() {
+    let backing = Arc::new(MemBacking::new());
+    let want = build_container(&backing, 6, 8, 1024);
+    // Threshold of 1 byte: every pread (that resolves to 2+ slices) takes
+    // the fan-out path, so worker threads race on the handle cache hard.
+    let conf = ReadConf {
+        threads: 4,
+        parallel_merge_min_droppings: 1,
+        ..ReadConf::default()
+    }
+    .with_fanout_threshold(1);
+    let rf = ReadFile::open_with(backing.as_ref(), "/shared", conf).unwrap();
+    hammer(&rf, backing.as_ref(), &want, 6, 48);
+}
+
+#[test]
+fn single_shard_cache_is_still_correct_under_contention() {
+    let backing = Arc::new(MemBacking::new());
+    let want = build_container(&backing, 8, 8, 512);
+    // One shard = one global lock: maximum contention, same answers.
+    let conf = ReadConf {
+        threads: 4,
+        parallel_merge_min_droppings: 1,
+        ..ReadConf::default()
+    }
+    .with_handle_shards(1)
+    .with_fanout_threshold(256);
+    let rf = ReadFile::open_with(backing.as_ref(), "/shared", conf).unwrap();
+    hammer(&rf, backing.as_ref(), &want, 8, 32);
+}
+
+#[test]
+fn serial_conf_is_unaffected_by_concurrent_callers() {
+    let backing = Arc::new(MemBacking::new());
+    let want = build_container(&backing, 4, 8, 1024);
+    // threads=1 disables both the parallel merge and the fan-out; many
+    // threads sharing the serial reader must still read true bytes.
+    let rf = ReadFile::open_with(backing.as_ref(), "/shared", ReadConf::serial()).unwrap();
+    assert!(!rf.merged_parallel());
+    hammer(&rf, backing.as_ref(), &want, 8, 32);
+}

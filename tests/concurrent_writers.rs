@@ -11,10 +11,7 @@ use plfs::{MemBacking, Plfs};
 use std::sync::Arc;
 
 fn shim(tag: &str) -> (Arc<ldplfs::LdPlfs>, Arc<MemBacking>) {
-    let dir = std::env::temp_dir().join(format!(
-        "ldplfs-conc-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("ldplfs-conc-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let under = Arc::new(RealPosix::rooted(dir).unwrap());
     let backing = Arc::new(MemBacking::new());
@@ -119,7 +116,8 @@ fn mixed_readers_and_writers() {
                 let fd = shim
                     .open("/plfs/shared", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644)
                     .unwrap();
-                shim.pwrite(fd, &[0x40 + r as u8; 256], r as u64 * 256).unwrap();
+                shim.pwrite(fd, &[0x40 + r as u8; 256], r as u64 * 256)
+                    .unwrap();
                 shim.close(fd).unwrap();
             });
         }

@@ -7,10 +7,7 @@ use plfs::{FaultKind, FaultOp, FaultRule, Faulty, MemBacking, Plfs};
 use std::sync::Arc;
 
 fn stack(tag: &str) -> (Arc<Faulty>, ldplfs::LdPlfs) {
-    let dir = std::env::temp_dir().join(format!(
-        "ldplfs-faults-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("ldplfs-faults-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let under = Arc::new(RealPosix::rooted(dir).unwrap());
     let faulty = Arc::new(Faulty::new(Arc::new(MemBacking::new())));

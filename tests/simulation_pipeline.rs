@@ -98,19 +98,30 @@ fn bt_class_c_plfs_advantage_grows_with_scale() {
     let p = presets::sierra();
     let small = {
         let cfg = BtConfig::paper(BtClass::C, 16);
-        nas_bt::run(&p, &cfg, Method::Ldplfs).unwrap().bandwidth_mbs()
-            / nas_bt::run(&p, &cfg, Method::MpiIo).unwrap().bandwidth_mbs()
+        nas_bt::run(&p, &cfg, Method::Ldplfs)
+            .unwrap()
+            .bandwidth_mbs()
+            / nas_bt::run(&p, &cfg, Method::MpiIo)
+                .unwrap()
+                .bandwidth_mbs()
     };
     let large = {
         let cfg = BtConfig::paper(BtClass::C, 256);
-        nas_bt::run(&p, &cfg, Method::Ldplfs).unwrap().bandwidth_mbs()
-            / nas_bt::run(&p, &cfg, Method::MpiIo).unwrap().bandwidth_mbs()
+        nas_bt::run(&p, &cfg, Method::Ldplfs)
+            .unwrap()
+            .bandwidth_mbs()
+            / nas_bt::run(&p, &cfg, Method::MpiIo)
+                .unwrap()
+                .bandwidth_mbs()
     };
     assert!(
         large > small,
         "advantage should grow with scale: {small} -> {large}"
     );
-    assert!(large > 2.0, "PLFS should be well ahead at 256 cores: {large}");
+    assert!(
+        large > 2.0,
+        "PLFS should be well ahead at 256 cores: {large}"
+    );
 }
 
 #[test]
@@ -179,7 +190,10 @@ fn flash_peak_near_192_cores() {
     let at_192 = bw(192);
     let at_3072 = bw(3072);
     assert!(at_192 > 2.0 * at_12, "sharp rise: {at_12} -> {at_192}");
-    assert!(at_192 > 5.0 * at_3072, "then collapse: {at_192} -> {at_3072}");
+    assert!(
+        at_192 > 5.0 * at_3072,
+        "then collapse: {at_192} -> {at_3072}"
+    );
 }
 
 #[test]

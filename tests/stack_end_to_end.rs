@@ -11,10 +11,7 @@ use plfs::RealBacking;
 use std::sync::Arc;
 
 fn stack(tag: &str) -> (Arc<dyn PosixLayer>, std::path::PathBuf) {
-    let root = std::env::temp_dir().join(format!(
-        "ldplfs-e2e-{tag}-{}",
-        std::process::id()
-    ));
+    let root = std::env::temp_dir().join(format!("ldplfs-e2e-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let under = Arc::new(RealPosix::rooted(root.join("fs")).unwrap());
     let backend = root.join("backend");
@@ -128,8 +125,12 @@ fn interception_counters_see_both_sides() {
         .mount("/plfs", plfs::Plfs::new(backing))
         .build()
         .unwrap();
-    let fd1 = shim.open("/plfs/a", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
-    let fd2 = shim.open("/outside", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644).unwrap();
+    let fd1 = shim
+        .open("/plfs/a", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644)
+        .unwrap();
+    let fd2 = shim
+        .open("/outside", OpenFlags::WRONLY | OpenFlags::CREAT, 0o644)
+        .unwrap();
     shim.write(fd1, b"x").unwrap();
     shim.write(fd2, b"y").unwrap();
     shim.close(fd1).unwrap();
@@ -150,7 +151,11 @@ fn hdf5lite_checkpoint_through_the_stack() {
     write(
         &shim,
         "/plfs/chk",
-        &[Dataset { name: "dens", dtype: Dtype::F64, data: &dens }],
+        &[Dataset {
+            name: "dens",
+            dtype: Dtype::F64,
+            data: &dens,
+        }],
     )
     .unwrap();
     let back = read(&shim, "/plfs/chk").unwrap();

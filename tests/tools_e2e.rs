@@ -7,10 +7,7 @@ use plfs::{Plfs, RealBacking};
 use std::sync::Arc;
 
 fn stack(tag: &str) -> (Arc<dyn PosixLayer>, RealBacking, std::path::PathBuf) {
-    let root = std::env::temp_dir().join(format!(
-        "ldplfs-toolse2e-{tag}-{}",
-        std::process::id()
-    ));
+    let root = std::env::temp_dir().join(format!("ldplfs-toolse2e-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let under = Arc::new(RealPosix::rooted(root.join("fs")).unwrap());
     let backend_dir = root.join("backend");
@@ -67,7 +64,11 @@ fn check_repair_cycle_on_real_backend() {
     let index = std::fs::read_dir(hostdir.path())
         .unwrap()
         .filter_map(|e| e.ok())
-        .find(|e| e.file_name().to_string_lossy().starts_with("dropping.index."))
+        .find(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with("dropping.index.")
+        })
         .expect("index dropping");
     use std::io::Write;
     let mut fh = std::fs::OpenOptions::new()
@@ -115,6 +116,8 @@ fn ls_and_version_and_rm() {
     plfs_tools::rm(&backing, "/a").unwrap();
     assert!(plfs_tools::stat(&backing, "/a").is_err());
     // /b untouched.
-    assert!(plfs_tools::stat(&backing, "/b").unwrap().contains("6 bytes"));
+    assert!(plfs_tools::stat(&backing, "/b")
+        .unwrap()
+        .contains("6 bytes"));
     let _ = std::fs::remove_dir_all(&root);
 }

@@ -28,13 +28,13 @@ pub mod thread {
     where
         F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
     {
-        
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             std::thread::scope(|s| {
                 // SAFETY: Scope is a repr(transparent) newtype over
                 // std::thread::Scope, so the reference cast is sound.
-                let wrapped: &Scope<'_, 'env> =
-                    unsafe { &*(s as *const std::thread::Scope<'_, 'env>).cast::<Scope<'_, 'env>>() };
+                let wrapped: &Scope<'_, 'env> = unsafe {
+                    &*(s as *const std::thread::Scope<'_, 'env>).cast::<Scope<'_, 'env>>()
+                };
                 f(wrapped)
             })
         }))

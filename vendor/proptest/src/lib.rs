@@ -427,7 +427,9 @@ macro_rules! prop_assert_ne {
         if __l == __r {
             panic!(
                 "prop_assert_ne failed: both sides are {:?} ({} vs {})",
-                __l, stringify!($left), stringify!($right)
+                __l,
+                stringify!($left),
+                stringify!($right)
             );
         }
     }};
