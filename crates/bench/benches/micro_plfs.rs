@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use plfs::{
     ContainerParams, GlobalIndex, IndexEntry, MemBacking, OpenFlags, Plfs, ReadConf, ReadFile,
+    WriteConf,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -81,6 +82,63 @@ fn bench_write_path(c: &mut Criterion) {
             });
         });
     }
+    g.finish();
+}
+
+/// PR 3 acceptance benchmark: `writers` threads racing a strided
+/// checkpoint through one fd — the serial writer table (1 shard, no
+/// buffer) vs the id-hashed shards with write-behind buffering — plus the
+/// O(1) append fast path vs a size() probe per append.
+fn bench_multi_writer(c: &mut Criterion) {
+    let writers = 8usize;
+    let rows = 64usize;
+    let block = 4096usize;
+    let volume = (writers * rows * block) as u64;
+    let run = |conf: WriteConf| {
+        let plfs = Plfs::new(Arc::new(MemBacking::new())).with_write_conf(conf);
+        let fd = plfs
+            .open("/w", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+            .unwrap();
+        for p in 1..writers as u64 {
+            fd.add_ref(p);
+        }
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let plfs = &plfs;
+                let fd = fd.clone();
+                s.spawn(move || {
+                    let pid = w as u64;
+                    let data = vec![w as u8; block];
+                    for r in 0..rows {
+                        plfs.write(&fd, &data, ((r * writers + w) * block) as u64, pid)
+                            .unwrap();
+                    }
+                    plfs.sync(&fd, pid).unwrap();
+                });
+            }
+        });
+        black_box(fd.size().unwrap())
+    };
+
+    let mut g = c.benchmark_group("multi_writer");
+    g.throughput(Throughput::Bytes(volume));
+    g.bench_function("checkpoint_8_writers_serial", |b| {
+        b.iter(|| run(WriteConf::serial()));
+    });
+    g.bench_function("checkpoint_8_writers_sharded", |b| {
+        b.iter(|| run(WriteConf::default().with_data_buffer_bytes(64 << 10)));
+    });
+
+    // Append latency: atomic-EOF fast path, no index merge per append.
+    let plfs = Plfs::new(Arc::new(MemBacking::new()));
+    let fd = plfs
+        .open("/a", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+        .unwrap();
+    let chunk = vec![7u8; 64];
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("append_fastpath_64b", |b| {
+        b.iter(|| black_box(fd.append(&chunk, 0).unwrap()));
+    });
     g.finish();
 }
 
@@ -281,6 +339,7 @@ criterion_group!(
     benches,
     bench_index,
     bench_write_path,
+    bench_multi_writer,
     bench_read_path,
     bench_open_path,
     bench_flatten,

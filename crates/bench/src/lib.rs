@@ -633,6 +633,182 @@ pub fn render_readpath_projection(rows: &[ReadPathProjection]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Beyond the paper: the parallel write path (per-pid writer sharding,
+// atomic-EOF appends, write-behind buffering, incremental reader refresh).
+// ---------------------------------------------------------------------------
+
+/// One measured row of the write-path comparison: `writers` racing pids
+/// pushing a strided checkpoint through ONE fd, serial path vs sharded +
+/// write-behind-buffered path, plus the append/refresh latencies the PR 3
+/// fast paths target.
+#[derive(Debug, Clone)]
+pub struct WritePathRow {
+    /// Concurrent writer threads (= pids) sharing the fd.
+    pub writers: usize,
+    /// Blocks written per writer.
+    pub writes_per_writer: usize,
+    /// Block size (bytes).
+    pub block: usize,
+    /// Multi-writer throughput, serial path: one writer-table lock, no
+    /// data buffering (MB/s).
+    pub serial_write_mbs: f64,
+    /// Same workload through id-hashed writer shards with write-behind
+    /// data buffering (MB/s).
+    pub sharded_write_mbs: f64,
+    /// Mean `O_APPEND` write latency on the atomic-EOF fast path (ns).
+    pub append_ns: f64,
+    /// Interleaved append+read cycles with a full index re-merge on every
+    /// post-write read (ms total).
+    pub full_refresh_ms: f64,
+    /// Same cycles patching the cached merged index incrementally (ms).
+    pub incremental_refresh_ms: f64,
+}
+
+impl WritePathRow {
+    /// Sharded-over-serial multi-writer throughput ratio.
+    pub fn write_speedup(&self) -> f64 {
+        self.sharded_write_mbs / self.serial_write_mbs.max(1e-9)
+    }
+
+    /// Full-re-merge-over-incremental refresh time ratio.
+    pub fn refresh_speedup(&self) -> f64 {
+        self.full_refresh_ms / self.incremental_refresh_ms.max(1e-9)
+    }
+}
+
+/// Writer counts swept by the measured write-path comparison.
+pub const WRITEPATH_WRITERS: [usize; 3] = [1, 4, 8];
+
+/// Wall time for `writers` threads to push a strided checkpoint (and sync)
+/// through one fd under `conf`.
+fn multiwriter_secs(conf: plfs::WriteConf, writers: usize, rows: usize, block: usize) -> f64 {
+    use plfs::{MemBacking, OpenFlags, Plfs};
+    use std::sync::Arc;
+    let (secs, _) = best_of(3, || {
+        let plfs = Plfs::new(Arc::new(MemBacking::new())).with_write_conf(conf);
+        let fd = plfs
+            .open("/w", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+            .unwrap();
+        for p in 1..writers as u64 {
+            fd.add_ref(p);
+        }
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let plfs = &plfs;
+                let fd = fd.clone();
+                s.spawn(move || {
+                    let pid = w as u64;
+                    let data = vec![w as u8; block];
+                    for r in 0..rows {
+                        let off = ((r * writers + w) * block) as u64;
+                        plfs.write(&fd, &data, off, pid).unwrap();
+                    }
+                    plfs.sync(&fd, pid).unwrap();
+                });
+            }
+        });
+        (writers * rows * block) as u64
+    });
+    secs
+}
+
+/// Measure the write path across [`WRITEPATH_WRITERS`]. Runs through the
+/// public `plfs::Plfs` API so the `append_fastpath`/`data_buffer_flush`/
+/// `index_patch` trace ops land in the emitted BENCH json.
+pub fn writepath_comparison(scale: Scale) -> Vec<WritePathRow> {
+    use plfs::{MemBacking, OpenFlags, Plfs, WriteConf};
+    use std::sync::Arc;
+
+    let (rows, block, appends, cycles) = match scale {
+        Scale::Paper => (512usize, 4096usize, 4096usize, 64usize),
+        Scale::Quick => (96, 512, 512, 16),
+    };
+    let sharded = WriteConf::default().with_data_buffer_bytes(64 << 10);
+    WRITEPATH_WRITERS
+        .iter()
+        .map(|&writers| {
+            let serial_secs = multiwriter_secs(WriteConf::serial(), writers, rows, block);
+            let sharded_secs = multiwriter_secs(sharded, writers, rows, block);
+            let volume = (writers * rows * block) as f64;
+
+            // O_APPEND latency on the atomic-EOF fast path.
+            let chunk = vec![7u8; 64];
+            let (append_secs, _) = best_of(3, || {
+                let plfs = Plfs::new(Arc::new(MemBacking::new())).with_write_conf(sharded);
+                let fd = plfs
+                    .open("/a", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+                    .unwrap();
+                for _ in 0..appends {
+                    fd.append(&chunk, 0).unwrap();
+                }
+                plfs.close(&fd, 0).unwrap();
+                appends as u64
+            });
+
+            // Interleaved append+read cycles: every read refreshes the
+            // cached reader — by a full re-merge or an incremental patch.
+            let refresh_secs = |incremental: bool| {
+                let conf = WriteConf::default().with_incremental_refresh(incremental);
+                let (secs, _) = best_of(3, || {
+                    let plfs = Plfs::new(Arc::new(MemBacking::new())).with_write_conf(conf);
+                    let fd = plfs
+                        .open("/r", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+                        .unwrap();
+                    for p in 1..writers as u64 {
+                        fd.add_ref(p);
+                    }
+                    let mut one = [0u8; 1];
+                    for c in 0..cycles {
+                        for p in 0..writers as u64 {
+                            fd.append(&chunk, p).unwrap();
+                        }
+                        plfs.read(&fd, &mut one, (c * chunk.len()) as u64).unwrap();
+                    }
+                    cycles as u64
+                });
+                secs
+            };
+            let full = refresh_secs(false);
+            let incr = refresh_secs(true);
+
+            WritePathRow {
+                writers,
+                writes_per_writer: rows,
+                block,
+                serial_write_mbs: volume / serial_secs.max(1e-9) / 1e6,
+                sharded_write_mbs: volume / sharded_secs.max(1e-9) / 1e6,
+                append_ns: append_secs * 1e9 / appends as f64,
+                full_refresh_ms: full * 1e3,
+                incremental_refresh_ms: incr * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Render the measured write-path comparison.
+pub fn render_writepath(rows: &[WritePathRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}{:>13}{:>13}{:>9}{:>11}{:>13}{:>13}{:>9}\n",
+        "Writers", "serial", "sharded", "speedup", "append", "full refr", "incr refr", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}{:>8.0} MB/s{:>8.0} MB/s{:>8.2}x{:>9.0}ns{:>11.2}ms{:>11.2}ms{:>8.2}x\n",
+            r.writers,
+            r.serial_write_mbs,
+            r.sharded_write_mbs,
+            r.write_speedup(),
+            r.append_ns,
+            r.full_refresh_ms,
+            r.incremental_refresh_ms,
+            r.refresh_speedup()
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Rendering helpers.
 // ---------------------------------------------------------------------------
 
@@ -743,6 +919,22 @@ impl ToJson for ReadPathRow {
             .with("open_speedup", self.open_speedup())
             .with("serial_read_mbs", self.serial_read_mbs)
             .with("fanout_read_mbs", self.fanout_read_mbs)
+    }
+}
+
+impl ToJson for WritePathRow {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("writers", self.writers as u64)
+            .with("writes_per_writer", self.writes_per_writer as u64)
+            .with("block", self.block as u64)
+            .with("serial_write_mbs", self.serial_write_mbs)
+            .with("sharded_write_mbs", self.sharded_write_mbs)
+            .with("write_speedup", self.write_speedup())
+            .with("append_ns", self.append_ns)
+            .with("full_refresh_ms", self.full_refresh_ms)
+            .with("incremental_refresh_ms", self.incremental_refresh_ms)
+            .with("refresh_speedup", self.refresh_speedup())
     }
 }
 
@@ -861,6 +1053,27 @@ mod tests {
             .all(|p| p.serial_open_secs > p.parallel_open_secs));
         let txt = render_readpath_projection(&proj);
         assert!(txt.contains("Sierra"));
+    }
+
+    #[test]
+    fn quick_writepath_measures() {
+        let rows = writepath_comparison(Scale::Quick);
+        assert_eq!(rows.len(), WRITEPATH_WRITERS.len());
+        for r in &rows {
+            assert!(r.serial_write_mbs > 0.0 && r.sharded_write_mbs > 0.0);
+            assert!(r.append_ns > 0.0 && r.append_ns.is_finite());
+            assert!(r.full_refresh_ms > 0.0 && r.incremental_refresh_ms > 0.0);
+        }
+        // The algorithmic win is core-count independent: patching the
+        // cached index must beat a full re-merge per read once several
+        // writers keep appending.
+        let big = rows.last().unwrap();
+        assert!(
+            big.refresh_speedup() > 1.0,
+            "incremental refresh should beat full re-merge at 8 writers: {big:?}"
+        );
+        let txt = render_writepath(&rows);
+        assert!(txt.contains("Writers") && txt.contains("speedup"));
     }
 
     #[test]

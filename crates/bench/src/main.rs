@@ -8,6 +8,7 @@
 //! paperbench fig5 [--subdirs N]  # FLASH-IO on Sierra
 //! paperbench crossover           # where PLFS starts to hurt (future work)
 //! paperbench readpath [--quick]  # serial vs parallel container open/read
+//! paperbench writepath [--quick] # serial vs sharded/buffered writers
 //! paperbench all [--quick]       # everything above
 //! paperbench ... --json PATH     # also dump JSON for EXPERIMENTS.md
 //! paperbench ... --emit-json DIR # figure data + per-layer op/latency trace
@@ -16,7 +17,8 @@
 use apps::nas_bt::BtClass;
 use bench::{
     crossover, fig3, fig4, fig5_with, readpath_comparison, readpath_projection, render_panel,
-    render_readpath, render_readpath_projection, render_table2, table2, Scale,
+    render_readpath, render_readpath_projection, render_table2, render_writepath, table2,
+    writepath_comparison, Scale,
 };
 use jsonlite::{ToJson, Value};
 use simfs::presets;
@@ -268,6 +270,16 @@ fn cmd_readpath(args: &Args) {
     trace_emit(args, "readpath", &doc);
 }
 
+fn cmd_writepath(args: &Args) {
+    println!("# Write path: serial vs sharded + write-behind-buffered writers\n");
+    trace_begin(args);
+    let rows = writepath_comparison(scale(args.quick));
+    println!("## Measured (in-memory backing, this host)\n");
+    println!("{}", render_writepath(&rows));
+    dump_json(&args.json, "writepath", &rows);
+    trace_emit(args, "writepath", &rows);
+}
+
 fn cmd_crossover(args: &Args) {
     println!("# PLFS benefit crossover (FLASH-IO, LDPLFS vs MPI-IO)\n");
     for (platform, label) in [
@@ -302,6 +314,7 @@ fn main() {
         "ior" => cmd_ior(&args),
         "staging" => cmd_staging(&args),
         "readpath" => cmd_readpath(&args),
+        "writepath" => cmd_writepath(&args),
         "all" => {
             cmd_table1();
             cmd_fig3(&args);
@@ -312,10 +325,11 @@ fn main() {
             cmd_ior(&args);
             cmd_staging(&args);
             cmd_readpath(&args);
+            cmd_writepath(&args);
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|all] \
+                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|writepath|all] \
                  [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR] [--emit-json DIR]"
             );
         }

@@ -106,13 +106,21 @@ pub enum OpKind {
     IndexMergePar,
     /// A `pread` fanned out over the reader worker pool.
     ReadFanout,
+    /// A write-behind data buffer spilled to its data dropping.
+    DataBufferFlush,
+    /// A cached merged index patched in place with fresh local entries
+    /// (instead of a full re-merge).
+    IndexPatch,
+    /// An `O_APPEND` write that resolved EOF from the cached atomic
+    /// (no index merge).
+    AppendFastpath,
     /// stat/readdir/unlink/rename/…: everything else.
     Meta,
 }
 
 impl OpKind {
     /// Every op kind, in reporting order.
-    pub const ALL: [OpKind; 11] = [
+    pub const ALL: [OpKind; 14] = [
         OpKind::Open,
         OpKind::Close,
         OpKind::Read,
@@ -123,6 +131,9 @@ impl OpKind {
         OpKind::IndexMerge,
         OpKind::IndexMergePar,
         OpKind::ReadFanout,
+        OpKind::DataBufferFlush,
+        OpKind::IndexPatch,
+        OpKind::AppendFastpath,
         OpKind::Meta,
     ];
 
@@ -139,6 +150,9 @@ impl OpKind {
             OpKind::IndexMerge => "index_merge",
             OpKind::IndexMergePar => "index_merge_par",
             OpKind::ReadFanout => "read_fanout",
+            OpKind::DataBufferFlush => "data_buffer_flush",
+            OpKind::IndexPatch => "index_patch",
+            OpKind::AppendFastpath => "append_fastpath",
             OpKind::Meta => "meta",
         }
     }
@@ -160,7 +174,10 @@ impl OpKind {
             OpKind::IndexMerge => 7,
             OpKind::IndexMergePar => 8,
             OpKind::ReadFanout => 9,
-            OpKind::Meta => 10,
+            OpKind::DataBufferFlush => 10,
+            OpKind::IndexPatch => 11,
+            OpKind::AppendFastpath => 12,
+            OpKind::Meta => 13,
         }
     }
 }
@@ -1011,6 +1028,9 @@ mod tests {
         }
         assert_eq!(OpKind::IndexMergePar.as_str(), "index_merge_par");
         assert_eq!(OpKind::ReadFanout.as_str(), "read_fanout");
+        assert_eq!(OpKind::DataBufferFlush.as_str(), "data_buffer_flush");
+        assert_eq!(OpKind::IndexPatch.as_str(), "index_patch");
+        assert_eq!(OpKind::AppendFastpath.as_str(), "append_fastpath");
     }
 
     #[test]

@@ -72,7 +72,14 @@ pub fn from_plfsrc(
     let rc = PlfsRc::parse(plfsrc).map_err(Errno::from)?;
     let mut builder = LdPlfsBuilder::new(under);
     for spec in &rc.mounts {
-        let plfs = plfs_for_spec(spec, &mut backing_for)?.with_read_conf(rc.read_conf());
+        // The write conf replaces the whole struct, so the per-mount index
+        // buffer depth is layered back on top of the global knobs.
+        let write_conf = rc
+            .write_conf()
+            .with_index_buffer_entries(spec.index_buffer_entries);
+        let plfs = plfs_for_spec(spec, &mut backing_for)?
+            .with_read_conf(rc.read_conf())
+            .with_write_conf(write_conf);
         builder = builder.mount(spec.mount_point.clone(), plfs);
     }
     builder.build()
@@ -136,6 +143,19 @@ mod tests {
         assert_eq!(conf.threads, 4);
         assert_eq!(conf.fanout_threshold, 2048);
         assert_eq!(conf.handle_shards, 2);
+    }
+
+    #[test]
+    fn from_plfsrc_plumbs_write_conf() {
+        let rc = "write_shards 2\ndata_buffer_bytes 8192\nincremental_refresh off\n\
+                  mount_point /ckpt\nbackends /be\nindex_buffer_entries 99\n";
+        let s = from_plfsrc(under("wconf"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        let conf = s.mounts()[0].plfs.write_conf();
+        assert_eq!(conf.write_shards, 2);
+        assert_eq!(conf.data_buffer_bytes, 8192);
+        assert!(!conf.incremental_refresh);
+        // The per-mount index buffer depth survives the global write conf.
+        assert_eq!(conf.index_buffer_entries, 99);
     }
 
     #[test]

@@ -10,12 +10,11 @@
 //! (`/checkpoint/dump.0001`), mapped onto backend paths internally.
 
 use crate::backing::{join, Backing};
-use crate::conf::ReadConf;
+use crate::conf::{ReadConf, WriteConf};
 use crate::container::{self, ContainerParams};
 use crate::error::{Error, Result};
 use crate::fd::PlfsFd;
 use crate::flags::OpenFlags;
-use crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES;
 use iotrace::{Layer, OpEvent, OpKind};
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,8 +51,8 @@ pub struct Dirent {
 pub struct Plfs {
     backing: Arc<dyn Backing>,
     defaults: ContainerParams,
-    index_buffer_entries: usize,
     read_conf: ReadConf,
+    write_conf: WriteConf,
 }
 
 impl Plfs {
@@ -62,8 +61,8 @@ impl Plfs {
         Plfs {
             backing,
             defaults: ContainerParams::default(),
-            index_buffer_entries: DEFAULT_INDEX_BUFFER_ENTRIES,
             read_conf: ReadConf::default(),
+            write_conf: WriteConf::default(),
         }
     }
 
@@ -75,7 +74,7 @@ impl Plfs {
 
     /// Override the index write-buffer size (entries per flush).
     pub fn with_index_buffer(mut self, entries: usize) -> Plfs {
-        self.index_buffer_entries = entries.max(1);
+        self.write_conf = self.write_conf.with_index_buffer_entries(entries);
         self
     }
 
@@ -97,6 +96,19 @@ impl Plfs {
     /// The read-path configuration open fds inherit.
     pub fn read_conf(&self) -> &ReadConf {
         &self.read_conf
+    }
+
+    /// Set the full write-path configuration: writer-table shard count,
+    /// write-behind data buffering, index buffer depth, and incremental
+    /// reader refresh (see [`WriteConf`]).
+    pub fn with_write_conf(mut self, conf: WriteConf) -> Plfs {
+        self.write_conf = conf;
+        self
+    }
+
+    /// The write-path configuration open fds inherit.
+    pub fn write_conf(&self) -> &WriteConf {
+        &self.write_conf
     }
 
     /// The backing store (exposed for flatten/tool helpers).
@@ -154,7 +166,7 @@ impl Plfs {
                 bp,
                 params,
                 flags,
-                self.index_buffer_entries,
+                self.write_conf,
                 pid,
             )
             .with_read_conf(self.read_conf),
@@ -331,7 +343,7 @@ impl Plfs {
             bp,
             &params,
             0,
-            self.index_buffer_entries,
+            self.write_conf.index_buffer_entries,
         )?;
         if !data.is_empty() {
             w.write(&data, 0)?;

@@ -1,14 +1,18 @@
-//! Read-path tuning knobs.
+//! Read- and write-path tuning knobs.
 //!
-//! Real PLFS exposes a `threadpool_size` in `plfsrc`; LDPLFS inherits it.
-//! [`ReadConf`] generalises that into the three knobs the parallel read
-//! path needs: how many worker threads to fan `pread`s over, how large a
-//! request must be before fanning out pays for the thread handoff, and how
-//! many shards the dropping-handle cache is split into. The same struct is
-//! plumbed from `plfsrc` (`mount::PlfsRc::read_conf`) through
-//! [`crate::api::Plfs`] and [`crate::fd::PlfsFd`] down to
-//! [`crate::reader::ReadFile`], so the LDPLFS shim and direct API users
-//! share one configuration surface.
+//! Real PLFS exposes a `threadpool_size` and a `data_buffer_mbs` in
+//! `plfsrc`; LDPLFS inherits them. [`ReadConf`] generalises the former into
+//! the three knobs the parallel read path needs: how many worker threads to
+//! fan `pread`s over, how large a request must be before fanning out pays
+//! for the thread handoff, and how many shards the dropping-handle cache is
+//! split into. [`WriteConf`] is the write-side twin: how many lock shards
+//! the per-pid writer table is split over, how much write-behind data
+//! buffering each writer gets (the `data_buffer_mbs` analogue), the index
+//! buffer depth, and whether a cached merged index is patched incrementally
+//! after local writes instead of re-merged from every dropping. Both are
+//! plumbed from `plfsrc` (`mount::PlfsRc::{read_conf, write_conf}`) through
+//! [`crate::api::Plfs`] and [`crate::fd::PlfsFd`], so the LDPLFS shim and
+//! direct API users share one configuration surface.
 
 /// Tuning knobs for the container read path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +90,83 @@ impl ReadConf {
     }
 }
 
+/// Tuning knobs for the container write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteConf {
+    /// Number of lock shards the per-pid writer table is split over
+    /// (rounded up to a power of two). Concurrent ranks writing one fd
+    /// only contend when their pids collide in a shard; 1 restores the
+    /// single-lock behaviour.
+    pub write_shards: usize,
+    /// Write-behind aggregation buffer per writer, in bytes (the C
+    /// library's `data_buffer_mbs` analogue). Writes smaller than this are
+    /// coalesced in memory and spilled to the data dropping on threshold,
+    /// sync, or close. 0 disables buffering (every write hits the backing
+    /// store immediately).
+    pub data_buffer_bytes: usize,
+    /// Buffered index entries per writer before an automatic flush (the
+    /// `index_buffer_mbs` analogue, expressed in entries).
+    pub index_buffer_entries: usize,
+    /// After local writes, patch the cached merged index with this
+    /// process's freshly flushed entries instead of re-reading every
+    /// dropping. Off forces a full re-merge on each post-write read.
+    pub incremental_refresh: bool,
+}
+
+/// Default writer-table shard count.
+pub const DEFAULT_WRITE_SHARDS: usize = 16;
+/// Default write-behind data buffer size: 0 = buffering off.
+pub const DEFAULT_DATA_BUFFER_BYTES: usize = 0;
+
+impl Default for WriteConf {
+    fn default() -> WriteConf {
+        WriteConf {
+            write_shards: DEFAULT_WRITE_SHARDS,
+            data_buffer_bytes: DEFAULT_DATA_BUFFER_BYTES,
+            index_buffer_entries: crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES,
+            incremental_refresh: true,
+        }
+    }
+}
+
+impl WriteConf {
+    /// The fully serial configuration: one writer shard, no data
+    /// buffering, full index re-merge on every post-write read. This is
+    /// the pre-sharding behaviour and the property-test reference path.
+    pub fn serial() -> WriteConf {
+        WriteConf {
+            write_shards: 1,
+            data_buffer_bytes: 0,
+            incremental_refresh: false,
+            ..WriteConf::default()
+        }
+    }
+
+    /// Builder-style: set the writer-table shard count (min 1).
+    pub fn with_write_shards(mut self, shards: usize) -> WriteConf {
+        self.write_shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style: set the write-behind buffer size in bytes (0 = off).
+    pub fn with_data_buffer_bytes(mut self, bytes: usize) -> WriteConf {
+        self.data_buffer_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: set the index buffer depth in entries (min 1).
+    pub fn with_index_buffer_entries(mut self, entries: usize) -> WriteConf {
+        self.index_buffer_entries = entries.max(1);
+        self
+    }
+
+    /// Builder-style: enable or disable incremental reader refresh.
+    pub fn with_incremental_refresh(mut self, on: bool) -> WriteConf {
+        self.incremental_refresh = on;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +195,38 @@ mod tests {
         assert!(!c.fanout(4095));
         assert!(c.parallel_merge(DEFAULT_PARALLEL_MERGE_MIN));
         assert!(!c.parallel_merge(DEFAULT_PARALLEL_MERGE_MIN - 1));
+    }
+
+    #[test]
+    fn write_defaults_shard_but_do_not_buffer() {
+        let c = WriteConf::default();
+        assert_eq!(c.write_shards, DEFAULT_WRITE_SHARDS);
+        assert_eq!(c.data_buffer_bytes, 0, "write-behind is opt-in");
+        assert!(c.incremental_refresh);
+        assert_eq!(
+            c.index_buffer_entries,
+            crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES
+        );
+    }
+
+    #[test]
+    fn write_serial_is_the_single_lock_path() {
+        let c = WriteConf::serial();
+        assert_eq!(c.write_shards, 1);
+        assert_eq!(c.data_buffer_bytes, 0);
+        assert!(!c.incremental_refresh);
+    }
+
+    #[test]
+    fn write_builders_clamp_to_one() {
+        let c = WriteConf::default()
+            .with_write_shards(0)
+            .with_index_buffer_entries(0)
+            .with_data_buffer_bytes(1 << 20)
+            .with_incremental_refresh(false);
+        assert_eq!(c.write_shards, 1);
+        assert_eq!(c.index_buffer_entries, 1);
+        assert_eq!(c.data_buffer_bytes, 1 << 20);
+        assert!(!c.incremental_refresh);
     }
 }

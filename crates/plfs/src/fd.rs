@@ -4,27 +4,44 @@
 //! reference-counted per pid (the ROMIO driver opens once and adds a
 //! reference per rank), holding one [`WriteFile`] per writing pid and a
 //! lazily built, write-invalidated [`ReadFile`].
+//!
+//! The write path is concurrent (the write-side twin of the sharded read
+//! path):
+//!
+//! - **Per-pid writer sharding.** The pid → [`WriteFile`] table is split
+//!   over id-hashed lock shards ([`WriteConf::write_shards`]), so N ranks
+//!   writing one fd only contend when their pids collide in a shard.
+//! - **O(1) EOF.** A cached atomic max-EOF is bumped on every write, so
+//!   `append()` and `size()` answer without an index merge; the merge (or
+//!   an incremental patch) happens only on actual reads.
+//! - **Incremental reader refresh.** When a merged read view is already
+//!   cached, a post-write read patches it with this process's freshly
+//!   flushed entries ([`WriteConf::incremental_refresh`]) instead of
+//!   re-reading every dropping.
+//!
+//! EOF coherence is per-fd, as in the C library: ranks sharing this fd see
+//! each other's appends atomically; a *different* fd (or process) appending
+//! to the same container concurrently is not serialized against this one.
 
 use crate::backing::Backing;
-use crate::conf::ReadConf;
-use crate::container::{self, ContainerParams};
+use crate::conf::{ReadConf, WriteConf};
+use crate::container::{self, ContainerParams, DroppingRef};
 use crate::error::{Error, Result};
 use crate::flags::OpenFlags;
+use crate::index::IndexEntry;
 use crate::reader::ReadFile;
 use crate::writer::WriteFile;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-struct FdInner {
-    writers: HashMap<u64, WriteFile>,
-    refs: HashMap<u64, u32>,
-    reader: Option<Arc<ReadFile>>,
-    /// Set on every write; forces the reader to be rebuilt so reads observe
-    /// this process's own writes (read-your-writes, as LDPLFS needs for the
-    /// UNIX-tool use case).
-    dirty: bool,
-}
+/// One lock shard of the pid → writer table.
+type WriterShard = Mutex<HashMap<u64, WriteFile>>;
+
+/// Entries flushed by writers that have since closed, still owed to the
+/// next incremental reader refresh, keyed by their data-dropping path.
+type Orphans = Vec<(String, Vec<IndexEntry>)>;
 
 /// An open PLFS file (the Rust analogue of `Plfs_fd`).
 pub struct PlfsFd {
@@ -32,9 +49,23 @@ pub struct PlfsFd {
     container: String,
     params: ContainerParams,
     flags: OpenFlags,
-    index_buffer_entries: usize,
+    write_conf: WriteConf,
     read_conf: ReadConf,
-    inner: Mutex<FdInner>,
+    /// Per-pid write streams behind id-hashed lock shards: pids are dense
+    /// (MPI ranks), so masking spreads them evenly.
+    shards: Box<[WriterShard]>,
+    shard_mask: usize,
+    refs: Mutex<HashMap<u64, u32>>,
+    reader: Mutex<Option<Arc<ReadFile>>>,
+    orphans: Mutex<Orphans>,
+    /// Set on every write; the next read flushes the writers and refreshes
+    /// the read view so reads observe this process's own writes
+    /// (read-your-writes, as LDPLFS needs for the UNIX-tool use case).
+    dirty: AtomicBool,
+    /// Cached logical EOF: the max over everything this fd has written and
+    /// (once seeded) the container's on-disk EOF at open.
+    eof: AtomicU64,
+    eof_seeded: AtomicBool,
 }
 
 impl PlfsFd {
@@ -43,24 +74,27 @@ impl PlfsFd {
         container: String,
         params: ContainerParams,
         flags: OpenFlags,
-        index_buffer_entries: usize,
+        write_conf: WriteConf,
         pid: u64,
     ) -> PlfsFd {
         let mut refs = HashMap::new();
         refs.insert(pid, 1);
+        let n = write_conf.write_shards.max(1).next_power_of_two();
         PlfsFd {
             backing,
             container,
             params,
             flags,
-            index_buffer_entries,
+            write_conf,
             read_conf: ReadConf::default(),
-            inner: Mutex::new(FdInner {
-                writers: HashMap::new(),
-                refs,
-                reader: None,
-                dirty: false,
-            }),
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_mask: n - 1,
+            refs: Mutex::new(refs),
+            reader: Mutex::new(None),
+            orphans: Mutex::new(Vec::new()),
+            dirty: AtomicBool::new(false),
+            eof: AtomicU64::new(0),
+            eof_seeded: AtomicBool::new(false),
         }
     }
 
@@ -76,9 +110,25 @@ impl PlfsFd {
         self
     }
 
+    /// Set the full write-path configuration (builder style, pre-Arc;
+    /// the writer table is re-sharded, which is only sound while it is
+    /// still empty).
+    pub fn with_write_conf(mut self, conf: WriteConf) -> PlfsFd {
+        let n = conf.write_shards.max(1).next_power_of_two();
+        self.write_conf = conf;
+        self.shards = (0..n).map(|_| Mutex::new(HashMap::new())).collect();
+        self.shard_mask = n - 1;
+        self
+    }
+
     /// The read-path configuration readers built from this fd use.
     pub fn read_conf(&self) -> &ReadConf {
         &self.read_conf
+    }
+
+    /// The write-path configuration writers opened by this fd use.
+    pub fn write_conf(&self) -> &WriteConf {
+        &self.write_conf
     }
 
     /// Backend path of the container.
@@ -98,64 +148,86 @@ impl PlfsFd {
 
     /// Add a reference for `pid` (another opener sharing this fd).
     pub fn add_ref(&self, pid: u64) {
-        let mut inner = self.inner.lock();
-        *inner.refs.entry(pid).or_insert(0) += 1;
+        let mut refs = self.refs.lock();
+        *refs.entry(pid).or_insert(0) += 1;
     }
 
     /// Total outstanding references across all pids.
     pub fn ref_count(&self) -> u32 {
-        self.inner.lock().refs.values().sum()
+        self.refs.lock().values().sum()
     }
 
-    /// Write `buf` at `offset` on behalf of `pid`.
+    fn shard(&self, pid: u64) -> &WriterShard {
+        &self.shards[pid as usize & self.shard_mask]
+    }
+
+    /// Write `buf` at `offset` on behalf of `pid`. Only `pid`'s shard is
+    /// locked: ranks in distinct shards write concurrently.
     pub fn write(&self, buf: &[u8], offset: u64, pid: u64) -> Result<usize> {
         if !self.flags.writable() {
             return Err(Error::BadMode("file not open for writing"));
         }
-        let mut inner = self.inner.lock();
-        self.write_locked(&mut inner, buf, offset, pid)
+        let mut shard = self.shard(pid).lock();
+        self.write_sharded(&mut shard, buf, offset, pid)
     }
 
     /// Atomically resolve the current EOF and write `buf` there on behalf
     /// of `pid` (the `O_APPEND` contract). Returns `(offset, written)`.
-    /// EOF lookup and write happen under one lock, so concurrent appenders
-    /// cannot interleave between the two and overwrite each other.
+    ///
+    /// The fast path: a `fetch_add` on the cached EOF reserves a disjoint
+    /// `[offset, offset + len)` slot for this append, so concurrent
+    /// appenders never overlap and no index merge runs — traced as
+    /// `append_fastpath`. The EOF cache is seeded once per fd from the
+    /// container's on-disk index.
     pub fn append(&self, buf: &[u8], pid: u64) -> Result<(u64, usize)> {
         if !self.flags.writable() {
             return Err(Error::BadMode("file not open for writing"));
         }
-        let mut inner = self.inner.lock();
-        let offset = self.reader_locked(&mut inner)?.eof();
-        let n = self.write_locked(&mut inner, buf, offset, pid)?;
+        self.ensure_eof_seeded()?;
+        let t0 = iotrace::global().start();
+        let offset = self.eof.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let n = {
+            let mut shard = self.shard(pid).lock();
+            self.write_sharded(&mut shard, buf, offset, pid)?
+        };
+        if let Some(t0) = t0 {
+            iotrace::global().record(
+                t0,
+                iotrace::OpEvent::new(iotrace::Layer::Plfs, iotrace::OpKind::AppendFastpath)
+                    .path(&self.container)
+                    .offset(offset)
+                    .bytes(n as u64),
+            );
+        }
         Ok((offset, n))
     }
 
-    fn write_locked(
+    fn write_sharded(
         &self,
-        inner: &mut FdInner,
+        shard: &mut HashMap<u64, WriteFile>,
         buf: &[u8],
         offset: u64,
         pid: u64,
     ) -> Result<usize> {
-        if let std::collections::hash_map::Entry::Vacant(e) = inner.writers.entry(pid) {
-            let w = WriteFile::open(
+        if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(pid) {
+            let w = WriteFile::open_with(
                 self.backing.as_ref(),
                 &self.container,
                 &self.params,
                 pid,
-                self.index_buffer_entries,
+                &self.write_conf,
             )?;
             container::mark_open(self.backing.as_ref(), &self.container, pid)?;
             e.insert(w);
         }
-        let n = inner.writers.get_mut(&pid).unwrap().write(buf, offset)?;
-        inner.dirty = true;
-        inner.reader = None;
+        let n = shard.get_mut(&pid).unwrap().write(buf, offset)?;
+        self.eof.fetch_max(offset + n as u64, Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Relaxed);
         Ok(n)
     }
 
     /// Read into `buf` from `offset`. Reads observe this process's writes:
-    /// pending index buffers are flushed and the reader rebuilt when dirty.
+    /// pending buffers are flushed and the read view refreshed when dirty.
     pub fn read(&self, buf: &mut [u8], offset: u64) -> Result<usize> {
         if !self.flags.readable() {
             return Err(Error::BadMode("file not open for reading"));
@@ -164,26 +236,48 @@ impl PlfsFd {
         reader.pread_auto(self.backing.as_ref(), buf, offset)
     }
 
-    /// Get (building if necessary) the merged read view.
+    /// Get (building or refreshing if necessary) the merged read view.
     pub fn reader(&self) -> Result<Arc<ReadFile>> {
-        let mut inner = self.inner.lock();
-        self.reader_locked(&mut inner)
+        let mut guard = self.reader.lock();
+        self.refresh_reader(&mut guard)
     }
 
-    /// The reader-building body of [`PlfsFd::reader`], for callers that
-    /// already hold the (non-reentrant) inner lock. A rebuild is the
-    /// index-merge step of the paper — every dropping's index is read and
-    /// merged — so it is traced when tracing is on: `index_merge` for the
-    /// serial path, `index_merge_par` when the concurrent merge ran.
-    fn reader_locked(&self, inner: &mut FdInner) -> Result<Arc<ReadFile>> {
-        if inner.dirty {
-            for w in inner.writers.values_mut() {
-                w.flush_index()?;
+    /// The view-building body of [`PlfsFd::reader`], for callers already
+    /// holding the (non-reentrant) reader lock.
+    ///
+    /// When dirty, every shard's writers are flushed first so their bytes
+    /// and entries are on the backing store. Then either:
+    ///
+    /// - a cached view exists and incremental refresh is on: its merged
+    ///   index is cloned and patched with the freshly flushed entries
+    ///   (traced as `index_patch`), or
+    /// - the full merge runs — every dropping's index is read and merged,
+    ///   the index-merge step of the paper — traced as `index_merge`
+    ///   (serial) or `index_merge_par` (concurrent).
+    fn refresh_reader(&self, guard: &mut Option<Arc<ReadFile>>) -> Result<Arc<ReadFile>> {
+        if self.dirty.swap(false, Ordering::Relaxed) {
+            let mut fresh: Orphans = std::mem::take(&mut *self.orphans.lock());
+            for shard in self.shards.iter() {
+                let mut s = shard.lock();
+                for w in s.values_mut() {
+                    w.flush_index()?;
+                    let ents = w.take_unmerged();
+                    if !ents.is_empty() {
+                        fresh.push((w.data_path().to_string(), ents));
+                    }
+                }
             }
-            inner.reader = None;
-            inner.dirty = false;
+            if self.write_conf.incremental_refresh && guard.is_some() && !fresh.is_empty() {
+                let prev = guard.take().unwrap();
+                let r = self.patch_reader(&prev, fresh)?;
+                *guard = Some(r.clone());
+                return Ok(r);
+            }
+            // Full rebuild: the drained entries are on disk, so the merge
+            // below observes them; dropping the in-memory copies is safe.
+            *guard = None;
         }
-        if let Some(r) = &inner.reader {
+        if let Some(r) = &*guard {
             return Ok(r.clone());
         }
         let t0 = iotrace::global().start();
@@ -205,37 +299,122 @@ impl PlfsFd {
                     .bytes(r.eof()),
             );
         }
-        inner.reader = Some(r.clone());
+        self.eof.fetch_max(r.eof(), Ordering::Relaxed);
+        self.eof_seeded.store(true, Ordering::Relaxed);
+        *guard = Some(r.clone());
         Ok(r)
     }
 
-    /// Flush `pid`'s index buffer and sync its droppings.
+    /// Patch `prev`'s merged index with this process's freshly flushed
+    /// entries instead of re-reading every dropping. Valid because writer
+    /// timestamps come from the process-global write clock: entries
+    /// flushed after `prev` was built always timestamp-after everything
+    /// merged into it, which is exactly the order `GlobalIndex::insert`
+    /// requires.
+    fn patch_reader(&self, prev: &Arc<ReadFile>, fresh: Orphans) -> Result<Arc<ReadFile>> {
+        let t0 = iotrace::global().start();
+        let mut index = prev.index().clone();
+        let mut droppings = prev.droppings().to_vec();
+        let mut entries: Vec<IndexEntry> = Vec::new();
+        for (data_path, ents) in fresh {
+            let id = match droppings.iter().position(|d| d.data_path == data_path) {
+                Some(i) => i as u32,
+                None => {
+                    droppings.push(DroppingRef {
+                        data_path,
+                        index_path: None,
+                    });
+                    (droppings.len() - 1) as u32
+                }
+            };
+            entries.extend(ents.into_iter().map(|mut e| {
+                e.dropping_id = id;
+                e
+            }));
+        }
+        // Writers flush independently; restore global write order across
+        // pids before inserting.
+        entries.sort_by_key(|e| e.timestamp);
+        let patched_bytes: u64 = entries.iter().map(|e| e.length).sum();
+        for e in entries {
+            index.insert(e);
+        }
+        let r = Arc::new(ReadFile::from_parts(index, droppings, self.read_conf));
+        if let Some(t0) = t0 {
+            iotrace::global().record(
+                t0,
+                iotrace::OpEvent::new(iotrace::Layer::Index, iotrace::OpKind::IndexPatch)
+                    .path(&self.container)
+                    .bytes(patched_bytes),
+            );
+        }
+        self.eof.fetch_max(r.eof(), Ordering::Relaxed);
+        self.eof_seeded.store(true, Ordering::Relaxed);
+        Ok(r)
+    }
+
+    /// Seed the cached EOF from the container's on-disk index, once per
+    /// fd. Local writes are already in the cache (every write bumps it);
+    /// this folds in whatever the container held before this fd opened.
+    fn ensure_eof_seeded(&self) -> Result<()> {
+        if self.eof_seeded.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let guard = self.reader.lock();
+        if self.eof_seeded.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let on_disk = match &*guard {
+            Some(r) => r.eof(),
+            None => {
+                let (index, _, _) = container::build_global_index_with(
+                    self.backing.as_ref(),
+                    &self.container,
+                    &self.read_conf,
+                )?;
+                index.eof()
+            }
+        };
+        self.eof.fetch_max(on_disk, Ordering::Relaxed);
+        self.eof_seeded.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flush `pid`'s buffers and sync its droppings.
     pub fn sync(&self, pid: u64) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if let Some(w) = inner.writers.get_mut(&pid) {
+        let mut shard = self.shard(pid).lock();
+        if let Some(w) = shard.get_mut(&pid) {
             w.sync()?;
         }
         Ok(())
     }
 
-    /// Logical size as visible through this fd right now.
+    /// Logical size as visible through this fd right now: answered from
+    /// the cached EOF — no index merge.
     pub fn size(&self) -> Result<u64> {
-        Ok(self.reader()?.eof())
+        self.ensure_eof_seeded()?;
+        Ok(self.eof.load(Ordering::Relaxed))
     }
 
     /// Flush and drop every pid's write stream. The next write per pid
     /// reopens a fresh dropping pair. Used by truncate-while-open: after the
     /// container is rewritten, stale writer handles must not keep appending
-    /// to unlinked droppings.
+    /// to unlinked droppings, and the cached EOF must be re-seeded from the
+    /// rewritten container.
     pub fn reset_writers(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let writers = std::mem::take(&mut inner.writers);
-        for (pid, mut w) in writers {
-            w.sync()?;
-            container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
+        let mut guard = self.reader.lock();
+        for shard in self.shards.iter() {
+            let writers = std::mem::take(&mut *shard.lock());
+            for (pid, mut w) in writers {
+                w.sync()?;
+                container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
+            }
         }
-        inner.reader = None;
-        inner.dirty = false;
+        self.orphans.lock().clear();
+        *guard = None;
+        self.dirty.store(false, Ordering::Relaxed);
+        self.eof.store(0, Ordering::Relaxed);
+        self.eof_seeded.store(false, Ordering::Relaxed);
         Ok(())
     }
 
@@ -244,19 +423,25 @@ impl PlfsFd {
     /// open marker is removed. Returns remaining references across all pids
     /// (the C `plfs_close` contract).
     pub fn close(&self, pid: u64) -> Result<u32> {
-        let mut inner = self.inner.lock();
+        let mut refs = self.refs.lock();
         let remaining_for_pid = {
-            let r = inner
-                .refs
+            let r = refs
                 .get_mut(&pid)
                 .ok_or(Error::BadMode("close of pid that never opened"))?;
             *r = r.saturating_sub(1);
             *r
         };
         if remaining_for_pid == 0 {
-            inner.refs.remove(&pid);
-            if let Some(mut w) = inner.writers.remove(&pid) {
+            refs.remove(&pid);
+            let writer = self.shard(pid).lock().remove(&pid);
+            if let Some(mut w) = writer {
                 w.sync()?;
+                // Entries not yet folded into a cached read view stay owed
+                // to the next incremental refresh.
+                let ents = w.take_unmerged();
+                if !ents.is_empty() {
+                    self.orphans.lock().push((w.data_path().to_string(), ents));
+                }
                 container::drop_meta(
                     self.backing.as_ref(),
                     &self.container,
@@ -267,7 +452,7 @@ impl PlfsFd {
                 container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
             }
         }
-        Ok(inner.refs.values().sum())
+        Ok(refs.values().sum())
     }
 }
 
@@ -278,6 +463,10 @@ mod tests {
     use crate::container::create_container;
 
     fn open_fd(flags: OpenFlags) -> (Arc<dyn Backing>, Arc<PlfsFd>) {
+        open_fd_with(flags, WriteConf::default().with_index_buffer_entries(64))
+    }
+
+    fn open_fd_with(flags: OpenFlags, conf: WriteConf) -> (Arc<dyn Backing>, Arc<PlfsFd>) {
         let b: Arc<dyn Backing> = Arc::new(MemBacking::new());
         let params = ContainerParams::default();
         create_container(b.as_ref(), "/f", &params, true).unwrap();
@@ -286,7 +475,7 @@ mod tests {
             "/f".to_string(),
             params,
             flags,
-            64,
+            conf,
             100,
         ));
         (b, fd)
@@ -384,6 +573,41 @@ mod tests {
     }
 
     #[test]
+    fn append_to_reopened_container_lands_at_on_disk_eof() {
+        let b: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let params = ContainerParams::default();
+        create_container(b.as_ref(), "/f", &params, true).unwrap();
+        let conf = WriteConf::default().with_index_buffer_entries(64);
+        {
+            let fd = PlfsFd::new(
+                b.clone(),
+                "/f".to_string(),
+                params,
+                OpenFlags::RDWR,
+                conf,
+                100,
+            );
+            fd.write(b"0123456789", 0, 100).unwrap();
+            fd.close(100).unwrap();
+        }
+        // Fresh fd: the EOF cache must seed from the container, not zero.
+        let fd = PlfsFd::new(
+            b.clone(),
+            "/f".to_string(),
+            params,
+            OpenFlags::RDWR,
+            conf,
+            200,
+        );
+        assert_eq!(fd.size().unwrap(), 10);
+        let (off, n) = fd.append(b"xy", 200).unwrap();
+        assert_eq!((off, n), (10, 2));
+        let mut buf = [0u8; 12];
+        fd.read(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"0123456789xy");
+    }
+
+    #[test]
     fn concurrent_appends_never_overlap() {
         let (_b, fd) = open_fd(OpenFlags::RDWR);
         const THREADS: u64 = 4;
@@ -399,8 +623,8 @@ mod tests {
                 });
             }
         });
-        // Every append resolved a distinct EOF: total size is exact, and
-        // every 8-byte slot is one thread's payload, unmixed.
+        // Every append reserved a distinct EOF slot: total size is exact,
+        // and every 8-byte slot is one thread's payload, unmixed.
         assert_eq!(
             fd.size().unwrap() as usize,
             THREADS as usize * PER_THREAD * 8
@@ -413,5 +637,73 @@ mod tests {
                 "interleaved append: {chunk:?}"
             );
         }
+    }
+
+    #[test]
+    fn incremental_refresh_observes_writes_after_cached_read() {
+        let (_b, fd) = open_fd_with(
+            OpenFlags::RDWR,
+            WriteConf::default().with_incremental_refresh(true),
+        );
+        fd.write(b"aaaa", 0, 100).unwrap();
+        let mut buf = [0u8; 4];
+        fd.read(&mut buf, 0).unwrap(); // builds + caches the view
+        assert_eq!(&buf, b"aaaa");
+        // Overwrite + extend from two pids, then read again: the patched
+        // view must show both, latest-wins included.
+        fd.add_ref(200);
+        fd.write(b"BB", 1, 100).unwrap();
+        fd.write(b"cc", 4, 200).unwrap();
+        let mut buf = [0u8; 6];
+        assert_eq!(fd.read(&mut buf, 0).unwrap(), 6);
+        assert_eq!(&buf, b"aBBacc");
+        assert_eq!(fd.size().unwrap(), 6);
+    }
+
+    #[test]
+    fn serial_write_conf_still_correct() {
+        let (_b, fd) = open_fd_with(OpenFlags::RDWR, WriteConf::serial());
+        fd.write(b"head", 0, 100).unwrap();
+        let (off, _) = fd.append(b"tail", 100).unwrap();
+        assert_eq!(off, 4);
+        let mut buf = [0u8; 8];
+        fd.read(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"headtail");
+    }
+
+    #[test]
+    fn buffered_writes_read_back_through_fd() {
+        let (_b, fd) = open_fd_with(
+            OpenFlags::RDWR,
+            WriteConf::default()
+                .with_data_buffer_bytes(1 << 16)
+                .with_incremental_refresh(true),
+        );
+        for i in 0..32u64 {
+            fd.write(&[i as u8 + 1; 16], i * 16, 100).unwrap();
+        }
+        // Nothing synced explicitly: the read must flush the data buffer.
+        let mut buf = vec![0u8; 32 * 16];
+        assert_eq!(fd.read(&mut buf, 0).unwrap(), 32 * 16);
+        for i in 0..32usize {
+            assert!(buf[i * 16..(i + 1) * 16].iter().all(|&x| x == i as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn close_does_not_lose_unmerged_entries() {
+        let (_b, fd) = open_fd_with(
+            OpenFlags::RDWR,
+            WriteConf::default().with_incremental_refresh(true),
+        );
+        fd.write(b"first", 0, 100).unwrap();
+        let mut buf = [0u8; 5];
+        fd.read(&mut buf, 0).unwrap(); // cache a view
+        fd.add_ref(200);
+        fd.write(b"SECOND", 5, 200).unwrap();
+        fd.close(200).unwrap(); // pid 200's writer leaves before any read
+        let mut buf = [0u8; 11];
+        assert_eq!(fd.read(&mut buf, 0).unwrap(), 11);
+        assert_eq!(&buf, b"firstSECOND");
     }
 }

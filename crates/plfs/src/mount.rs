@@ -19,7 +19,10 @@
 //! oblivious.
 
 use crate::backing::{BackStat, Backing, BackingFile};
-use crate::conf::{ReadConf, DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS};
+use crate::conf::{
+    ReadConf, WriteConf, DEFAULT_DATA_BUFFER_BYTES, DEFAULT_FANOUT_THRESHOLD,
+    DEFAULT_HANDLE_SHARDS, DEFAULT_WRITE_SHARDS,
+};
 use crate::container::{ContainerParams, LayoutMode, HOSTDIR_PREFIX};
 use crate::error::{Error, Result};
 use crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES;
@@ -63,6 +66,15 @@ pub struct PlfsRc {
     pub read_fanout_threshold: u64,
     /// Dropping-handle cache shard count (`handle_cache_shards` key).
     pub handle_cache_shards: usize,
+    /// Writer-table lock shard count (`write_shards` key).
+    pub write_shards: usize,
+    /// Write-behind data buffer per writer in bytes (`data_buffer_bytes`
+    /// key; `data_buffer_mbs` is also accepted, in MiB, like the C
+    /// library's knob).
+    pub data_buffer_bytes: usize,
+    /// Patch cached merged indices with local writes instead of re-merging
+    /// (`incremental_refresh` key, `true`/`false`/`1`/`0`).
+    pub incremental_refresh: bool,
 }
 
 impl PlfsRc {
@@ -74,6 +86,9 @@ impl PlfsRc {
             threadpool_size: 16,
             read_fanout_threshold: DEFAULT_FANOUT_THRESHOLD,
             handle_cache_shards: DEFAULT_HANDLE_SHARDS,
+            write_shards: DEFAULT_WRITE_SHARDS,
+            data_buffer_bytes: DEFAULT_DATA_BUFFER_BYTES,
+            incremental_refresh: true,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -102,6 +117,22 @@ impl PlfsRc {
                 }
                 "handle_cache_shards" => {
                     rc.handle_cache_shards = parse_num(value, lineno)? as usize;
+                }
+                "write_shards" => {
+                    rc.write_shards = parse_num(value, lineno)? as usize;
+                }
+                "data_buffer_bytes" => {
+                    rc.data_buffer_bytes = parse_num(value, lineno)? as usize;
+                }
+                "data_buffer_mbs" => {
+                    rc.data_buffer_bytes = parse_num(value, lineno)? as usize * (1 << 20);
+                }
+                "incremental_refresh" => {
+                    rc.incremental_refresh = match value {
+                        "true" | "1" | "yes" | "on" => true,
+                        "false" | "0" | "no" | "off" => false,
+                        _ => return Err(Error::InvalidArg("bad boolean value in plfsrc")),
+                    };
                 }
                 _ => {
                     let Some(m) = rc.mounts.last_mut() else {
@@ -157,6 +188,18 @@ impl PlfsRc {
             .with_threads(self.threadpool_size)
             .with_fanout_threshold(self.read_fanout_threshold)
             .with_handle_shards(self.handle_cache_shards)
+    }
+
+    /// The write-path configuration these global knobs describe, ready to
+    /// hand to [`crate::api::Plfs::with_write_conf`]. The index buffer
+    /// depth is per-mount ([`MountSpec::index_buffer_entries`]), so callers
+    /// layer it on with
+    /// [`WriteConf::with_index_buffer_entries`](crate::conf::WriteConf::with_index_buffer_entries).
+    pub fn write_conf(&self) -> WriteConf {
+        WriteConf::default()
+            .with_write_shards(self.write_shards)
+            .with_data_buffer_bytes(self.data_buffer_bytes)
+            .with_incremental_refresh(self.incremental_refresh)
     }
 
     /// Find the mount whose mount point prefixes `path` (longest match).
@@ -359,6 +402,34 @@ mod tests {
         assert_eq!(conf.threads, 16);
         assert_eq!(conf.fanout_threshold, DEFAULT_FANOUT_THRESHOLD);
         assert_eq!(conf.handle_shards, DEFAULT_HANDLE_SHARDS);
+    }
+
+    #[test]
+    fn parse_write_path_knobs_into_write_conf() {
+        let rc = PlfsRc::parse(
+            "write_shards 4\n\
+             data_buffer_mbs 2\n\
+             incremental_refresh false\n\
+             mount_point /plfs\n\
+             backends /be\n",
+        )
+        .unwrap();
+        let conf = rc.write_conf();
+        assert_eq!(conf.write_shards, 4);
+        assert_eq!(conf.data_buffer_bytes, 2 << 20);
+        assert!(!conf.incremental_refresh);
+        // data_buffer_bytes gives byte-granular control.
+        let rc =
+            PlfsRc::parse("data_buffer_bytes 4096\nmount_point /plfs\nbackends /be\n").unwrap();
+        assert_eq!(rc.write_conf().data_buffer_bytes, 4096);
+        // Defaults when the keys are absent.
+        let rc = PlfsRc::parse("mount_point /p\nbackends /b\n").unwrap();
+        let conf = rc.write_conf();
+        assert_eq!(conf.write_shards, DEFAULT_WRITE_SHARDS);
+        assert_eq!(conf.data_buffer_bytes, DEFAULT_DATA_BUFFER_BYTES);
+        assert!(conf.incremental_refresh);
+        // Bad booleans are rejected.
+        assert!(PlfsRc::parse("incremental_refresh maybe\n").is_err());
     }
 
     #[test]

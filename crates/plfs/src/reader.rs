@@ -74,6 +74,25 @@ impl ReadFile {
         })
     }
 
+    /// Build a read view from an already-merged index — the incremental
+    /// refresh path, where the fd patches a cached merged index with this
+    /// process's freshly flushed entries instead of re-reading every
+    /// dropping. The handle cache starts cold: `droppings` may contain ids
+    /// the previous view never saw.
+    pub(crate) fn from_parts(
+        index: GlobalIndex,
+        droppings: Vec<DroppingRef>,
+        conf: ReadConf,
+    ) -> ReadFile {
+        ReadFile {
+            index,
+            droppings,
+            handles: HandleCache::new(conf.handle_shards),
+            conf,
+            merged_parallel: false,
+        }
+    }
+
     /// Logical end-of-file.
     pub fn eof(&self) -> u64 {
         self.index.eof()

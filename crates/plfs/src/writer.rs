@@ -14,7 +14,8 @@
 //! pids.
 
 use crate::backing::{Backing, BackingFile};
-use crate::container::{self, ContainerParams, LayoutMode, DATA_PREFIX};
+use crate::conf::WriteConf;
+use crate::container::{self, ContainerParams, LayoutMode};
 use crate::error::{Error, Result};
 use crate::index::{encode_compressed, next_timestamp, IndexEntry};
 
@@ -30,54 +31,41 @@ pub const PATTERN_MIN_RUN: usize = 3;
 pub struct WriteFile {
     data: Box<dyn BackingFile>,
     index: Box<dyn BackingFile>,
+    data_path: String,
     mode: LayoutMode,
     pid: u64,
     buffered: Vec<IndexEntry>,
     buffer_limit: usize,
+    /// Write-behind aggregation buffer (0 capacity limit = off). Small
+    /// writes are staged here and spilled in one backing `append`.
+    data_buf: Vec<u8>,
+    data_buffer_bytes: usize,
+    /// Positions in `buffered` whose `physical_offset` is still relative
+    /// to the start of `data_buf`; resolved when the buffer spills.
+    fixup: Vec<usize>,
+    /// Entries flushed to disk but not yet folded into a cached merged
+    /// index — fuel for the incremental reader refresh. Only populated
+    /// when `track_unmerged` is on (bounded by the fd draining it on
+    /// every refresh).
+    unmerged: Vec<IndexEntry>,
+    track_unmerged: bool,
     /// Total bytes this writer has written.
     bytes_written: u64,
     /// Highest logical end offset this writer has produced.
     max_eof: u64,
     /// Count of index flushes (exposed for tests and the bench harness).
     index_flushes: u64,
+    /// Count of data-buffer spills (exposed for tests and the bench
+    /// harness).
+    data_flushes: u64,
     /// On-disk records emitted (≤ writes, thanks to pattern compression).
     index_records: u64,
 }
 
-/// Pick the next unused dropping sequence number for a pid by scanning the
-/// pid's hostdir. Reopening a container for append gets a fresh dropping
-/// pair rather than corrupting an old one.
-fn next_seq(b: &dyn Backing, container: &str, params: &ContainerParams, pid: u64) -> Result<u32> {
-    let hd = match params.mode {
-        LayoutMode::LogStructured => container::hostdir_path(container, 0),
-        _ => container::hostdir_path(
-            container,
-            container::hostdir_for_pid(pid, params.num_hostdirs),
-        ),
-    };
-    let names = match b.readdir(&hd) {
-        Ok(n) => n,
-        Err(Error::NotFound(_)) => return Ok(0),
-        Err(e) => return Err(e),
-    };
-    let owner = match params.mode {
-        LayoutMode::LogStructured => "shared".to_string(),
-        _ => pid.to_string(),
-    };
-    let prefix = format!("{DATA_PREFIX}{owner}.");
-    let mut max: Option<u32> = None;
-    for n in names {
-        if let Some(seq) = n.strip_prefix(&prefix) {
-            if let Ok(s) = seq.parse::<u32>() {
-                max = Some(max.map_or(s, |m| m.max(s)));
-            }
-        }
-    }
-    Ok(max.map_or(0, |m| m + 1))
-}
-
 impl WriteFile {
-    /// Open (creating if needed) the dropping pair for `pid`.
+    /// Open (creating if needed) the dropping pair for `pid` with the
+    /// default write configuration (no data buffering) and an explicit
+    /// index buffer depth.
     pub fn open(
         b: &dyn Backing,
         container: &str,
@@ -85,8 +73,23 @@ impl WriteFile {
         pid: u64,
         buffer_limit: usize,
     ) -> Result<WriteFile> {
+        let conf = WriteConf::default()
+            .with_index_buffer_entries(buffer_limit)
+            .with_incremental_refresh(false);
+        WriteFile::open_with(b, container, params, pid, &conf)
+    }
+
+    /// Open (creating if needed) the dropping pair for `pid`, taking the
+    /// buffer sizes and unmerged-entry tracking from `conf`.
+    pub fn open_with(
+        b: &dyn Backing,
+        container: &str,
+        params: &ContainerParams,
+        pid: u64,
+        conf: &WriteConf,
+    ) -> Result<WriteFile> {
         container::ensure_hostdir(b, container, params, pid)?;
-        let (data, index) = match params.mode {
+        let (data, index, data_path) = match params.mode {
             LayoutMode::LogStructured => {
                 // All pids share dropping pair 0; first creator wins, the
                 // rest open for append.
@@ -102,25 +105,45 @@ impl WriteFile {
                     Err(Error::Exists(_)) => b.open(&ip, true)?,
                     Err(e) => return Err(e),
                 };
-                (data, index)
+                (data, index, dp)
             }
             _ => {
-                let seq = next_seq(b, container, params, pid)?;
-                let dp = container::data_dropping_path(container, params, pid, seq);
-                let ip = container::index_dropping_path(container, params, pid, seq);
-                (b.create(&dp, true)?, b.create(&ip, true)?)
+                // Probe for the first unused dropping pair with exclusive
+                // creates instead of readdir-scanning the whole hostdir —
+                // the per-open metadata storm the paper blames for the
+                // Lustre open() collapse. A reopen costs `seq + 1` creates
+                // and zero readdirs.
+                let mut seq = 0u32;
+                loop {
+                    let dp = container::data_dropping_path(container, params, pid, seq);
+                    match b.create(&dp, true) {
+                        Ok(data) => {
+                            let ip = container::index_dropping_path(container, params, pid, seq);
+                            break (data, b.create(&ip, true)?, dp);
+                        }
+                        Err(Error::Exists(_)) => seq += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
             }
         };
         Ok(WriteFile {
             data,
             index,
+            data_path,
             mode: params.mode,
             pid,
             buffered: Vec::new(),
-            buffer_limit: buffer_limit.max(1),
+            buffer_limit: conf.index_buffer_entries.max(1),
+            data_buf: Vec::new(),
+            data_buffer_bytes: conf.data_buffer_bytes,
+            fixup: Vec::new(),
+            unmerged: Vec::new(),
+            track_unmerged: conf.incremental_refresh,
             bytes_written: 0,
             max_eof: 0,
             index_flushes: 0,
+            data_flushes: 0,
             index_records: 0,
         })
     }
@@ -130,13 +153,31 @@ impl WriteFile {
         if buf.is_empty() {
             return Ok(0);
         }
+        let mut deferred = false;
         let physical = match self.mode {
-            LayoutMode::Both | LayoutMode::LogStructured => self.data.append(buf)?,
+            LayoutMode::Both | LayoutMode::LogStructured => {
+                if self.data_buffer_bytes > 0 && buf.len() < self.data_buffer_bytes {
+                    // Write-behind: stage the bytes; the physical offset is
+                    // relative to the staging buffer until it spills.
+                    deferred = true;
+                    let rel = self.data_buf.len() as u64;
+                    self.data_buf.extend_from_slice(buf);
+                    rel
+                } else {
+                    // Too big to stage: spill first so staged bytes keep
+                    // their log position, then append directly.
+                    self.flush_data()?;
+                    self.data.append(buf)?
+                }
+            }
             LayoutMode::PartitionedOnly => {
                 self.data.pwrite(buf, logical)?;
                 logical
             }
         };
+        if deferred {
+            self.fixup.push(self.buffered.len());
+        }
         self.buffered.push(IndexEntry {
             logical_offset: logical,
             length: buf.len() as u64,
@@ -148,16 +189,49 @@ impl WriteFile {
         });
         self.bytes_written += buf.len() as u64;
         self.max_eof = self.max_eof.max(logical + buf.len() as u64);
+        if self.data_buf.len() >= self.data_buffer_bytes && !self.data_buf.is_empty() {
+            self.flush_data()?;
+        }
         if self.buffered.len() >= self.buffer_limit {
             self.flush_index()?;
         }
         Ok(buf.len())
     }
 
+    /// Spill the write-behind buffer to the data dropping in one append,
+    /// resolving the physical offsets of the staged index entries.
+    pub fn flush_data(&mut self) -> Result<()> {
+        if self.data_buf.is_empty() {
+            return Ok(());
+        }
+        let t0 = iotrace::global().start();
+        let base = self.data.append(&self.data_buf)?;
+        for &i in &self.fixup {
+            self.buffered[i].physical_offset += base;
+        }
+        self.fixup.clear();
+        let spilled = self.data_buf.len() as u64;
+        self.data_buf.clear();
+        self.data_flushes += 1;
+        if let Some(t0) = t0 {
+            iotrace::global().record(
+                t0,
+                iotrace::OpEvent::new(iotrace::Layer::Plfs, iotrace::OpKind::DataBufferFlush)
+                    .path(&self.data_path)
+                    .offset(base)
+                    .bytes(spilled),
+            );
+        }
+        Ok(())
+    }
+
     /// Append all buffered index records to the index dropping,
     /// pattern-compressing strided runs (Pattern-PLFS): a checkpoint of
     /// thousands of regular strided writes costs one 48-byte record.
+    /// Spills the write-behind data buffer first so no record can reach
+    /// disk ahead of its bytes.
     pub fn flush_index(&mut self) -> Result<()> {
+        self.flush_data()?;
         if self.buffered.is_empty() {
             return Ok(());
         }
@@ -165,6 +239,9 @@ impl WriteFile {
         let records = encode_compressed(&self.buffered, PATTERN_MIN_RUN, &mut out);
         self.index_records += records as u64;
         self.index.append(&out)?;
+        if self.track_unmerged {
+            self.unmerged.extend_from_slice(&self.buffered);
+        }
         self.buffered.clear();
         self.index_flushes += 1;
         Ok(())
@@ -175,6 +252,18 @@ impl WriteFile {
         self.flush_index()?;
         self.data.sync()?;
         self.index.sync()
+    }
+
+    /// Drain the entries flushed since the last drain (the incremental
+    /// reader-refresh feed). Call after [`WriteFile::flush_index`]; their
+    /// physical offsets are final and their bytes are on the backing store.
+    pub(crate) fn take_unmerged(&mut self) -> Vec<IndexEntry> {
+        std::mem::take(&mut self.unmerged)
+    }
+
+    /// Backend path of this writer's data dropping.
+    pub fn data_path(&self) -> &str {
+        &self.data_path
     }
 
     /// Total bytes written through this stream.
@@ -190,6 +279,11 @@ impl WriteFile {
     /// Number of index flushes performed so far.
     pub fn index_flushes(&self) -> u64 {
         self.index_flushes
+    }
+
+    /// Number of write-behind data-buffer spills performed so far.
+    pub fn data_flushes(&self) -> u64 {
+        self.data_flushes
     }
 
     /// On-disk index records emitted so far (pattern compression makes
@@ -377,5 +471,170 @@ mod tests {
             assert_eq!(b.stat(&ip).unwrap().size, 0, "still buffered");
         }
         assert_eq!(b.stat(&ip).unwrap().size, RECORD_SIZE as u64);
+    }
+
+    fn buffered_conf(bytes: usize) -> WriteConf {
+        WriteConf::default()
+            .with_data_buffer_bytes(bytes)
+            .with_incremental_refresh(false)
+    }
+
+    #[test]
+    fn data_buffer_coalesces_small_writes_into_one_append() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open_with(&b, "/c", &p, 1, &buffered_conf(64)).unwrap();
+        let dp = container::data_dropping_path("/c", &p, 1, 0);
+        for i in 0..7u64 {
+            w.write(&[i as u8 + 1; 8], i * 8).unwrap();
+        }
+        assert_eq!(b.stat(&dp).unwrap().size, 0, "56 bytes still staged");
+        assert_eq!(w.data_flushes(), 0);
+        w.write(&[8u8; 8], 56).unwrap();
+        assert_eq!(w.data_flushes(), 1, "threshold spill");
+        assert_eq!(b.stat(&dp).unwrap().size, 64, "one coalesced append");
+        w.sync().unwrap();
+        let r = crate::reader::ReadFile::open(&b, "/c").unwrap();
+        let mut buf = [0u8; 64];
+        assert_eq!(r.pread(&b, &mut buf, 0).unwrap(), 64);
+        for i in 0..8usize {
+            assert!(buf[i * 8..(i + 1) * 8].iter().all(|&x| x == i as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn data_buffer_spills_on_sync() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open_with(&b, "/c", &p, 1, &buffered_conf(1 << 20)).unwrap();
+        let dp = container::data_dropping_path("/c", &p, 1, 0);
+        w.write(b"hello ", 0).unwrap();
+        w.write(b"world", 6).unwrap();
+        assert_eq!(b.stat(&dp).unwrap().size, 0, "staged until sync");
+        w.sync().unwrap();
+        assert_eq!(b.stat(&dp).unwrap().size, 11);
+        let r = crate::reader::ReadFile::open(&b, "/c").unwrap();
+        assert_eq!(r.read_all(&b).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn large_write_bypasses_buffer_and_keeps_log_order() {
+        let (b, p) = setup(LayoutMode::Both);
+        let mut w = WriteFile::open_with(&b, "/c", &p, 1, &buffered_conf(16)).unwrap();
+        w.write(b"tiny", 0).unwrap();
+        // >= threshold: the staged bytes spill first, then this appends.
+        let big = vec![9u8; 32];
+        w.write(&big, 4).unwrap();
+        let dp = container::data_dropping_path("/c", &p, 1, 0);
+        assert_eq!(b.stat(&dp).unwrap().size, 36, "both on disk, no staging");
+        let f = b.open(&dp, false).unwrap();
+        let mut head = [0u8; 4];
+        f.pread(&mut head, 0).unwrap();
+        assert_eq!(&head, b"tiny", "staged bytes kept their log position");
+        w.sync().unwrap();
+        let r = crate::reader::ReadFile::open(&b, "/c").unwrap();
+        let mut all = r.read_all(&b).unwrap();
+        assert_eq!(all.len(), 36);
+        assert_eq!(&all[..4], b"tiny");
+        assert!(all.split_off(4).iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn log_mode_buffered_writers_interleave_correctly() {
+        // Two pids share one data dropping (LogStructured); the spill base
+        // comes from the actual append, so interleaved spills still index
+        // their own bytes.
+        let (b, p) = setup(LayoutMode::LogStructured);
+        let mut w1 = WriteFile::open_with(&b, "/c", &p, 1, &buffered_conf(256)).unwrap();
+        let mut w2 = WriteFile::open_with(&b, "/c", &p, 2, &buffered_conf(256)).unwrap();
+        w1.write(b"one", 0).unwrap();
+        w2.write(b"two", 3).unwrap();
+        w2.sync().unwrap(); // w2 spills first: physical order ≠ pid order
+        w1.sync().unwrap();
+        let r = crate::reader::ReadFile::open(&b, "/c").unwrap();
+        assert_eq!(r.read_all(&b).unwrap(), b"onetwo");
+    }
+
+    #[test]
+    fn unmerged_entries_drain_after_flush() {
+        let (b, p) = setup(LayoutMode::Both);
+        let conf = WriteConf::default().with_incremental_refresh(true);
+        let mut w = WriteFile::open_with(&b, "/c", &p, 1, &conf).unwrap();
+        w.write(b"abcd", 0).unwrap();
+        w.write(b"efgh", 4).unwrap();
+        assert!(w.take_unmerged().is_empty(), "nothing flushed yet");
+        w.flush_index().unwrap();
+        let ents = w.take_unmerged();
+        assert_eq!(ents.len(), 2);
+        assert_eq!(ents[0].logical_offset, 0);
+        assert_eq!(ents[1].logical_offset, 4);
+        assert!(w.take_unmerged().is_empty(), "drain is destructive");
+    }
+
+    /// Delegating decorator that counts `readdir` calls — the metadata
+    /// op the paper's Lustre analysis singles out.
+    struct CountingBacking {
+        inner: MemBacking,
+        readdirs: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Backing for CountingBacking {
+        fn create(&self, path: &str, excl: bool) -> Result<Box<dyn BackingFile>> {
+            self.inner.create(path, excl)
+        }
+        fn open(&self, path: &str, write: bool) -> Result<Box<dyn BackingFile>> {
+            self.inner.open(path, write)
+        }
+        fn mkdir(&self, path: &str) -> Result<()> {
+            self.inner.mkdir(path)
+        }
+        fn mkdir_all(&self, path: &str) -> Result<()> {
+            self.inner.mkdir_all(path)
+        }
+        fn readdir(&self, path: &str) -> Result<Vec<String>> {
+            self.readdirs
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.readdir(path)
+        }
+        fn unlink(&self, path: &str) -> Result<()> {
+            self.inner.unlink(path)
+        }
+        fn rmdir(&self, path: &str) -> Result<()> {
+            self.inner.rmdir(path)
+        }
+        fn rename(&self, from: &str, to: &str) -> Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn stat(&self, path: &str) -> Result<crate::backing::BackStat> {
+            self.inner.stat(path)
+        }
+        fn truncate(&self, path: &str, len: u64) -> Result<()> {
+            self.inner.truncate(path, len)
+        }
+    }
+
+    #[test]
+    fn reopen_does_at_most_one_readdir() {
+        let b = CountingBacking {
+            inner: MemBacking::new(),
+            readdirs: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let p = ContainerParams {
+            num_hostdirs: 4,
+            mode: LayoutMode::Both,
+        };
+        create_container(&b.inner, "/c", &p, true).unwrap();
+        {
+            let mut w = WriteFile::open(&b, "/c", &p, 9, 64).unwrap();
+            w.write(b"first", 0).unwrap();
+            w.sync().unwrap();
+        }
+        b.readdirs.store(0, std::sync::atomic::Ordering::Relaxed);
+        let mut w = WriteFile::open(&b, "/c", &p, 9, 64).unwrap();
+        assert!(
+            b.readdirs.load(std::sync::atomic::Ordering::Relaxed) <= 1,
+            "reopen must not scan the hostdir per pid"
+        );
+        w.write(b"second", 5).unwrap();
+        w.sync().unwrap();
+        assert!(b.exists(&container::data_dropping_path("/c", &p, 9, 1)));
     }
 }

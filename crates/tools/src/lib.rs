@@ -419,6 +419,20 @@ fn gate_metrics(doc: &jsonlite::Value) -> Result<Vec<(String, f64, bool)>, ToolE
                 }
             }
         }
+        "writepath" => {
+            // Only refresh_speedup is gated: full-re-merge vs incremental
+            // patch is an algorithmic ratio, stable across core counts.
+            // write_speedup depends on how many cores the runner has, so
+            // it is reported but not gated.
+            for row in data.as_array().unwrap_or(&[]) {
+                if let (Some(w), Some(s)) = (
+                    row.get("writers").and_then(|v| v.as_u64()),
+                    row.get("refresh_speedup").and_then(|v| v.as_f64()),
+                ) {
+                    out.push((format!("refresh_speedup[{w} writers]"), s, true));
+                }
+            }
+        }
         "table2" => {
             for row in data.as_array().unwrap_or(&[]) {
                 if let (Some(tool), Some(plfs), Some(std_)) = (
@@ -671,6 +685,39 @@ mod tests {
         assert!(out.contains("3 records total"), "{out}");
     }
 
+    #[test]
+    fn trace_summary_recognizes_write_path_ops() {
+        use iotrace::{Layer, OpKind, TraceRecord, NO_NODE, NO_PATH};
+        let jsonl = [
+            OpKind::AppendFastpath,
+            OpKind::DataBufferFlush,
+            OpKind::IndexPatch,
+        ]
+        .iter()
+        .map(|&op| {
+            let r = TraceRecord {
+                layer: Layer::Plfs,
+                op,
+                path_id: NO_PATH,
+                node: NO_NODE,
+                fd: -1,
+                offset: 0,
+                bytes: 64,
+                start_ns: 0,
+                latency_ns: 100,
+                hit: false,
+            };
+            iotrace::record_to_json(&r, Some("/m/f")).to_json()
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+        let out = trace_summary(&jsonl).unwrap();
+        for name in ["append_fastpath", "data_buffer_flush", "index_patch"] {
+            assert!(out.contains(name), "summary lost {name}: {out}");
+        }
+        assert!(out.contains("3 records total"), "{out}");
+    }
+
     fn readpath_doc(speedup: f64) -> String {
         format!(
             "{{\"figure\":\"readpath\",\"data\":{{\"measured\":[\
@@ -702,6 +749,26 @@ mod tests {
         let err = benchgate(&readpath_doc(3.0), &readpath_doc(1.8), 0.30).unwrap_err();
         assert!(
             matches!(err, ToolError::Gate(ref m) if m.contains("open_speedup")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn benchgate_writepath_gates_refresh_speedup_only() {
+        let doc = |refresh: f64| {
+            format!(
+                "{{\"figure\":\"writepath\",\"data\":[\
+                 {{\"writers\":8,\"write_speedup\":2.0,\"refresh_speedup\":{refresh}}}],\
+                 \"trace\":{{}}}}"
+            )
+        };
+        let out = benchcheck(&doc(4.0), "BENCH_writepath.json").unwrap();
+        assert!(out.contains("1 gated metric"), "{out}");
+        // Within threshold passes; a 50% refresh drop fails on that metric.
+        assert!(benchgate(&doc(4.0), &doc(3.5), 0.30).is_ok());
+        let err = benchgate(&doc(4.0), &doc(2.0), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("refresh_speedup[8 writers]")),
             "{err:?}"
         );
     }

@@ -1,8 +1,8 @@
 #!/bin/sh
 # Benchmark regression gate: regenerate the gated paperbench figures and
 # diff them against the committed baselines in results/. Fails when a
-# gated metric (read-path open speedup, Table II shim-overhead ratio)
-# regresses by more than the threshold. Only runner-speed-independent
+# gated metric (read-path open speedup, write-path refresh speedup,
+# Table II shim-overhead ratio) regresses by more than the threshold. Only runner-speed-independent
 # ratios are gated, so the comparison is meaningful across machines; CI
 # runs this as a non-blocking job to start.
 #
@@ -17,10 +17,12 @@ trap 'rm -rf "$tmp"' EXIT
 cargo run --offline --release -q -p bench --bin paperbench -- \
     readpath --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p bench --bin paperbench -- \
+    writepath --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
     table2 --emit-json "$tmp" > /dev/null
 
 status=0
-for fig in readpath table2; do
+for fig in readpath writepath table2; do
     base="results/BENCH_${fig}.json"
     fresh="$tmp/BENCH_${fig}.json"
     if [ ! -f "$base" ]; then

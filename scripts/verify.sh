@@ -19,6 +19,8 @@ trap 'rm -rf "$tmp"' EXIT
 cargo run --offline --release -q -p bench --bin paperbench -- \
     readpath --quick --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p bench --bin paperbench -- \
+    writepath --quick --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
     table2 --gb 1 --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p plfs-tools -- benchcheck "$tmp"/BENCH_*.json
 

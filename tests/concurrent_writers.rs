@@ -7,7 +7,8 @@
 //! container must show the N-stream structure of Figure 1.
 
 use ldplfs::{set_virtual_pid, LdPlfsBuilder, OpenFlags, PosixLayer, RealPosix};
-use plfs::{MemBacking, Plfs};
+use plfs::{MemBacking, Plfs, WriteConf};
+use proptest::prelude::*;
 use std::sync::Arc;
 
 fn shim(tag: &str) -> (Arc<ldplfs::LdPlfs>, Arc<MemBacking>) {
@@ -172,5 +173,258 @@ fn many_files_concurrently() {
         }
         let ents = shim.readdir(&format!("/plfs/job{r}")).unwrap();
         assert_eq!(ents.len(), 5);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PR 3: one PlfsFd hammered by racing pids through the sharded write path.
+// ---------------------------------------------------------------------------
+
+/// Racing threads × pids doing write/sync/read through ONE `PlfsFd` with
+/// the sharded, write-behind-buffered configuration. Each rank re-reads its
+/// own region through the same fd while the others keep writing
+/// (read-your-writes under contention), and the final file is byte-exact.
+#[test]
+fn racing_pids_share_one_fd_read_your_writes() {
+    let plfs = Plfs::new(Arc::new(MemBacking::new()))
+        .with_write_conf(WriteConf::default().with_data_buffer_bytes(512));
+    let ranks = 8usize;
+    let rows = 16usize;
+    let block = 64usize;
+    let fd = plfs
+        .open("/stress", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+        .unwrap();
+    for r in 1..ranks as u64 {
+        fd.add_ref(r);
+    }
+    crossbeam::scope(|scope| {
+        for r in 0..ranks {
+            let plfs = &plfs;
+            let fd = fd.clone();
+            scope.spawn(move |_| {
+                let pid = r as u64;
+                let pat = vec![r as u8 + 1; block];
+                for row in 0..rows {
+                    let off = ((row * ranks + r) * block) as u64;
+                    assert_eq!(plfs.write(&fd, &pat, off, pid).unwrap(), block);
+                    if row % 4 == 3 {
+                        plfs.sync(&fd, pid).unwrap();
+                    }
+                    let mut got = vec![0u8; block];
+                    let mut done = 0;
+                    while done < block {
+                        let n = plfs.read(&fd, &mut got[done..], off + done as u64).unwrap();
+                        assert!(n > 0, "rank {r} short read at row {row}");
+                        done += n;
+                    }
+                    assert_eq!(got, pat, "rank {r} lost its own row {row}");
+                }
+            });
+        }
+    })
+    .unwrap();
+    for r in 0..ranks as u64 {
+        plfs.close(&fd, r).unwrap();
+    }
+
+    let fd = plfs.open("/stress", OpenFlags::RDONLY, 99).unwrap();
+    let want = expected(ranks, rows, block);
+    let mut got = vec![0u8; want.len()];
+    let mut done = 0;
+    while done < got.len() {
+        let n = plfs.read(&fd, &mut got[done..], done as u64).unwrap();
+        assert!(n > 0, "short final read at {done}");
+        done += n;
+    }
+    assert_eq!(got, want);
+}
+
+/// Racing appenders on one fd: the atomic EOF hands every append a
+/// disjoint slot, so no byte is lost or overwritten even with the
+/// write-behind buffer coalescing under the shard locks.
+#[test]
+fn racing_appenders_account_for_every_byte() {
+    let plfs = Plfs::new(Arc::new(MemBacking::new()))
+        .with_write_conf(WriteConf::default().with_data_buffer_bytes(256));
+    let ranks = 8usize;
+    let appends = 32usize;
+    let fd = plfs
+        .open("/applog", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+        .unwrap();
+    for r in 1..ranks as u64 {
+        fd.add_ref(r);
+    }
+    // Every thread records where its appends landed.
+    let slots = std::sync::Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for r in 0..ranks {
+            let plfs = &plfs;
+            let fd = fd.clone();
+            let slots = &slots;
+            scope.spawn(move |_| {
+                let pid = r as u64;
+                let len = 16 + r * 3; // distinct lengths per rank
+                let chunk = vec![r as u8 + 1; len];
+                let mut mine = Vec::with_capacity(appends);
+                for i in 0..appends {
+                    let (off, n) = fd.append(&chunk, pid).unwrap();
+                    assert_eq!(n, len);
+                    mine.push((off, len, r as u8 + 1));
+                    if i % 8 == 7 {
+                        plfs.sync(&fd, pid).unwrap();
+                    }
+                }
+                slots.lock().unwrap().extend(mine);
+            });
+        }
+    })
+    .unwrap();
+    let total: usize = (0..ranks).map(|r| (16 + r * 3) * appends).sum();
+    assert_eq!(fd.size().unwrap(), total as u64, "appends lost bytes");
+    for r in 0..ranks as u64 {
+        plfs.close(&fd, r).unwrap();
+    }
+
+    let fd = plfs.open("/applog", OpenFlags::RDONLY, 99).unwrap();
+    let mut got = vec![0u8; total];
+    let mut done = 0;
+    while done < total {
+        let n = plfs.read(&fd, &mut got[done..], done as u64).unwrap();
+        assert!(n > 0, "short read at {done}");
+        done += n;
+    }
+    // Slots are disjoint and each holds its writer's fill byte.
+    let mut slots = slots.into_inner().unwrap();
+    slots.sort_unstable();
+    let mut covered = 0u64;
+    for (off, len, byte) in slots {
+        assert_eq!(off, covered, "gap or overlap at offset {off}");
+        covered = off + len as u64;
+        assert!(
+            got[off as usize..off as usize + len]
+                .iter()
+                .all(|&b| b == byte),
+            "slot at {off} clobbered"
+        );
+    }
+    assert_eq!(covered, total as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Property: the sharded + buffered write path is byte-identical to the
+// serial one (1 shard, 0-byte buffer, full re-merge on read).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write {
+        pid: u64,
+        offset: u64,
+        data: Vec<u8>,
+    },
+    Append {
+        pid: u64,
+        data: Vec<u8>,
+    },
+    Read,
+    Sync {
+        pid: u64,
+    },
+}
+
+fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (
+                0u64..4,
+                0u64..2048,
+                prop::collection::vec(any::<u8>(), 1..96)
+            )
+                .prop_map(|(pid, offset, data)| Op::Write { pid, offset, data }),
+            (0u64..4, prop::collection::vec(any::<u8>(), 1..96))
+                .prop_map(|(pid, data)| Op::Append { pid, data }),
+            Just(Op::Read),
+            (0u64..4).prop_map(|pid| Op::Sync { pid }),
+        ],
+        1..max_ops,
+    )
+}
+
+/// Apply `ops` single-threaded (deterministic append order) under `conf`
+/// and return the final logical bytes, checking interleaved reads against
+/// the running byte-vector model as we go.
+fn apply_ops(ops: &[Op], conf: WriteConf) -> Vec<u8> {
+    let plfs = Plfs::new(Arc::new(MemBacking::new())).with_write_conf(conf);
+    let fd = plfs
+        .open("/prop", OpenFlags::RDWR | OpenFlags::CREAT, 0)
+        .unwrap();
+    for p in 1..4u64 {
+        fd.add_ref(p);
+    }
+    let mut model: Vec<u8> = Vec::new();
+    let place = |model: &mut Vec<u8>, off: usize, data: &[u8]| {
+        if model.len() < off + data.len() {
+            model.resize(off + data.len(), 0);
+        }
+        model[off..off + data.len()].copy_from_slice(data);
+    };
+    for op in ops {
+        match op {
+            Op::Write { pid, offset, data } => {
+                assert_eq!(plfs.write(&fd, data, *offset, *pid).unwrap(), data.len());
+                place(&mut model, *offset as usize, data);
+            }
+            Op::Append { pid, data } => {
+                let (off, n) = fd.append(data, *pid).unwrap();
+                assert_eq!(n, data.len());
+                assert_eq!(off as usize, model.len(), "append missed EOF");
+                place(&mut model, off as usize, data);
+            }
+            Op::Read => {
+                let size = fd.size().unwrap() as usize;
+                assert_eq!(size, model.len());
+                let mut got = vec![0u8; size];
+                let mut done = 0;
+                while done < size {
+                    let n = plfs.read(&fd, &mut got[done..], done as u64).unwrap();
+                    assert!(n > 0);
+                    done += n;
+                }
+                assert_eq!(got, model, "interleaved read diverged from model");
+            }
+            Op::Sync { pid } => plfs.sync(&fd, *pid).unwrap(),
+        }
+    }
+    let size = fd.size().unwrap() as usize;
+    let mut out = vec![0u8; size];
+    let mut done = 0;
+    while done < size {
+        let n = plfs.read(&fd, &mut out[done..], done as u64).unwrap();
+        assert!(n > 0);
+        done += n;
+    }
+    for p in 0..4u64 {
+        plfs.close(&fd, p).unwrap();
+    }
+    assert_eq!(out, model);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded + write-behind-buffered + incrementally-refreshed output is
+    /// byte-identical to the serial reference path for any op sequence.
+    #[test]
+    fn sharded_buffered_matches_serial_path(ops in ops_strategy(40)) {
+        let fast = apply_ops(
+            &ops,
+            WriteConf::default()
+                .with_write_shards(16)
+                .with_data_buffer_bytes(1024)
+                .with_incremental_refresh(true),
+        );
+        let slow = apply_ops(&ops, WriteConf::serial());
+        prop_assert_eq!(fast, slow);
     }
 }
