@@ -330,6 +330,7 @@ impl Ring {
 
     /// Try to push; `false` if the ring is full.
     fn push(&self, rec: TraceRecord) -> bool {
+        // relaxed: Vyukov MPMC: pos is a hint; the cell's seq load (Acquire) below carries the ordering
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
             let cell = &self.cells[pos & self.mask];
@@ -340,8 +341,8 @@ impl Ring {
                     match self.enqueue_pos.compare_exchange_weak(
                         pos,
                         pos.wrapping_add(1),
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
+                        Ordering::Relaxed, // relaxed: CAS claims the slot; the seq release-store publishes it
+                        Ordering::Relaxed, // relaxed: failure retries; no data observed through pos
                     ) {
                         Ok(_) => {
                             // SAFETY: we own this slot until we publish seq.
@@ -353,6 +354,7 @@ impl Ring {
                     }
                 }
                 d if d < 0 => return false, // full
+                // relaxed: re-read hint only; seq Acquire re-validates the cell
                 _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
             }
         }
@@ -360,6 +362,7 @@ impl Ring {
 
     /// Try to pop; `None` if empty.
     fn pop(&self) -> Option<TraceRecord> {
+        // relaxed: Vyukov MPMC: pos is a hint; the cell's seq load (Acquire) below carries the ordering
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
             let cell = &self.cells[pos & self.mask];
@@ -370,8 +373,8 @@ impl Ring {
                     match self.dequeue_pos.compare_exchange_weak(
                         pos,
                         pos.wrapping_add(1),
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
+                        Ordering::Relaxed, // relaxed: CAS claims the slot; the seq release-store publishes it
+                        Ordering::Relaxed, // relaxed: failure retries; no data observed through pos
                     ) {
                         Ok(_) => {
                             // SAFETY: we own this slot until we publish seq.
@@ -386,6 +389,7 @@ impl Ring {
                     }
                 }
                 d if d < 0 => return None, // empty
+                // relaxed: re-read hint only; seq Acquire re-validates the cell
                 _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
             }
         }
@@ -452,11 +456,13 @@ impl TraceSink {
     /// Is recording on?
     #[inline]
     pub fn is_enabled(&self) -> bool {
+        // relaxed: on/off flag gates best-effort recording only; no data is published through it
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Turn recording on or off.
     pub fn set_enabled(&self, on: bool) {
+        // relaxed: see enabled(): records racing an off-switch may still land, which is fine
         self.enabled.store(on, Ordering::Relaxed);
     }
 
@@ -503,12 +509,13 @@ impl TraceSink {
     fn record_raw(&self, start_ns: u64, latency_ns: u64, ev: OpEvent<'_>) {
         let li = ev.layer.index();
         let oi = ev.op.index();
+        // relaxed: monotonic stats counters; snapshot() tolerates torn cross-counter views
         self.ops[li][oi].fetch_add(1, Ordering::Relaxed);
-        self.bytes[li][oi].fetch_add(ev.bytes, Ordering::Relaxed);
+        self.bytes[li][oi].fetch_add(ev.bytes, Ordering::Relaxed); // relaxed: same
         if ev.hit {
-            self.hits[li][oi].fetch_add(1, Ordering::Relaxed);
+            self.hits[li][oi].fetch_add(1, Ordering::Relaxed); // relaxed: same
         }
-        self.hist[li][oi][bucket_of(latency_ns)].fetch_add(1, Ordering::Relaxed);
+        self.hist[li][oi][bucket_of(latency_ns)].fetch_add(1, Ordering::Relaxed); // relaxed: same
         let rec = TraceRecord {
             layer: ev.layer,
             op: ev.op,
@@ -525,9 +532,10 @@ impl TraceSink {
             hit: ev.hit,
         };
         if self.ring.push(rec) {
+            // relaxed: ring accounting counters; only totals are read, never used for synchronization
             self.recorded.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed); // relaxed: same
         }
     }
 
@@ -562,11 +570,13 @@ impl TraceSink {
 
     /// Records pushed to the ring so far (drained or not).
     pub fn recorded(&self) -> u64 {
+        // relaxed: statistical read; counter increments need no ordering with ring contents
         self.recorded.load(Ordering::Relaxed)
     }
 
     /// Records lost to ring overflow.
     pub fn dropped(&self) -> u64 {
+        // relaxed: statistical read; counter increments need no ordering with ring contents
         self.dropped.load(Ordering::Relaxed)
     }
 
@@ -575,17 +585,19 @@ impl TraceSink {
     pub fn reset(&self) {
         for li in 0..NLAYERS {
             for oi in 0..NOPS {
+                // relaxed: reset is a test/maintenance path; racing increments after the store are acceptable losses
                 self.ops[li][oi].store(0, Ordering::Relaxed);
-                self.bytes[li][oi].store(0, Ordering::Relaxed);
-                self.hits[li][oi].store(0, Ordering::Relaxed);
+                self.bytes[li][oi].store(0, Ordering::Relaxed); // relaxed: same
+                self.hits[li][oi].store(0, Ordering::Relaxed); // relaxed: same
                 for b in 0..NBUCKETS {
-                    self.hist[li][oi][b].store(0, Ordering::Relaxed);
+                    self.hist[li][oi][b].store(0, Ordering::Relaxed); // relaxed: same
                 }
             }
         }
         while self.ring.pop().is_some() {}
+        // relaxed: reset is a test/maintenance path; racing increments after the store are acceptable losses
         self.recorded.store(0, Ordering::Relaxed);
-        self.dropped.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed); // relaxed: same
         let mut g = lock(&self.paths);
         g.ids.clear();
         g.names.clear();
@@ -598,20 +610,21 @@ impl TraceSink {
             for op in OpKind::ALL {
                 let li = layer.index();
                 let oi = op.index();
+                // relaxed: snapshot reads are statistical; a torn view across counters is acceptable
                 let ops = self.ops[li][oi].load(Ordering::Relaxed);
                 if ops == 0 {
                     continue;
                 }
                 let mut hist = [0u64; NBUCKETS];
                 for (b, slot) in hist.iter_mut().enumerate() {
-                    *slot = self.hist[li][oi][b].load(Ordering::Relaxed);
+                    *slot = self.hist[li][oi][b].load(Ordering::Relaxed); // relaxed: same
                 }
                 entries.push(OpMetrics {
                     layer,
                     op,
                     ops,
-                    bytes: self.bytes[li][oi].load(Ordering::Relaxed),
-                    hits: self.hits[li][oi].load(Ordering::Relaxed),
+                    bytes: self.bytes[li][oi].load(Ordering::Relaxed), // relaxed: same
+                    hits: self.hits[li][oi].load(Ordering::Relaxed),   // relaxed: same
                     hist,
                 });
             }

@@ -76,6 +76,7 @@ impl RealPosix {
     }
 
     fn install(&self, d: Arc<Description>) -> Fd {
+        // relaxed: fd numbers only need to be unique; the atomic add guarantees that without ordering
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
         self.fds.write().insert(fd, d);
         fd

@@ -191,6 +191,7 @@ impl LdPlfs {
             "{}/fd.{}.{}",
             self.scratch_dir,
             pid,
+            // relaxed: unique scratch-name suffix; only atomicity of the add matters
             self.scratch_seq.fetch_add(1, Ordering::Relaxed)
         );
         let under_fd =

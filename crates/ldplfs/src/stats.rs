@@ -55,21 +55,25 @@ pub struct ShimStats {
 impl ShimStats {
     /// Record an operation retargeted to PLFS.
     pub fn hit(&self, op: OpClass) {
+        // relaxed: monotonic op counters; totals are read statistically, never for synchronization
         self.intercepted[op as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an operation forwarded to the underlying layer.
     pub fn miss(&self, op: OpClass) {
+        // relaxed: monotonic op counters; totals are read statistically, never for synchronization
         self.passthrough[op as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count of intercepted operations of a class.
     pub fn intercepted(&self, op: OpClass) -> u64 {
+        // relaxed: statistical read of a monotonic counter
         self.intercepted[op as usize].load(Ordering::Relaxed)
     }
 
     /// Count of passed-through operations of a class.
     pub fn passthrough(&self, op: OpClass) -> u64 {
+        // relaxed: statistical read of a monotonic counter
         self.passthrough[op as usize].load(Ordering::Relaxed)
     }
 
@@ -77,6 +81,7 @@ impl ShimStats {
     pub fn total_intercepted(&self) -> u64 {
         self.intercepted
             .iter()
+            // relaxed: summing a snapshot; torn cross-counter views are acceptable
             .map(|a| a.load(Ordering::Relaxed))
             .sum()
     }
@@ -85,6 +90,7 @@ impl ShimStats {
     pub fn total_passthrough(&self) -> u64 {
         self.passthrough
             .iter()
+            // relaxed: summing a snapshot; torn cross-counter views are acceptable
             .map(|a| a.load(Ordering::Relaxed))
             .sum()
     }

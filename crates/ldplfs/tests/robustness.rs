@@ -1,0 +1,116 @@
+//! Regression tests for shim robustness on hostile input — the bugs the
+//! `plfs-lint` sweep surfaced (PR 4). An interposition shim runs inside
+//! unsuspecting host processes, so a malformed `plfsrc` or an fd it never
+//! tracked must come back as an error return, never a panic.
+
+use ldplfs::{from_plfsrc, Errno, LdPlfs, OpenFlags, PosixLayer, RealPosix, Whence};
+use plfs::{MemBacking, PlfsRc};
+use std::sync::Arc;
+
+fn shim(name: &str) -> LdPlfs {
+    let dir = std::env::temp_dir().join(format!("ldplfs-robust-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let under = Arc::new(RealPosix::rooted(dir).unwrap());
+    from_plfsrc(under, "mount_point /plfs\nbackends /be\n", |_| {
+        Arc::new(MemBacking::new())
+    })
+    .unwrap()
+}
+
+// --- malformed plfsrc: every line below used to panic (debug overflow) or
+// --- silently mis-parse; all must now be clean parse errors.
+
+#[test]
+fn data_buffer_mbs_overflow_is_an_error_not_a_panic() {
+    // u64::MAX MiB: the old `as usize * (1 << 20)` overflowed — a panic in
+    // debug builds, silent wrap in release.
+    for v in [
+        "data_buffer_mbs 18446744073709551615",
+        "data_buffer_mbs 17592186044417", // 2^44 + 1: * 2^20 exceeds u64
+    ] {
+        let rc = format!("{v}\nmount_point /x\nbackends /be\n");
+        assert!(PlfsRc::parse(&rc).is_err(), "{v} must be rejected");
+    }
+    // Sane values still parse to MiB.
+    let rc = PlfsRc::parse("data_buffer_mbs 4\nmount_point /x\nbackends /be\n").unwrap();
+    assert_eq!(rc.data_buffer_bytes, 4 << 20);
+}
+
+#[test]
+fn num_hostdirs_truncation_is_an_error() {
+    // 2^32 + 1 used to truncate through `as u32` to a silently-accepted 1.
+    let rc = "mount_point /x\nbackends /be\nnum_hostdirs 4294967297\n";
+    assert!(PlfsRc::parse(rc).is_err());
+    // 2^32 exactly truncated to 0 and was caught only by the nonzero check;
+    // now it is rejected as out of range up front.
+    let rc = "mount_point /x\nbackends /be\nnum_hostdirs 4294967296\n";
+    assert!(PlfsRc::parse(rc).is_err());
+}
+
+#[test]
+fn malformed_plfsrc_maps_to_einval_through_the_shim() {
+    for rc in [
+        "mount_point\n",                                             // key without value
+        "mount_point /x\nbackends /be\nnum_hostdirs zap\n",          // non-numeric
+        "mount_point /x\nbackends /be\nincremental_refresh maybe\n", // bad bool
+        "backends /be\n",                                            // key before any mount
+        "mount_point /x\n",                                          // mount with no backends
+        "mount_point /x\nbackends /be\ndata_buffer_mbs 18446744073709551615\n",
+    ] {
+        let dir = std::env::temp_dir().join(format!("ldplfs-einval-{}", std::process::id()));
+        let under = Arc::new(RealPosix::rooted(dir).unwrap());
+        let err = from_plfsrc(under, rc, |_| Arc::new(MemBacking::new()))
+            .err()
+            .unwrap_or_else(|| panic!("plfsrc {rc:?} must be rejected"));
+        assert_eq!(err, Errno::EINVAL, "{rc:?}");
+    }
+}
+
+// --- untracked fds: operations on descriptors the shim never opened must
+// --- come back as error returns from the under layer, never a panic.
+
+#[test]
+fn untracked_fd_ops_error_cleanly() {
+    let s = shim("untracked");
+    let bogus = 9_999;
+    assert!(s.write(bogus, b"x").is_err());
+    assert!(s.read(bogus, &mut [0u8; 8]).is_err());
+    assert!(s.lseek(bogus, 0, Whence::Set).is_err());
+    assert!(s.fstat(bogus).is_err());
+    assert!(s.fsync(bogus).is_err());
+    assert!(s.close(bogus).is_err());
+    assert!(s.dup(bogus).is_err());
+    assert!(s.ftruncate(bogus, 0).is_err());
+}
+
+#[test]
+fn close_is_not_double_closeable() {
+    let s = shim("doubleclose");
+    let fd = s
+        .open("/plfs/f", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+        .unwrap();
+    s.write(fd, b"payload").unwrap();
+    s.close(fd).unwrap();
+    // The fd is gone from the table; a second close must be a clean error
+    // (and must not disturb other state).
+    assert!(s.close(fd).is_err());
+    assert_eq!(s.stat("/plfs/f").unwrap().size, 7);
+}
+
+#[test]
+fn ops_straddling_the_mount_still_work_after_rejected_fds() {
+    // A shim that has just served errors keeps serving normal traffic —
+    // the error paths must not poison any internal lock or table.
+    let s = shim("recover");
+    let _ = s.write(12345, b"x");
+    let _ = s.close(54321);
+    let fd = s
+        .open("/plfs/ok", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+        .unwrap();
+    s.write(fd, b"still works").unwrap();
+    s.lseek(fd, 0, Whence::Set).unwrap();
+    let mut buf = [0u8; 11];
+    assert_eq!(s.read(fd, &mut buf).unwrap(), 11);
+    assert_eq!(&buf, b"still works");
+    s.close(fd).unwrap();
+}

@@ -1,0 +1,251 @@
+//! A comment- and string-aware scrubber for Rust source.
+//!
+//! `syn` is not available offline, and the rules in this crate are lexical,
+//! not syntactic — they need to know *which bytes are code* and *which bytes
+//! are comments*, nothing more. This module walks a source file once with a
+//! small state machine and produces two same-shaped views of every line:
+//!
+//! * **code** — the original text with comments blanked to spaces and string
+//!   / char literal *contents* blanked to spaces. The quote delimiters are
+//!   kept, so patterns like `extern "C" fn` still match (`extern "" fn`
+//!   would not — the rules match on `extern "` + `fn` instead), while a
+//!   string containing `".unwrap()"` can never trip a rule.
+//! * **comment** — the comment text of the line (delimiters stripped),
+//!   which is where suppressions and justification annotations live.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings `r"…"` / `r#"…"#` (any number of hashes), byte and
+//! raw byte strings, char literals vs. lifetimes.
+
+/// One source line, split into its code view and its comment text.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments and literal contents blanked to spaces.
+    /// Same character count as the original line.
+    pub code: String,
+    /// Concatenated comment text on this line, delimiters stripped.
+    pub comment: String,
+    /// The original line, untouched (used for finding snippets).
+    pub raw: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    /// Inside a `"…"` string (escape handling inline).
+    Str,
+    /// Inside a raw string with `n` hashes: ends at `"` + n `#`.
+    RawStr(u32),
+    /// Inside a char literal `'…'`.
+    Char,
+}
+
+/// Scrub `src` into per-line code/comment views.
+pub fn scrub(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code = String::with_capacity(src.len());
+    let mut comment = String::with_capacity(src.len());
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Push a char to one view and a space to the other, newlines to both.
+    macro_rules! emit {
+        (code $c:expr) => {{
+            code.push($c);
+            comment.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+        (comment $c:expr) => {{
+            comment.push($c);
+            code.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+        (blank $c:expr) => {{
+            // Literal contents: blank in both views.
+            let fill = if $c == '\n' { '\n' } else { ' ' };
+            code.push(fill);
+            comment.push(fill);
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    emit!(blank c);
+                    emit!(blank '/');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    emit!(blank c);
+                    emit!(blank '*');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    emit!(code c);
+                    i += 1;
+                } else if is_raw_str_start(&chars, i) {
+                    // r / br / b prefix, then hashes, then the quote.
+                    let mut j = i;
+                    while chars[j] != '"' && chars[j] != '#' {
+                        emit!(code chars[j]);
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars[j] == '#' {
+                        emit!(code chars[j]);
+                        hashes += 1;
+                        j += 1;
+                    }
+                    emit!(code '"');
+                    i = j + 1;
+                    state = State::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char literal or lifetime. A char literal is `'` +
+                    // (escape or single char) + `'`; a lifetime never has a
+                    // closing quote right after its first character-run.
+                    if next == Some('\\') {
+                        state = State::Char;
+                        emit!(code c);
+                        i += 1;
+                    } else if chars.get(i + 2).copied() == Some('\'') && next.is_some() {
+                        // 'x' — blank the payload, keep both quotes.
+                        emit!(code '\'');
+                        emit!(blank 'x');
+                        emit!(code '\'');
+                        i += 3;
+                    } else {
+                        // Lifetime: plain code.
+                        emit!(code c);
+                        i += 1;
+                    }
+                } else {
+                    emit!(code c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    emit!(code '\n');
+                } else {
+                    emit!(comment c);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    emit!(blank c);
+                    emit!(blank '*');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    emit!(blank c);
+                    emit!(blank '/');
+                    i += 2;
+                } else {
+                    if c == '\n' {
+                        emit!(code '\n');
+                    } else {
+                        emit!(comment c);
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && next.is_some() {
+                    emit!(blank c);
+                    emit!(blank 'x');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    emit!(code c);
+                    i += 1;
+                } else {
+                    emit!(blank c);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_str_closes(&chars, i, hashes) {
+                    emit!(code c);
+                    for k in 0..hashes as usize {
+                        emit!(code chars[i + 1 + k]);
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    emit!(blank c);
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' && next.is_some() {
+                    emit!(blank c);
+                    emit!(blank 'x');
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    emit!(code c);
+                    i += 1;
+                } else {
+                    emit!(blank c);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let raws: Vec<&str> = src.lines().collect();
+    code.lines()
+        .zip(comment.lines())
+        .enumerate()
+        .map(|(n, (c, m))| Line {
+            code: c.to_string(),
+            comment: m.trim().to_string(),
+            raw: raws.get(n).unwrap_or(&"").to_string(),
+        })
+        .collect()
+}
+
+/// Does a raw (byte) string literal start at `chars[i]`?
+/// Patterns: `r"`, `r#`-run-`"`, `br"`, `br#`-run-`"`, `b"` (plain byte
+/// string — treated as an ordinary string by the caller, so excluded here).
+fn is_raw_str_start(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`for"` can't happen, but
+    // `hdr#` etc. must not be misread).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Does the raw string with `hashes` hashes close at this `"`?
+fn raw_str_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if chars.get(i + 1 + k) != Some(&'#') {
+            return false;
+        }
+    }
+    true
+}

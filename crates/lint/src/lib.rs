@@ -1,0 +1,446 @@
+//! # plfs-lint — workspace-invariant static analysis
+//!
+//! LDPLFS delivers "improved I/O without application modification" only if
+//! the preloaded shim can never crash the host process, and the PR 1–3
+//! concurrency work (relaxed atomics, lock sharding, a lock-free trace
+//! ring) only stays correct if its invariants outlive the author. This
+//! crate enforces those invariants mechanically, with a comment- and
+//! string-aware lexical scanner (see [`lexer`]) and a small rule engine.
+//!
+//! ## Rules
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `panic-in-ffi` | `crates/preload`, `crates/ldplfs` | no `unwrap`/`expect`/`panic!`-family calls in shim code; no slice indexing inside `extern "C"` bodies |
+//! | `ffi-barrier` | `crates/preload` | every `extern "C"` entry point routes through `ffi_guard!` (catch_unwind → errno) |
+//! | `errno-discipline` | `crates/preload` | any function returning `-1` must set errno (directly or via `ffi_guard!`) |
+//! | `relaxed-ordering-audit` | whole workspace | every `Ordering::Relaxed` carries a `// relaxed: <why>` justification |
+//! | `lock-across-io` | `crates/plfs` | no `lock()`/`read()`/`write()` guard held across a backing-store call |
+//! | `no-direct-backing-io` | `crates/plfs` (except `backing.rs`) | file I/O goes through the `Backing` trait, never `std::fs` directly |
+//!
+//! ## Suppressions
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! immediately above:
+//!
+//! ```text
+//! // plfs-lint: allow(lock-across-io, "seed happens once under the reader
+//! // lock on purpose: racing seeders would double-merge")
+//! ```
+//!
+//! The justification string is **required** and must be non-empty — a bare
+//! `allow(rule)` is itself a finding. `relaxed-ordering-audit` also accepts
+//! the lighter-weight `// relaxed: <why>` annotation, since every atomic
+//! site needs one and the full suppression form would drown the code.
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt from
+//! every rule: tests are allowed to unwrap.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+mod rules;
+
+use lexer::Line;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (e.g. `panic-in-ffi`).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Human-readable explanation of the violated invariant.
+    pub message: String,
+}
+
+/// All rule identifiers, in report order. `bad-suppression` is the
+/// engine's own meta-rule: an `allow(...)` without a justification string.
+pub const RULES: &[&str] = &[
+    "panic-in-ffi",
+    "ffi-barrier",
+    "errno-discipline",
+    "relaxed-ordering-audit",
+    "lock-across-io",
+    "no-direct-backing-io",
+    "bad-suppression",
+];
+
+/// One parsed `plfs-lint: allow(rule, "why")` suppression.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rule: String,
+    /// Empty justification is a violation in its own right.
+    has_reason: bool,
+    line: usize,
+}
+
+/// A contiguous function span in the scrubbed source.
+#[derive(Debug, Clone)]
+struct FnSpan {
+    /// 0-based line of the `fn` keyword.
+    start: usize,
+    /// 0-based line of the closing brace (inclusive).
+    end: usize,
+    is_extern_c: bool,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileCtx {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    lines: Vec<Line>,
+    /// `in_test[i]` — line `i` is inside `#[cfg(test)]` / `#[test]` code.
+    in_test: Vec<bool>,
+    suppressions: Vec<Suppression>,
+    fns: Vec<FnSpan>,
+}
+
+impl FileCtx {
+    /// Build the context for one file's source text.
+    pub fn new(path: &str, src: &str) -> FileCtx {
+        let lines = lexer::scrub(src);
+        let in_test = mark_test_lines(&lines);
+        let suppressions = parse_suppressions(&lines);
+        let fns = find_fn_spans(&lines);
+        FileCtx {
+            path: path.to_string(),
+            lines,
+            in_test,
+            suppressions,
+            fns,
+        }
+    }
+
+    fn line_in_test(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    /// Is a finding of `rule` on 0-based line `i` suppressed (same line or
+    /// the line above), with a non-empty justification?
+    fn suppressed(&self, rule: &str, i: usize) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.rule == rule && s.has_reason && (s.line == i || s.line + 1 == i))
+    }
+
+    /// Comment text of line `i` and the line above, joined — used by the
+    /// `// relaxed:` annotation check.
+    fn nearby_comments(&self, i: usize) -> String {
+        let mut out = String::new();
+        if i > 0 {
+            out.push_str(&self.lines[i - 1].comment);
+            out.push(' ');
+        }
+        out.push_str(&self.lines[i].comment);
+        out
+    }
+
+    fn finding(&self, rule: &'static str, i: usize, message: String) -> Finding {
+        Finding {
+            file: self.path.clone(),
+            line: i + 1,
+            rule,
+            snippet: self.lines[i].raw.trim().to_string(),
+            message,
+        }
+    }
+}
+
+/// Mark lines belonging to test code: a `#[cfg(test)]`-attributed item
+/// (typically `mod tests`) or a `#[test]` / `#[bench]` function, tracked by
+/// brace depth from the attribute to the close of the item's block.
+fn mark_test_lines(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        let is_test_attr = code.contains("#[cfg(test)]")
+            || code.contains("#[test]")
+            || code.contains("#[bench]")
+            || code.contains("#[cfg(all(test");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Scan forward for the item's opening brace, then to its close.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut j = i;
+        'scan: while j < lines.len() {
+            in_test[j] = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            in_test[j] = true;
+                            break 'scan;
+                        }
+                    }
+                    // An attribute on a brace-less item (e.g. `#[cfg(test)]
+                    // use …;`) ends at the semicolon.
+                    ';' if !opened => break 'scan,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+/// Parse `plfs-lint: allow(rule, "why")` suppressions out of comment text.
+fn parse_suppressions(lines: &[Line]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let c = &line.comment;
+        let Some(pos) = c.find("plfs-lint:") else {
+            continue;
+        };
+        let rest = &c[pos + "plfs-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let body = &rest[open + "allow(".len()..];
+        let rule_end = body.find([',', ')']).unwrap_or(body.len());
+        let rule = body[..rule_end].trim().to_string();
+        // A justification is the first quoted string after the comma; a
+        // multi-line comment justification keeps its opening quote on this
+        // line, which is all we require here (lexically non-empty).
+        let tail = &body[rule_end..];
+        let has_reason = match tail.find('"') {
+            Some(q) => {
+                let after = &tail[q + 1..];
+                // Non-empty up to the closing quote (or end of line for
+                // justifications wrapped across comment lines).
+                let content = after.split('"').next().unwrap_or("");
+                !content.trim().is_empty()
+            }
+            None => false,
+        };
+        out.push(Suppression {
+            rule,
+            has_reason,
+            line: i,
+        });
+    }
+    out
+}
+
+/// Locate function spans and whether each is an `extern "C"` definition.
+/// Lexical: a `fn` keyword, a look-back for `extern "` on the same or the
+/// two preceding code lines, then brace matching for the body. Foreign
+/// blocks (`extern "C" { fn …; }`) contain declarations without bodies and
+/// resolve to zero-length spans, which no rule acts on.
+fn find_fn_spans(lines: &[Line]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(fn_col) = find_word(code, "fn") else {
+            continue;
+        };
+        // Look back for `extern "` within the declaration head.
+        let mut head = String::new();
+        for prev in lines.iter().take(i).skip(i.saturating_sub(2)) {
+            head.push_str(&prev.code);
+            head.push(' ');
+        }
+        head.push_str(&code[..fn_col]);
+        let is_extern_c = head.contains("extern \"") && !head.trim_end().ends_with('}');
+        // Find the body: first '{' at or after the fn, matched to close.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut end = i;
+        'body: for (j, l) in lines.iter().enumerate().skip(i) {
+            let start_col = if j == i { fn_col } else { 0 };
+            for c in l.code[start_col.min(l.code.len())..].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = j;
+                            break 'body;
+                        }
+                    }
+                    // Declaration only (foreign block / trait method).
+                    ';' if !opened => {
+                        end = i;
+                        break 'body;
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        spans.push(FnSpan {
+            start: i,
+            end,
+            is_extern_c,
+        });
+    }
+    spans
+}
+
+/// Find `word` in `s` at identifier boundaries; returns the byte offset.
+pub(crate) fn find_word(s: &str, word: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = s[from..].find(word) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + word.len();
+    }
+    None
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lint one file's source text. `path` is the workspace-relative path used
+/// both for reporting and rule scoping.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileCtx::new(path, src);
+    let mut findings = Vec::new();
+    rules::panic_in_ffi(&ctx, &mut findings);
+    rules::ffi_barrier(&ctx, &mut findings);
+    rules::errno_discipline(&ctx, &mut findings);
+    rules::relaxed_ordering_audit(&ctx, &mut findings);
+    rules::lock_across_io(&ctx, &mut findings);
+    rules::no_direct_backing_io(&ctx, &mut findings);
+    // Suppressions without a justification are findings themselves.
+    for s in &ctx.suppressions {
+        if !s.has_reason && !ctx.line_in_test(s.line) {
+            findings.push(ctx.finding(
+                "bad-suppression",
+                s.line,
+                format!(
+                    "suppression for `{}` lacks a justification string: \
+                     use plfs-lint: allow({}, \"<why>\")",
+                    s.rule, s.rule
+                ),
+            ));
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Walk the workspace at `root` and lint every first-party source file:
+/// `src/**/*.rs` of the root package and each `crates/*` member. Vendored
+/// stand-ins (`vendor/`), integration tests (`tests/`), benches, examples
+/// and build output are out of scope — the rules target shipping code.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, std::io::Error> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for m in members {
+            collect_rs(&m.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    if files.is_empty() {
+        // A mistyped root must not read as a vacuously clean workspace —
+        // that would silently disable the CI gate.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no .rs sources under {} — wrong root?", root.display()),
+        ));
+    }
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_source(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            // `src/bin/` holds test harness binaries (preload-smoke), not
+            // shipped library code; skip, like tests/ and benches/.
+            if p.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Render findings as a human-readable report.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        let _ = writeln!(out, "    {}", f.snippet);
+    }
+    let _ = writeln!(
+        out,
+        "plfs-lint: {} finding{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+/// Render findings as a JSON document (via `jsonlite`):
+/// `{"findings": [{"file", "line", "rule", "snippet", "message"}…],
+///   "count": N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    use jsonlite::Value;
+    let items: Vec<Value> = findings
+        .iter()
+        .map(|f| {
+            Value::object()
+                .with("file", f.file.as_str())
+                .with("line", f.line)
+                .with("rule", f.rule)
+                .with("snippet", f.snippet.as_str())
+                .with("message", f.message.as_str())
+        })
+        .collect();
+    Value::object()
+        .with("findings", items)
+        .with("count", findings.len())
+        .to_json_pretty()
+}

@@ -1,0 +1,27 @@
+//! Self-test: the linter runs over the live workspace and must come back
+//! clean. This is the enforcement teeth for the acceptance criterion "zero
+//! un-annotated Relaxed orderings and zero panic-capable calls reachable
+//! from `extern \"C\"`": any regression in the tree fails this test even
+//! before the `verify.sh` / CI gate runs.
+
+use std::path::Path;
+
+#[test]
+fn empty_root_is_an_error_not_a_clean_pass() {
+    // A mistyped root (CI running from the wrong directory) must fail
+    // loudly, not report a vacuous "0 findings".
+    let err = plfs_lint::lint_workspace(Path::new("/nonexistent-plfs-root")).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = plfs_lint::lint_workspace(&root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace must be lint-clean, got {} findings:\n{}",
+        findings.len(),
+        plfs_lint::render_text(&findings)
+    );
+}

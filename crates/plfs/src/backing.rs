@@ -204,6 +204,7 @@ impl Backing for RealBacking {
             opts.create(true).truncate(true);
         }
         let file = opts.open(&p).map_err(|e| annotate(e, path))?;
+        // relaxed: MemBacking mtime is a logical clock; the atomic add alone gives distinct, increasing stamps
         self.mtime_counter.fetch_add(1, Ordering::Relaxed);
         Ok(Box::new(RealFile {
             file: Mutex::new(file),

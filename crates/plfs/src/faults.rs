@@ -101,14 +101,17 @@ impl FaultyShared {
             if !r.path_contains.is_empty() && !path.contains(&r.path_contains) {
                 continue;
             }
+            // relaxed: atomic increment decides which matching call trips the fault; no other data rides on it
             let seen = state.matched.fetch_add(1, Ordering::Relaxed);
             if seen < r.after {
                 continue;
             }
+            // relaxed: fire-count bound needs atomicity only
             let fired = state.fired.fetch_add(1, Ordering::Relaxed);
             if fired >= r.times {
                 continue;
             }
+            // relaxed: injected tally is statistical
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(r.errno_like.to_error(path));
         }
@@ -151,6 +154,7 @@ impl Faulty {
 
     /// Failures injected so far.
     pub fn injected(&self) -> u64 {
+        // relaxed: statistical read of the injected tally
         self.shared.injected.load(Ordering::Relaxed)
     }
 }

@@ -35,6 +35,7 @@ static WRITE_CLOCK: AtomicU64 = AtomicU64::new(1);
 
 /// Take the next write timestamp.
 pub fn next_timestamp() -> u64 {
+    // relaxed: logical write clock: only uniqueness/monotonicity of the atomic add matters, never cross-thread ordering
     WRITE_CLOCK.fetch_add(1, Ordering::Relaxed)
 }
 

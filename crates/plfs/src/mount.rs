@@ -125,7 +125,12 @@ impl PlfsRc {
                     rc.data_buffer_bytes = parse_num(value, lineno)? as usize;
                 }
                 "data_buffer_mbs" => {
-                    rc.data_buffer_bytes = parse_num(value, lineno)? as usize * (1 << 20);
+                    // Checked: `18446744073709551615` in a plfsrc must be a
+                    // parse error, not a debug-build multiply overflow.
+                    rc.data_buffer_bytes = parse_num(value, lineno)?
+                        .checked_mul(1 << 20)
+                        .and_then(|b| usize::try_from(b).ok())
+                        .ok_or(Error::InvalidArg("data_buffer_mbs out of range"))?;
                 }
                 "incremental_refresh" => {
                     rc.incremental_refresh = match value {
@@ -149,7 +154,10 @@ impl PlfsRc {
                                 .collect();
                         }
                         "num_hostdirs" => {
-                            m.params.num_hostdirs = parse_num(value, lineno)? as u32;
+                            // Checked: `as u32` would truncate 2^32+1 to a
+                            // silently-accepted 1.
+                            m.params.num_hostdirs = u32::try_from(parse_num(value, lineno)?)
+                                .map_err(|_| Error::InvalidArg("num_hostdirs out of range"))?;
                         }
                         "index_buffer_entries" => {
                             m.index_buffer_entries = parse_num(value, lineno)? as usize;

@@ -41,7 +41,7 @@
 use parking_lot::RwLock;
 use plfs::{OpenFlags, Plfs, PlfsFd, RealBacking};
 use std::collections::HashMap;
-use std::ffi::{CStr, CString};
+use std::ffi::CStr;
 use std::os::raw::{c_char, c_int, c_long, c_uint, c_void};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -69,8 +69,10 @@ const SEEK_SET: c_int = 0;
 const SEEK_CUR: c_int = 1;
 const SEEK_END: c_int = 2;
 
+const EIO: c_int = 5;
 const EBADF: c_int = 9;
 const ENOMEM: c_int = 12;
+const EINVAL: c_int = 22;
 
 extern "C" {
     fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
@@ -83,6 +85,28 @@ const SYS_MEMFD_CREATE: c_long = 319; // x86_64
 
 fn set_errno(e: c_int) {
     unsafe { *__errno_location() = e };
+}
+
+/// Panic barrier for every `extern "C"` entry point: unwinding across an
+/// FFI boundary is undefined behavior and in practice aborts the host
+/// application — the one thing an interposition shim must never do. Any
+/// residual panic is caught here and converted to the POSIX failure shape,
+/// `errno = EIO` plus the call's error sentinel (`-1`, null, …).
+///
+/// `AssertUnwindSafe` is sound because nothing is resumed after a catch:
+/// the process-global shim state is lock-guarded (parking_lot poisons
+/// nothing) and a torn `OpenState` at worst fails subsequent calls with
+/// EBADF, never UB.
+macro_rules! ffi_guard {
+    ($err:expr, $body:expr) => {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body)) {
+            Ok(v) => v,
+            Err(_) => {
+                set_errno(EIO);
+                $err
+            }
+        }
+    };
 }
 
 macro_rules! real {
@@ -189,9 +213,16 @@ unsafe fn cstr<'a>(p: *const c_char) -> Option<&'a str> {
 
 fn reserve_fd() -> c_int {
     // A genuine kernel fd with a real file description (so lseek works and
-    // dup shares cursors) but no filesystem presence.
-    let name = CString::new("ldplfs-cursor").unwrap();
-    let fd = unsafe { syscall(SYS_MEMFD_CREATE, name.as_ptr(), 0 as c_long) };
+    // dup shares cursors) but no filesystem presence. The name is a static
+    // NUL-terminated literal — no CString allocation, nothing to unwrap.
+    const NAME: &[u8] = b"ldplfs-cursor\0";
+    let fd = unsafe {
+        syscall(
+            SYS_MEMFD_CREATE,
+            NAME.as_ptr() as *const c_char,
+            0 as c_long,
+        )
+    };
     fd as c_int
 }
 
@@ -292,29 +323,22 @@ unsafe fn do_open(path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
 /// `open(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn open(path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
-    do_open(path, flags, mode)
+    ffi_guard!(-1, do_open(path, flags, mode))
 }
 
 /// `open64(2)` (LFS alias).
 #[no_mangle]
 pub unsafe extern "C" fn open64(path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
-    do_open(path, flags, mode)
+    ffi_guard!(-1, do_open(path, flags, mode))
 }
 
 /// `creat(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn creat(path: *const c_char, mode: ModeT) -> c_int {
-    do_open(path, 0o1 | O_CREAT | O_TRUNC, mode)
+    ffi_guard!(-1, do_open(path, 0o1 | O_CREAT | O_TRUNC, mode))
 }
 
-/// `openat(2)` — handled for `AT_FDCWD` / absolute paths.
-#[no_mangle]
-pub unsafe extern "C" fn openat(
-    dirfd: c_int,
-    path: *const c_char,
-    flags: c_int,
-    mode: ModeT,
-) -> c_int {
+unsafe fn do_openat(dirfd: c_int, path: *const c_char, flags: c_int, mode: ModeT) -> c_int {
     let absolute = cstr(path).map(|p| p.starts_with('/')).unwrap_or(false);
     if dirfd == AT_FDCWD || absolute {
         return do_open(path, flags, mode);
@@ -326,6 +350,17 @@ pub unsafe extern "C" fn openat(
     f(dirfd, path, flags, mode)
 }
 
+/// `openat(2)` — handled for `AT_FDCWD` / absolute paths.
+#[no_mangle]
+pub unsafe extern "C" fn openat(
+    dirfd: c_int,
+    path: *const c_char,
+    flags: c_int,
+    mode: ModeT,
+) -> c_int {
+    ffi_guard!(-1, do_openat(dirfd, path, flags, mode))
+}
+
 /// `openat64(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn openat64(
@@ -334,7 +369,7 @@ pub unsafe extern "C" fn openat64(
     flags: c_int,
     mode: ModeT,
 ) -> c_int {
-    openat(dirfd, path, flags, mode)
+    ffi_guard!(-1, do_openat(dirfd, path, flags, mode))
 }
 
 /// Copy a container's logical bytes into a fresh memfd; returns the fd
@@ -368,7 +403,12 @@ fn snapshot_open(sh: &Shim, rel: &str, pid: u64) -> plfs::Result<c_int> {
         while done < n {
             let w = unsafe { real_write(fd, buf[done..].as_ptr() as *const c_void, n - done) };
             if w <= 0 {
-                break;
+                // A short memfd write (ENOSPC/ENOMEM) must not hand out a
+                // truncated snapshot as if it were the whole file.
+                let _ = pfd.close(pid);
+                let real_close = real!(close, unsafe extern "C" fn(c_int) -> c_int);
+                unsafe { real_close(fd) };
+                return Err(plfs::Error::Io(std::io::Error::from_raw_os_error(ENOMEM)));
             }
             done += w as usize;
         }
@@ -384,9 +424,7 @@ fn snapshot_open(sh: &Shim, rel: &str, pid: u64) -> plfs::Result<c_int> {
 // data plane.
 // ---------------------------------------------------------------------------
 
-/// `read(2)`.
-#[no_mangle]
-pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: SizeT) -> SsizeT {
+unsafe fn do_read(fd: c_int, buf: *mut c_void, count: SizeT) -> SsizeT {
     match lookup(fd) {
         None => {
             let f = real!(
@@ -412,9 +450,13 @@ pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: SizeT) -> Ssiz
     }
 }
 
-/// `write(2)`.
+/// `read(2)`.
 #[no_mangle]
-pub unsafe extern "C" fn write(fd: c_int, buf: *const c_void, count: SizeT) -> SsizeT {
+pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: SizeT) -> SsizeT {
+    ffi_guard!(-1, do_read(fd, buf, count))
+}
+
+unsafe fn do_write(fd: c_int, buf: *const c_void, count: SizeT) -> SsizeT {
     match lookup(fd) {
         None => {
             let f = real!(
@@ -425,23 +467,37 @@ pub unsafe extern "C" fn write(fd: c_int, buf: *const c_void, count: SizeT) -> S
         }
         Some(st) => {
             let slice = std::slice::from_raw_parts(buf as *const u8, count);
-            let off = if st.append {
-                st.plfs_fd.size().unwrap_or(0) as OffT
+            let pid = getpid() as u64;
+            // O_APPEND resolves EOF atomically inside PlfsFd::append —
+            // size()-then-write() would race concurrent appenders.
+            let (off, n) = if st.append {
+                match st.plfs_fd.append(slice, pid) {
+                    Ok((off, n)) => (off as OffT, n),
+                    Err(e) => {
+                        set_errno(plfs_errno(&e));
+                        return -1;
+                    }
+                }
             } else {
-                cursor_get(fd)
+                let off = cursor_get(fd);
+                match st.plfs_fd.write(slice, off as u64, pid) {
+                    Ok(n) => (off, n),
+                    Err(e) => {
+                        set_errno(plfs_errno(&e));
+                        return -1;
+                    }
+                }
             };
-            match st.plfs_fd.write(slice, off as u64, getpid() as u64) {
-                Ok(n) => {
-                    cursor_set(fd, off + n as OffT);
-                    n as SsizeT
-                }
-                Err(e) => {
-                    set_errno(plfs_errno(&e));
-                    -1
-                }
-            }
+            cursor_set(fd, off + n as OffT);
+            n as SsizeT
         }
     }
+}
+
+/// `write(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn write(fd: c_int, buf: *const c_void, count: SizeT) -> SsizeT {
+    ffi_guard!(-1, do_write(fd, buf, count))
 }
 
 unsafe fn do_pread(fd: c_int, buf: *mut c_void, count: SizeT, off: OffT) -> SsizeT {
@@ -469,13 +525,13 @@ unsafe fn do_pread(fd: c_int, buf: *mut c_void, count: SizeT, off: OffT) -> Ssiz
 /// `pread(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn pread(fd: c_int, buf: *mut c_void, count: SizeT, off: OffT) -> SsizeT {
-    do_pread(fd, buf, count, off)
+    ffi_guard!(-1, do_pread(fd, buf, count, off))
 }
 
 /// `pread64(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn pread64(fd: c_int, buf: *mut c_void, count: SizeT, off: OffT) -> SsizeT {
-    do_pread(fd, buf, count, off)
+    ffi_guard!(-1, do_pread(fd, buf, count, off))
 }
 
 unsafe fn do_pwrite(fd: c_int, buf: *const c_void, count: SizeT, off: OffT) -> SsizeT {
@@ -503,7 +559,7 @@ unsafe fn do_pwrite(fd: c_int, buf: *const c_void, count: SizeT, off: OffT) -> S
 /// `pwrite(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn pwrite(fd: c_int, buf: *const c_void, count: SizeT, off: OffT) -> SsizeT {
-    do_pwrite(fd, buf, count, off)
+    ffi_guard!(-1, do_pwrite(fd, buf, count, off))
 }
 
 /// `pwrite64(2)`.
@@ -514,7 +570,7 @@ pub unsafe extern "C" fn pwrite64(
     count: SizeT,
     off: OffT,
 ) -> SsizeT {
-    do_pwrite(fd, buf, count, off)
+    ffi_guard!(-1, do_pwrite(fd, buf, count, off))
 }
 
 unsafe fn do_lseek(fd: c_int, offset: OffT, whence: c_int) -> OffT {
@@ -531,12 +587,12 @@ unsafe fn do_lseek(fd: c_int, offset: OffT, whence: c_int) -> OffT {
                 SEEK_CUR => cursor_get(fd) + offset,
                 SEEK_END => st.plfs_fd.size().unwrap_or(0) as OffT + offset,
                 _ => {
-                    set_errno(22);
+                    set_errno(EINVAL);
                     return -1;
                 }
             };
             if target < 0 {
-                set_errno(22);
+                set_errno(EINVAL);
                 return -1;
             }
             cursor_set(fd, target)
@@ -547,18 +603,16 @@ unsafe fn do_lseek(fd: c_int, offset: OffT, whence: c_int) -> OffT {
 /// `lseek(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn lseek(fd: c_int, offset: OffT, whence: c_int) -> OffT {
-    do_lseek(fd, offset, whence)
+    ffi_guard!(-1, do_lseek(fd, offset, whence))
 }
 
 /// `lseek64(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn lseek64(fd: c_int, offset: OffT, whence: c_int) -> OffT {
-    do_lseek(fd, offset, whence)
+    ffi_guard!(-1, do_lseek(fd, offset, whence))
 }
 
-/// `close(2)`.
-#[no_mangle]
-pub unsafe extern "C" fn close(fd: c_int) -> c_int {
+unsafe fn do_close(fd: c_int) -> c_int {
     let real_close = real!(close, unsafe extern "C" fn(c_int) -> c_int);
     let Some(sh) = shim() else {
         return real_close(fd);
@@ -579,9 +633,13 @@ pub unsafe extern "C" fn close(fd: c_int) -> c_int {
     }
 }
 
-/// `fsync(2)`.
+/// `close(2)`.
 #[no_mangle]
-pub unsafe extern "C" fn fsync(fd: c_int) -> c_int {
+pub unsafe extern "C" fn close(fd: c_int) -> c_int {
+    ffi_guard!(-1, do_close(fd))
+}
+
+unsafe fn do_fsync(fd: c_int) -> c_int {
     match lookup(fd) {
         None => {
             let f = real!(fsync, unsafe extern "C" fn(c_int) -> c_int);
@@ -597,9 +655,13 @@ pub unsafe extern "C" fn fsync(fd: c_int) -> c_int {
     }
 }
 
-/// `dup(2)`.
+/// `fsync(2)`.
 #[no_mangle]
-pub unsafe extern "C" fn dup(fd: c_int) -> c_int {
+pub unsafe extern "C" fn fsync(fd: c_int) -> c_int {
+    ffi_guard!(-1, do_fsync(fd))
+}
+
+unsafe fn do_dup(fd: c_int) -> c_int {
     let real_dup = real!(dup, unsafe extern "C" fn(c_int) -> c_int);
     let new = real_dup(fd);
     if new >= 0 {
@@ -619,9 +681,13 @@ pub unsafe extern "C" fn dup(fd: c_int) -> c_int {
     new
 }
 
-/// `dup2(2)` — needed for shell redirection bookkeeping.
+/// `dup(2)`.
 #[no_mangle]
-pub unsafe extern "C" fn dup2(oldfd: c_int, newfd: c_int) -> c_int {
+pub unsafe extern "C" fn dup(fd: c_int) -> c_int {
+    ffi_guard!(-1, do_dup(fd))
+}
+
+unsafe fn do_dup2(oldfd: c_int, newfd: c_int) -> c_int {
     let real_dup2 = real!(dup2, unsafe extern "C" fn(c_int, c_int) -> c_int);
     let ret = real_dup2(oldfd, newfd);
     if ret >= 0 {
@@ -647,6 +713,12 @@ pub unsafe extern "C" fn dup2(oldfd: c_int, newfd: c_int) -> c_int {
         }
     }
     ret
+}
+
+/// `dup2(2)` — needed for shell redirection bookkeeping.
+#[no_mangle]
+pub unsafe extern "C" fn dup2(oldfd: c_int, newfd: c_int) -> c_int {
+    ffi_guard!(-1, do_dup2(oldfd, newfd))
 }
 
 // ---------------------------------------------------------------------------
@@ -727,18 +799,16 @@ unsafe fn do_stat(path: *const c_char, out: *mut CStat) -> c_int {
 /// `stat(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn stat(path: *const c_char, out: *mut CStat) -> c_int {
-    do_stat(path, out)
+    ffi_guard!(-1, do_stat(path, out))
 }
 
 /// `stat64(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn stat64(path: *const c_char, out: *mut CStat) -> c_int {
-    do_stat(path, out)
+    ffi_guard!(-1, do_stat(path, out))
 }
 
-/// `lstat(2)` — containers have no symlinks; same as stat within the mount.
-#[no_mangle]
-pub unsafe extern "C" fn lstat(path: *const c_char, out: *mut CStat) -> c_int {
+unsafe fn do_lstat(path: *const c_char, out: *mut CStat) -> c_int {
     let real_lstat = real!(
         lstat,
         unsafe extern "C" fn(*const c_char, *mut CStat) -> c_int
@@ -752,10 +822,16 @@ pub unsafe extern "C" fn lstat(path: *const c_char, out: *mut CStat) -> c_int {
     }
 }
 
+/// `lstat(2)` — containers have no symlinks; same as stat within the mount.
+#[no_mangle]
+pub unsafe extern "C" fn lstat(path: *const c_char, out: *mut CStat) -> c_int {
+    ffi_guard!(-1, do_lstat(path, out))
+}
+
 /// `lstat64(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn lstat64(path: *const c_char, out: *mut CStat) -> c_int {
-    lstat(path, out)
+    ffi_guard!(-1, do_lstat(path, out))
 }
 
 unsafe fn do_fstat(fd: c_int, out: *mut CStat) -> c_int {
@@ -786,23 +862,16 @@ unsafe fn do_fstat(fd: c_int, out: *mut CStat) -> c_int {
 /// `fstat(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn fstat(fd: c_int, out: *mut CStat) -> c_int {
-    do_fstat(fd, out)
+    ffi_guard!(-1, do_fstat(fd, out))
 }
 
 /// `fstat64(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn fstat64(fd: c_int, out: *mut CStat) -> c_int {
-    do_fstat(fd, out)
+    ffi_guard!(-1, do_fstat(fd, out))
 }
 
-/// `fstatat(2)` / `newfstatat` for `AT_FDCWD` and absolute paths.
-#[no_mangle]
-pub unsafe extern "C" fn fstatat(
-    dirfd: c_int,
-    path: *const c_char,
-    out: *mut CStat,
-    flags: c_int,
-) -> c_int {
+unsafe fn do_fstatat(dirfd: c_int, path: *const c_char, out: *mut CStat, flags: c_int) -> c_int {
     let absolute = cstr(path).map(|p| p.starts_with('/')).unwrap_or(false);
     if dirfd == AT_FDCWD || absolute {
         if let Some(sh) = shim() {
@@ -818,6 +887,17 @@ pub unsafe extern "C" fn fstatat(
     f(dirfd, path, out, flags)
 }
 
+/// `fstatat(2)` / `newfstatat` for `AT_FDCWD` and absolute paths.
+#[no_mangle]
+pub unsafe extern "C" fn fstatat(
+    dirfd: c_int,
+    path: *const c_char,
+    out: *mut CStat,
+    flags: c_int,
+) -> c_int {
+    ffi_guard!(-1, do_fstatat(dirfd, path, out, flags))
+}
+
 /// `newfstatat` (the syscall-name alias some libcs export).
 #[no_mangle]
 pub unsafe extern "C" fn newfstatat(
@@ -826,12 +906,10 @@ pub unsafe extern "C" fn newfstatat(
     out: *mut CStat,
     flags: c_int,
 ) -> c_int {
-    fstatat(dirfd, path, out, flags)
+    ffi_guard!(-1, do_fstatat(dirfd, path, out, flags))
 }
 
-/// `unlink(2)`.
-#[no_mangle]
-pub unsafe extern "C" fn unlink(path: *const c_char) -> c_int {
+unsafe fn do_unlink(path: *const c_char) -> c_int {
     let real_unlink = real!(unlink, unsafe extern "C" fn(*const c_char) -> c_int);
     let Some(sh) = shim() else {
         return real_unlink(path);
@@ -848,9 +926,13 @@ pub unsafe extern "C" fn unlink(path: *const c_char) -> c_int {
     }
 }
 
-/// `access(2)`.
+/// `unlink(2)`.
 #[no_mangle]
-pub unsafe extern "C" fn access(path: *const c_char, amode: c_int) -> c_int {
+pub unsafe extern "C" fn unlink(path: *const c_char) -> c_int {
+    ffi_guard!(-1, do_unlink(path))
+}
+
+unsafe fn do_access(path: *const c_char, amode: c_int) -> c_int {
     let real_access = real!(access, unsafe extern "C" fn(*const c_char, c_int) -> c_int);
     let Some(sh) = shim() else {
         return real_access(path, amode);
@@ -872,9 +954,13 @@ pub unsafe extern "C" fn access(path: *const c_char, amode: c_int) -> c_int {
     }
 }
 
-/// `mkdir(2)`.
+/// `access(2)`.
 #[no_mangle]
-pub unsafe extern "C" fn mkdir(path: *const c_char, mode: ModeT) -> c_int {
+pub unsafe extern "C" fn access(path: *const c_char, amode: c_int) -> c_int {
+    ffi_guard!(-1, do_access(path, amode))
+}
+
+unsafe fn do_mkdir(path: *const c_char, mode: ModeT) -> c_int {
     let real_mkdir = real!(mkdir, unsafe extern "C" fn(*const c_char, ModeT) -> c_int);
     let Some(sh) = shim() else {
         return real_mkdir(path, mode);
@@ -891,9 +977,13 @@ pub unsafe extern "C" fn mkdir(path: *const c_char, mode: ModeT) -> c_int {
     }
 }
 
-/// `rmdir(2)`.
+/// `mkdir(2)`.
 #[no_mangle]
-pub unsafe extern "C" fn rmdir(path: *const c_char) -> c_int {
+pub unsafe extern "C" fn mkdir(path: *const c_char, mode: ModeT) -> c_int {
+    ffi_guard!(-1, do_mkdir(path, mode))
+}
+
+unsafe fn do_rmdir(path: *const c_char) -> c_int {
     let real_rmdir = real!(rmdir, unsafe extern "C" fn(*const c_char) -> c_int);
     let Some(sh) = shim() else {
         return real_rmdir(path);
@@ -910,6 +1000,12 @@ pub unsafe extern "C" fn rmdir(path: *const c_char) -> c_int {
     }
 }
 
+/// `rmdir(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn rmdir(path: *const c_char) -> c_int {
+    ffi_guard!(-1, do_rmdir(path))
+}
+
 unsafe fn do_ftruncate(fd: c_int, len: OffT) -> c_int {
     match lookup(fd) {
         None => {
@@ -918,7 +1014,7 @@ unsafe fn do_ftruncate(fd: c_int, len: OffT) -> c_int {
         }
         Some(st) => {
             if len < 0 {
-                set_errno(22);
+                set_errno(EINVAL);
                 return -1;
             }
             // Quiesce, then rewrite via the container truncate path.
@@ -946,13 +1042,13 @@ unsafe fn do_ftruncate(fd: c_int, len: OffT) -> c_int {
 /// `ftruncate(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn ftruncate(fd: c_int, len: OffT) -> c_int {
-    do_ftruncate(fd, len)
+    ffi_guard!(-1, do_ftruncate(fd, len))
 }
 
 /// `ftruncate64(2)`.
 #[no_mangle]
 pub unsafe extern "C" fn ftruncate64(fd: c_int, len: OffT) -> c_int {
-    do_ftruncate(fd, len)
+    ffi_guard!(-1, do_ftruncate(fd, len))
 }
 
 // ---------------------------------------------------------------------------
@@ -1000,13 +1096,13 @@ unsafe fn do_fopen(path: *const c_char, mode: *const c_char) -> *mut c_void {
 /// `fopen(3)`.
 #[no_mangle]
 pub unsafe extern "C" fn fopen(path: *const c_char, mode: *const c_char) -> *mut c_void {
-    do_fopen(path, mode)
+    ffi_guard!(std::ptr::null_mut(), do_fopen(path, mode))
 }
 
 /// `fopen64(3)`.
 #[no_mangle]
 pub unsafe extern "C" fn fopen64(path: *const c_char, mode: *const c_char) -> *mut c_void {
-    do_fopen(path, mode)
+    ffi_guard!(std::ptr::null_mut(), do_fopen(path, mode))
 }
 
 /// Kernel `struct statx` (uapi, fixed layout).
@@ -1055,9 +1151,7 @@ unsafe fn fill_statx(out: *mut CStatx, size: u64, is_dir: bool, ino: u64) {
     st.stx_blocks = size.div_ceil(512);
 }
 
-/// `statx(2)` — the stat entry point modern glibc and coreutils use.
-#[no_mangle]
-pub unsafe extern "C" fn statx(
+unsafe fn do_statx(
     dirfd: c_int,
     path: *const c_char,
     flags: c_int,
@@ -1112,6 +1206,18 @@ pub unsafe extern "C" fn statx(
             -1
         }
     }
+}
+
+/// `statx(2)` — the stat entry point modern glibc and coreutils use.
+#[no_mangle]
+pub unsafe extern "C" fn statx(
+    dirfd: c_int,
+    path: *const c_char,
+    flags: c_int,
+    mask: c_uint,
+    out: *mut CStatx,
+) -> c_int {
+    ffi_guard!(-1, do_statx(dirfd, path, flags, mask, out))
 }
 
 /// How many fds the shim currently tracks (exposed for the smoke test).

@@ -515,6 +515,21 @@ pub fn benchgate(baseline: &str, fresh: &str, threshold: f64) -> ToolResult {
     }
 }
 
+/// `lint`: run the project's static-analysis rules (`plfs-lint`) over the
+/// workspace rooted at `root`. Returns the rendered report (text or JSON)
+/// and the finding count — the CLI turns a nonzero count into exit 1, so
+/// the report itself still reaches stdout for both formats.
+pub fn lint(root: &str, json: bool) -> Result<(String, usize), ToolError> {
+    let findings = plfs_lint::lint_workspace(Path::new(root))
+        .map_err(|e| ToolError::Usage(format!("lint {root}: {e}")))?;
+    let report = if json {
+        plfs_lint::render_json(&findings) + "\n"
+    } else {
+        plfs_lint::render_text(&findings)
+    };
+    Ok((report, findings.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

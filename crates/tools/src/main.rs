@@ -16,6 +16,7 @@
 //! plfs-tools trace   /path/to/trace.jsonl --dump  # one line per op
 //! plfs-tools benchcheck BENCH.json [...]        # validate emitted bench JSON
 //! plfs-tools benchgate  BASELINE.json FRESH.json [--threshold 0.30]
+//! plfs-tools lint [ROOT] [--json]               # workspace static analysis
 //! ```
 
 use plfs::RealBacking;
@@ -35,7 +36,7 @@ fn run(args: &[String]) -> plfs_tools::ToolResult {
     let usage = || {
         plfs_tools::ToolError::Usage(
             "commands: stat|map|flatten|check|repair|ls|du|rm|version|rccheck|trace|\
-             benchcheck|benchgate (see --help)"
+             benchcheck|benchgate|lint (see --help)"
                 .to_string(),
         )
     };
@@ -49,6 +50,21 @@ fn run(args: &[String]) -> plfs_tools::ToolResult {
             .collect::<Vec<_>>()
             .join("\n")
             + "\n");
+    }
+    if cmd == "lint" {
+        let json = args.iter().any(|a| a == "--json");
+        let root = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or(".");
+        let (report, count) = plfs_tools::lint(root, json)?;
+        print!("{report}");
+        if count > 0 {
+            std::process::exit(1);
+        }
+        return Ok(String::new());
     }
     let path = args
         .get(1)

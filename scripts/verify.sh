@@ -7,6 +7,12 @@ cargo build --release --offline
 cargo test --workspace -q --offline
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
+# plfs-lint gate: the workspace must be clean under the project's own
+# static rules (panic-in-ffi, ffi-barrier, errno-discipline,
+# relaxed-ordering-audit, lock-across-io, no-direct-backing-io).
+# Exit code 1 + a findings listing on any hit.
+cargo run --offline --release -q -p plfs-tools -- lint .
+
 # Bench smoke: a fast pass through the micro benches (CRITERION_QUICK
 # shrinks the measurement budget; benches still execute every group).
 CRITERION_QUICK=1 cargo bench --offline -p bench --bench micro_plfs
