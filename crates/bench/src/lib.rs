@@ -809,6 +809,294 @@ pub fn render_writepath(rows: &[WritePathRow]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Metadata fast path: measured ops-per-open + MDS create-storm projection.
+// ---------------------------------------------------------------------------
+
+/// One measured phase of the metadata comparison: backing metadata ops and
+/// wall latency, eager/uncached path vs the cached fast path (steady
+/// state, in-memory backing).
+#[derive(Debug, Clone)]
+pub struct MetadataRow {
+    /// Phase label: `reopen`, `getattr`, or `open+write+close`.
+    pub phase: String,
+    /// Backing metadata ops with `MetaConf::serial()` (the pre-fast-path
+    /// behaviour: cache off, eager markers).
+    pub eager_ops: u64,
+    /// Backing metadata ops with the cache on and lazy markers.
+    pub cached_ops: u64,
+    /// Mean wall latency, eager path (µs).
+    pub eager_us: f64,
+    /// Mean wall latency, cached path (µs).
+    pub cached_us: f64,
+}
+
+impl MetadataRow {
+    /// Backing-metadata-op reduction factor (eager over cached; zero cached
+    /// ops count as one so the ratio stays finite).
+    pub fn ops_reduction(&self) -> f64 {
+        self.eager_ops as f64 / self.cached_ops.max(1) as f64
+    }
+}
+
+/// One projected row: N processes simultaneously running the measured
+/// open+write+close profile against the Sierra dedicated-MDS model.
+#[derive(Debug, Clone)]
+pub struct MetadataStormRow {
+    /// Processes opening at once.
+    pub procs: u64,
+    /// Metadata ops per open, eager profile.
+    pub eager_ops_per_open: u64,
+    /// Metadata ops per open, cached profile.
+    pub cached_ops_per_open: u64,
+    /// Projected time for the storm to drain, eager profile (s).
+    pub eager_secs: f64,
+    /// Projected time for the storm to drain, cached profile (s).
+    pub cached_secs: f64,
+}
+
+impl MetadataStormRow {
+    /// Eager-over-cached time-to-open ratio.
+    pub fn speedup(&self) -> f64 {
+        self.eager_secs / self.cached_secs.max(1e-12)
+    }
+}
+
+/// Everything `paperbench metadata` reports.
+#[derive(Debug, Clone)]
+pub struct MetadataReport {
+    /// Measured per-phase op counts and latencies.
+    pub measured: Vec<MetadataRow>,
+    /// Projected create storms across [`METADATA_STORM_PROCS`].
+    pub storm: Vec<MetadataStormRow>,
+    /// Metadata-cache hits over the cached measurement run.
+    pub cache_hits: u64,
+    /// Metadata-cache misses over the cached measurement run.
+    pub cache_misses: u64,
+}
+
+impl MetadataReport {
+    /// Cache hit rate over the cached measurement run.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / (self.cache_hits + self.cache_misses).max(1) as f64
+    }
+}
+
+/// Process counts for the projected create storm — Figure 5 territory:
+/// Sierra absorbs hundreds of clients and collapses past a few thousand.
+pub const METADATA_STORM_PROCS: [u64; 4] = [256, 1024, 4096, 8192];
+
+/// Fresh metered mount with the given metadata configuration.
+fn metered(conf: plfs::MetaConf) -> (std::sync::Arc<plfs::MeterBacking>, plfs::Plfs) {
+    use std::sync::Arc;
+    let meter = Arc::new(plfs::MeterBacking::new(Arc::new(plfs::MemBacking::new())));
+    let p = plfs::Plfs::new(meter.clone() as Arc<dyn plfs::Backing>).with_meta_conf(conf);
+    (meter, p)
+}
+
+/// Map a metered op delta onto the simulator's per-open MDS profile.
+fn storm_profile(d: &plfs::MeterSnapshot) -> simfs::OpenProfile {
+    simfs::OpenProfile {
+        creates: d.create + d.mkdir + d.mkdir_all,
+        opens: d.open,
+        stats: d.stat + d.exists + d.size + d.sync + d.truncate,
+        removes: d.unlink + d.rmdir + d.rename,
+        readdirs: d.readdir,
+    }
+}
+
+/// Writer ranks sharing one process's fd in the checkpoint cycle — the
+/// shape the LDPLFS shim presents: one fd per process, every rank/thread of
+/// the process writing through it with its own pid.
+const META_CYCLE_RANKS: u64 = 4;
+
+/// One process's checkpoint cycle: open the shared container for write,
+/// every rank appends its block, every rank closes. `base_pid` must be
+/// fresh per cycle — reusing a pid makes the writer's exclusive-create
+/// dropping probe walk every dropping that pid ever left (which is the
+/// realistic shape: storm processes are distinct).
+fn meta_cycle(p: &plfs::Plfs, base_pid: u64) {
+    use plfs::OpenFlags;
+    let fd = p
+        .open("/storm", OpenFlags::RDWR | OpenFlags::CREAT, base_pid)
+        .unwrap();
+    for r in 1..META_CYCLE_RANKS {
+        fd.add_ref(base_pid + r);
+    }
+    for r in 0..META_CYCLE_RANKS {
+        p.write(&fd, &[7u8; 512], 8192 + r * 512, base_pid + r)
+            .unwrap();
+    }
+    for r in 0..META_CYCLE_RANKS {
+        p.close(&fd, base_pid + r).unwrap();
+    }
+}
+
+/// Per-conf measurement: `(ops, µs)` for each phase plus the storm profile
+/// and cache counters.
+struct MetaSide {
+    reopen: (u64, f64),
+    getattr: (u64, f64),
+    cycle: (u64, f64),
+    cycle_profile: simfs::OpenProfile,
+    hits: u64,
+    misses: u64,
+}
+
+fn measure_meta_side(conf: plfs::MetaConf, iters: usize) -> MetaSide {
+    use plfs::OpenFlags;
+    let flags = OpenFlags::RDWR | OpenFlags::CREAT;
+    let (meter, p) = metered(conf);
+    // Warm up: create the container, write, close, and stat it once — the
+    // comparison is steady-state cost, not cold-cache cost.
+    let fd = p.open("/storm", flags, 0).unwrap();
+    p.write(&fd, &[7u8; 4096], 0, 0).unwrap();
+    p.close(&fd, 0).unwrap();
+    let _ = p.getattr("/storm").unwrap();
+
+    // Backing metadata ops per phase (single steady-state delta).
+    let before = meter.snapshot();
+    let fd = p.open("/storm", OpenFlags::RDONLY, 1).unwrap();
+    p.close(&fd, 1).unwrap();
+    let reopen_ops = meter.snapshot().delta(&before).metadata_ops();
+
+    let before = meter.snapshot();
+    let _ = p.getattr("/storm").unwrap();
+    let getattr_ops = meter.snapshot().delta(&before).metadata_ops();
+
+    let before = meter.snapshot();
+    meta_cycle(&p, 2);
+    let cycle_delta = meter.snapshot().delta(&before);
+    let cycle_ops = cycle_delta.metadata_ops();
+    let cycle_profile = storm_profile(&cycle_delta);
+
+    // Wall latencies over `iters` iterations, best of 3 rounds.
+    let (secs, _) = best_of(3, || {
+        for _ in 0..iters {
+            let fd = p.open("/storm", OpenFlags::RDONLY, 3).unwrap();
+            p.close(&fd, 3).unwrap();
+        }
+        iters as u64
+    });
+    let reopen_us = secs * 1e6 / iters as f64;
+    let (secs, _) = best_of(3, || {
+        for _ in 0..iters {
+            p.getattr("/storm").unwrap();
+        }
+        iters as u64
+    });
+    let getattr_us = secs * 1e6 / iters as f64;
+    let mut next_pid = 100u64;
+    let (secs, _) = best_of(3, || {
+        for _ in 0..iters {
+            meta_cycle(&p, next_pid);
+            next_pid += META_CYCLE_RANKS;
+        }
+        iters as u64
+    });
+    let cycle_us = secs * 1e6 / iters as f64;
+
+    let (hits, misses) = p.meta_cache_counters();
+    MetaSide {
+        reopen: (reopen_ops, reopen_us),
+        getattr: (getattr_ops, getattr_us),
+        cycle: (cycle_ops, cycle_us),
+        cycle_profile,
+        hits,
+        misses,
+    }
+}
+
+/// Measure the metadata fast path (eager vs cached, in-memory backing),
+/// then project the measured open+write+close profiles as an N-process
+/// create storm through the Sierra dedicated-MDS model.
+pub fn metadata_comparison(scale: Scale) -> MetadataReport {
+    let iters = match scale {
+        Scale::Paper => 5_000,
+        Scale::Quick => 500,
+    };
+    let eager = measure_meta_side(plfs::MetaConf::serial(), iters);
+    let cached = measure_meta_side(
+        plfs::MetaConf::default().with_open_markers(plfs::OpenMarkers::Lazy),
+        iters,
+    );
+    let row = |phase: &str, e: (u64, f64), c: (u64, f64)| MetadataRow {
+        phase: phase.to_string(),
+        eager_ops: e.0,
+        cached_ops: c.0,
+        eager_us: e.1,
+        cached_us: c.1,
+    };
+    let measured = vec![
+        row("reopen", eager.reopen, cached.reopen),
+        row("getattr", eager.getattr, cached.getattr),
+        row("open+write+close", eager.cycle, cached.cycle),
+    ];
+    let mds = presets::sierra().fs.mds;
+    let storm = METADATA_STORM_PROCS
+        .iter()
+        .map(|&n| {
+            let e = simfs::create_storm(&mds, n, &eager.cycle_profile);
+            let c = simfs::create_storm(&mds, n, &cached.cycle_profile);
+            MetadataStormRow {
+                procs: n,
+                eager_ops_per_open: eager.cycle_profile.total(),
+                cached_ops_per_open: cached.cycle_profile.total(),
+                eager_secs: e.time_to_open,
+                cached_secs: c.time_to_open,
+            }
+        })
+        .collect();
+    MetadataReport {
+        measured,
+        storm,
+        cache_hits: cached.hits,
+        cache_misses: cached.misses,
+    }
+}
+
+/// Render the metadata comparison: measured phases, then the storm.
+pub fn render_metadata(r: &MetadataReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>18}{:>12}{:>12}{:>11}{:>12}{:>12}\n",
+        "Phase", "eager ops", "cached ops", "reduction", "eager", "cached"
+    ));
+    for m in &r.measured {
+        out.push_str(&format!(
+            "{:>18}{:>12}{:>12}{:>10.1}x{:>10.2}us{:>10.2}us\n",
+            m.phase,
+            m.eager_ops,
+            m.cached_ops,
+            m.ops_reduction(),
+            m.eager_us,
+            m.cached_us
+        ));
+    }
+    out.push_str(&format!(
+        "\ncache hit rate over the cached run: {:.1}% ({} hits, {} misses)\n\n",
+        r.cache_hit_rate() * 100.0,
+        r.cache_hits,
+        r.cache_misses
+    ));
+    out.push_str(&format!(
+        "{:>8}{:>12}{:>12}{:>13}{:>13}{:>9}\n",
+        "Procs", "eager o/o", "cached o/o", "eager", "cached", "speedup"
+    ));
+    for s in &r.storm {
+        out.push_str(&format!(
+            "{:>8}{:>12}{:>12}{:>12.2}s{:>12.2}s{:>8.2}x\n",
+            s.procs,
+            s.eager_ops_per_open,
+            s.cached_ops_per_open,
+            s.eager_secs,
+            s.cached_secs,
+            s.speedup()
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Rendering helpers.
 // ---------------------------------------------------------------------------
 
@@ -948,6 +1236,41 @@ impl ToJson for ReadPathProjection {
     }
 }
 
+impl ToJson for MetadataRow {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("phase", self.phase.as_str())
+            .with("eager_ops", self.eager_ops)
+            .with("cached_ops", self.cached_ops)
+            .with("ops_reduction", self.ops_reduction())
+            .with("eager_us", self.eager_us)
+            .with("cached_us", self.cached_us)
+    }
+}
+
+impl ToJson for MetadataStormRow {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("procs", self.procs)
+            .with("eager_ops_per_open", self.eager_ops_per_open)
+            .with("cached_ops_per_open", self.cached_ops_per_open)
+            .with("eager_secs", self.eager_secs)
+            .with("cached_secs", self.cached_secs)
+            .with("speedup", self.speedup())
+    }
+}
+
+impl ToJson for MetadataReport {
+    fn to_json_value(&self) -> Value {
+        Value::object()
+            .with("measured", self.measured.to_json_value())
+            .with("storm", self.storm.to_json_value())
+            .with("cache_hits", self.cache_hits)
+            .with("cache_misses", self.cache_misses)
+            .with("cache_hit_rate", self.cache_hit_rate())
+    }
+}
+
 impl ToJson for IorRow {
     fn to_json_value(&self) -> Value {
         Value::object()
@@ -1074,6 +1397,36 @@ mod tests {
         );
         let txt = render_writepath(&rows);
         assert!(txt.contains("Writers") && txt.contains("speedup"));
+    }
+
+    #[test]
+    fn quick_metadata_measures_and_projects() {
+        let r = metadata_comparison(Scale::Quick);
+        assert_eq!(r.measured.len(), 3);
+        let reopen = &r.measured[0];
+        assert_eq!(reopen.phase, "reopen");
+        // The tentpole claim: warm reopen costs zero backing metadata ops,
+        // and the eager path pays at least a 3x multiple.
+        assert_eq!(reopen.cached_ops, 0, "warm reopen should be free: {r:?}");
+        assert!(reopen.ops_reduction() >= 3.0, "reduction too small: {r:?}");
+        for m in &r.measured {
+            assert!(
+                m.cached_ops <= m.eager_ops,
+                "cache must never add ops: {m:?}"
+            );
+            assert!(m.eager_us > 0.0 && m.cached_us > 0.0);
+        }
+        assert_eq!(r.storm.len(), METADATA_STORM_PROCS.len());
+        for s in &r.storm {
+            assert!(
+                s.cached_secs < s.eager_secs,
+                "cached open must beat eager at {} procs: {s:?}",
+                s.procs
+            );
+        }
+        assert!(r.cache_hits > 0 && r.cache_hit_rate() > 0.5);
+        let txt = render_metadata(&r);
+        assert!(txt.contains("reopen") && txt.contains("Procs") && txt.contains("speedup"));
     }
 
     #[test]

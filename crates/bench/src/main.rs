@@ -9,6 +9,7 @@
 //! paperbench crossover           # where PLFS starts to hurt (future work)
 //! paperbench readpath [--quick]  # serial vs parallel container open/read
 //! paperbench writepath [--quick] # serial vs sharded/buffered writers
+//! paperbench metadata [--quick]  # per-open metadata ops + MDS-storm projection
 //! paperbench all [--quick]       # everything above
 //! paperbench ... --json PATH     # also dump JSON for EXPERIMENTS.md
 //! paperbench ... --emit-json DIR # figure data + per-layer op/latency trace
@@ -16,9 +17,10 @@
 
 use apps::nas_bt::BtClass;
 use bench::{
-    crossover, fig3, fig4, fig5_with, readpath_comparison, readpath_projection, render_panel,
-    render_readpath, render_readpath_projection, render_table2, render_writepath, table2,
-    writepath_comparison, Scale,
+    crossover, fig3, fig4, fig5_with, metadata_comparison, readpath_comparison,
+    readpath_projection, render_metadata, render_panel, render_readpath,
+    render_readpath_projection, render_table2, render_writepath, table2, writepath_comparison,
+    Scale,
 };
 use jsonlite::{ToJson, Value};
 use simfs::presets;
@@ -280,6 +282,19 @@ fn cmd_writepath(args: &Args) {
     trace_emit(args, "writepath", &rows);
 }
 
+fn cmd_metadata(args: &Args) {
+    println!("# Metadata fast path: per-open backing ops, eager vs cached\n");
+    trace_begin(args);
+    let report = metadata_comparison(scale(args.quick));
+    println!("## Measured (in-memory backing, this host) + MDS-storm projection\n");
+    println!("{}", render_metadata(&report));
+    println!(
+        "(storm rows replay the measured open+write+close profile for N\n          simultaneous processes through Sierra's dedicated-MDS model; the\n          speedup column is the projected time-to-open ratio)\n"
+    );
+    dump_json(&args.json, "metadata", &report);
+    trace_emit(args, "metadata", &report);
+}
+
 fn cmd_crossover(args: &Args) {
     println!("# PLFS benefit crossover (FLASH-IO, LDPLFS vs MPI-IO)\n");
     for (platform, label) in [
@@ -315,6 +330,7 @@ fn main() {
         "staging" => cmd_staging(&args),
         "readpath" => cmd_readpath(&args),
         "writepath" => cmd_writepath(&args),
+        "metadata" => cmd_metadata(&args),
         "all" => {
             cmd_table1();
             cmd_fig3(&args);
@@ -326,10 +342,11 @@ fn main() {
             cmd_staging(&args);
             cmd_readpath(&args);
             cmd_writepath(&args);
+            cmd_metadata(&args);
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|writepath|all] \
+                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|writepath|metadata|all] \
                  [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR] [--emit-json DIR]"
             );
         }

@@ -116,11 +116,19 @@ pub enum OpKind {
     AppendFastpath,
     /// stat/readdir/unlink/rename/…: everything else.
     Meta,
+    /// A container-metadata lookup answered from the metadata cache
+    /// (zero backing ops).
+    MetaCacheHit,
+    /// A container-metadata lookup that missed the cache and probed the
+    /// backing store.
+    MetaCacheMiss,
+    /// An `openhosts/` writer-marker create or unlink.
+    OpenMarker,
 }
 
 impl OpKind {
     /// Every op kind, in reporting order.
-    pub const ALL: [OpKind; 14] = [
+    pub const ALL: [OpKind; 17] = [
         OpKind::Open,
         OpKind::Close,
         OpKind::Read,
@@ -135,6 +143,9 @@ impl OpKind {
         OpKind::IndexPatch,
         OpKind::AppendFastpath,
         OpKind::Meta,
+        OpKind::MetaCacheHit,
+        OpKind::MetaCacheMiss,
+        OpKind::OpenMarker,
     ];
 
     /// Stable lower-case name (JSON field value).
@@ -154,12 +165,29 @@ impl OpKind {
             OpKind::IndexPatch => "index_patch",
             OpKind::AppendFastpath => "append_fastpath",
             OpKind::Meta => "meta",
+            OpKind::MetaCacheHit => "meta_cache_hit",
+            OpKind::MetaCacheMiss => "meta_cache_miss",
+            OpKind::OpenMarker => "open_marker",
         }
     }
 
     /// Parse [`OpKind::as_str`] output.
     pub fn from_str_opt(s: &str) -> Option<OpKind> {
         OpKind::ALL.into_iter().find(|o| o.as_str() == s)
+    }
+
+    /// Whether this op moves file data. Everything else — opens, probes,
+    /// markers, index maintenance — is metadata work, the half a
+    /// metadata-service sees.
+    pub fn is_data(self) -> bool {
+        matches!(
+            self,
+            OpKind::Read
+                | OpKind::Write
+                | OpKind::ReadFanout
+                | OpKind::DataBufferFlush
+                | OpKind::AppendFastpath
+        )
     }
 
     fn index(self) -> usize {
@@ -178,6 +206,9 @@ impl OpKind {
             OpKind::IndexPatch => 11,
             OpKind::AppendFastpath => 12,
             OpKind::Meta => 13,
+            OpKind::MetaCacheHit => 14,
+            OpKind::MetaCacheMiss => 15,
+            OpKind::OpenMarker => 16,
         }
     }
 }
@@ -1044,6 +1075,9 @@ mod tests {
         assert_eq!(OpKind::DataBufferFlush.as_str(), "data_buffer_flush");
         assert_eq!(OpKind::IndexPatch.as_str(), "index_patch");
         assert_eq!(OpKind::AppendFastpath.as_str(), "append_fastpath");
+        assert_eq!(OpKind::MetaCacheHit.as_str(), "meta_cache_hit");
+        assert_eq!(OpKind::MetaCacheMiss.as_str(), "meta_cache_miss");
+        assert_eq!(OpKind::OpenMarker.as_str(), "open_marker");
     }
 
     #[test]

@@ -79,7 +79,8 @@ pub fn from_plfsrc(
             .with_index_buffer_entries(spec.index_buffer_entries);
         let plfs = plfs_for_spec(spec, &mut backing_for)?
             .with_read_conf(rc.read_conf())
-            .with_write_conf(write_conf);
+            .with_write_conf(write_conf)
+            .with_meta_conf(rc.meta_conf());
         builder = builder.mount(spec.mount_point.clone(), plfs);
     }
     builder.build()
@@ -156,6 +157,17 @@ mod tests {
         assert!(!conf.incremental_refresh);
         // The per-mount index buffer depth survives the global write conf.
         assert_eq!(conf.index_buffer_entries, 99);
+    }
+
+    #[test]
+    fn from_plfsrc_plumbs_meta_conf() {
+        let rc = "meta_cache_entries 64\nmeta_cache_shards 2\nopen_markers lazy\n\
+                  mount_point /ckpt\nbackends /be\n";
+        let s = from_plfsrc(under("mconf"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        let conf = s.mounts()[0].plfs.meta_conf();
+        assert_eq!(conf.meta_cache_entries, 64);
+        assert_eq!(conf.meta_cache_shards, 2);
+        assert_eq!(conf.open_markers, plfs::OpenMarkers::Lazy);
     }
 
     #[test]

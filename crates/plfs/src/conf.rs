@@ -12,7 +12,10 @@
 //! after local writes instead of re-merged from every dropping. Both are
 //! plumbed from `plfsrc` (`mount::PlfsRc::{read_conf, write_conf}`) through
 //! [`crate::api::Plfs`] and [`crate::fd::PlfsFd`], so the LDPLFS shim and
-//! direct API users share one configuration surface.
+//! direct API users share one configuration surface. [`MetaConf`] is the
+//! metadata-path third: the container metadata cache's capacity and shard
+//! count, plus the [`OpenMarkers`] policy deciding how writers announce
+//! themselves in `openhosts/`.
 
 /// Tuning knobs for the container read path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +170,100 @@ impl WriteConf {
     }
 }
 
+/// When a writer announces itself in `openhosts/` — the paper's per-open
+/// metadata burst lives here, so the marker policy is a knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenMarkers {
+    /// One `openhosts/` marker per writing pid, created on first write and
+    /// unlinked at close. This is classic PLFS behaviour: `open_writers`
+    /// from any process sees every rank.
+    #[default]
+    Eager,
+    /// One `openhosts/` marker per *fd*: the first writing pid creates it,
+    /// the last closer removes it. Cross-process visibility ("is anyone
+    /// writing?") is preserved at 1 create + 1 unlink per open instead of
+    /// 2 metadata ops per rank.
+    Lazy,
+    /// No backing markers at all; writer counts are tracked in-process
+    /// only. Cheapest, but another process's `open_writers` reads 0.
+    Off,
+}
+
+impl OpenMarkers {
+    /// Parse the plfsrc spelling (`eager` | `lazy` | `off`).
+    pub fn parse(s: &str) -> Option<OpenMarkers> {
+        match s {
+            "eager" => Some(OpenMarkers::Eager),
+            "lazy" => Some(OpenMarkers::Lazy),
+            "off" => Some(OpenMarkers::Off),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs for the container metadata path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaConf {
+    /// Approximate capacity of the container metadata cache, in entries
+    /// (0 disables caching: every lookup probes the backing store).
+    pub meta_cache_entries: usize,
+    /// Number of lock shards the metadata cache is split over (rounded up
+    /// to a power of two).
+    pub meta_cache_shards: usize,
+    /// When writers announce themselves in `openhosts/`.
+    pub open_markers: OpenMarkers,
+}
+
+/// Default metadata-cache capacity in entries.
+pub const DEFAULT_META_CACHE_ENTRIES: usize = 4096;
+/// Default metadata-cache shard count.
+pub const DEFAULT_META_CACHE_SHARDS: usize = 16;
+
+impl Default for MetaConf {
+    fn default() -> MetaConf {
+        MetaConf {
+            meta_cache_entries: DEFAULT_META_CACHE_ENTRIES,
+            meta_cache_shards: DEFAULT_META_CACHE_SHARDS,
+            open_markers: OpenMarkers::Eager,
+        }
+    }
+}
+
+impl MetaConf {
+    /// The uncached configuration: no metadata cache, eager per-pid open
+    /// markers. This is the pre-cache behaviour and the property-test
+    /// reference path.
+    pub fn serial() -> MetaConf {
+        MetaConf {
+            meta_cache_entries: 0,
+            ..MetaConf::default()
+        }
+    }
+
+    /// Is the metadata cache enabled at all?
+    pub fn cache_enabled(&self) -> bool {
+        self.meta_cache_entries > 0
+    }
+
+    /// Builder-style: set the cache capacity in entries (0 = off).
+    pub fn with_meta_cache_entries(mut self, entries: usize) -> MetaConf {
+        self.meta_cache_entries = entries;
+        self
+    }
+
+    /// Builder-style: set the cache shard count (min 1).
+    pub fn with_meta_cache_shards(mut self, shards: usize) -> MetaConf {
+        self.meta_cache_shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style: set the open-marker policy.
+    pub fn with_open_markers(mut self, policy: OpenMarkers) -> MetaConf {
+        self.open_markers = policy;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +312,41 @@ mod tests {
         assert_eq!(c.write_shards, 1);
         assert_eq!(c.data_buffer_bytes, 0);
         assert!(!c.incremental_refresh);
+    }
+
+    #[test]
+    fn meta_serial_disables_cache_and_keeps_eager_markers() {
+        let c = MetaConf::serial();
+        assert_eq!(c.meta_cache_entries, 0);
+        assert!(!c.cache_enabled());
+        assert_eq!(c.open_markers, OpenMarkers::Eager);
+    }
+
+    #[test]
+    fn meta_default_caches() {
+        let c = MetaConf::default();
+        assert!(c.cache_enabled());
+        assert_eq!(c.meta_cache_entries, DEFAULT_META_CACHE_ENTRIES);
+        assert_eq!(c.meta_cache_shards, DEFAULT_META_CACHE_SHARDS);
+    }
+
+    #[test]
+    fn meta_builders_clamp_shards_but_allow_zero_entries() {
+        let c = MetaConf::default()
+            .with_meta_cache_shards(0)
+            .with_meta_cache_entries(0)
+            .with_open_markers(OpenMarkers::Lazy);
+        assert_eq!(c.meta_cache_shards, 1);
+        assert!(!c.cache_enabled());
+        assert_eq!(c.open_markers, OpenMarkers::Lazy);
+    }
+
+    #[test]
+    fn open_markers_parse_plfsrc_spellings() {
+        assert_eq!(OpenMarkers::parse("eager"), Some(OpenMarkers::Eager));
+        assert_eq!(OpenMarkers::parse("lazy"), Some(OpenMarkers::Lazy));
+        assert_eq!(OpenMarkers::parse("off"), Some(OpenMarkers::Off));
+        assert_eq!(OpenMarkers::parse("sometimes"), None);
     }
 
     #[test]

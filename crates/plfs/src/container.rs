@@ -176,18 +176,23 @@ fn decode_params(data: &[u8]) -> Result<ContainerParams> {
 
 /// Create a container directory at `path`. Hostdirs are created lazily by
 /// writers; only the skeleton (access file, openhosts, meta) is made here.
+///
+/// Returns the parameters the container now has: the ones just written on a
+/// fresh create, or the ones read back from the access file when the
+/// container already existed — so callers never re-read what they just
+/// wrote.
 pub fn create_container(
     b: &dyn Backing,
     path: &str,
     params: &ContainerParams,
     excl: bool,
-) -> Result<()> {
+) -> Result<ContainerParams> {
     if b.exists(path) {
         if excl {
             return Err(Error::Exists(path.to_string()));
         }
         if is_container(b, path) {
-            return Ok(());
+            return read_params(b, path);
         }
         return Err(Error::Exists(path.to_string()));
     }
@@ -196,7 +201,7 @@ pub fn create_container(
     b.mkdir(&join(path, META_DIR))?;
     let access = b.create(&join(path, ACCESS_FILE), true)?;
     access.pwrite(&encode_params(params), 0)?;
-    Ok(())
+    Ok(*params)
 }
 
 /// Read back the parameters a container was created with.
@@ -422,6 +427,25 @@ mod tests {
         assert!(b.exists("/f/.plfsaccess"));
         assert!(b.exists("/f/openhosts"));
         assert!(b.exists("/f/meta"));
+    }
+
+    #[test]
+    fn create_returns_params_without_reread() {
+        let b = mem();
+        let p = ContainerParams {
+            num_hostdirs: 5,
+            mode: LayoutMode::Both,
+        };
+        let got = create_container(&b, "/f", &p, true).unwrap();
+        assert_eq!(got.num_hostdirs, 5);
+        // Reopening an existing container hands back the *stored* params,
+        // not the caller's defaults.
+        let other = ContainerParams {
+            num_hostdirs: 9,
+            mode: LayoutMode::Both,
+        };
+        let got = create_container(&b, "/f", &other, false).unwrap();
+        assert_eq!(got.num_hostdirs, 5);
     }
 
     #[test]

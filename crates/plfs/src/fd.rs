@@ -24,15 +24,16 @@
 //! to the same container concurrently is not serialized against this one.
 
 use crate::backing::Backing;
-use crate::conf::{ReadConf, WriteConf};
+use crate::conf::{MetaConf, OpenMarkers, ReadConf, WriteConf};
 use crate::container::{self, ContainerParams, DroppingRef};
 use crate::error::{Error, Result};
 use crate::flags::OpenFlags;
 use crate::index::IndexEntry;
+use crate::meta::MetaCache;
 use crate::reader::ReadFile;
 use crate::writer::WriteFile;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -51,6 +52,19 @@ pub struct PlfsFd {
     flags: OpenFlags,
     write_conf: WriteConf,
     read_conf: ReadConf,
+    meta_conf: MetaConf,
+    /// Process-wide container metadata cache, shared with the owning
+    /// [`crate::api::Plfs`] (absent for directly constructed fds and when
+    /// caching is off). The fd keeps its writer counts and fast-stat
+    /// verdicts honest as writers come and go.
+    cache: Option<Arc<MetaCache>>,
+    /// Hostdir ids already known to exist — `ensure_hostdir` runs once per
+    /// (container, hostdir) instead of once per writer open. Cleared by
+    /// [`PlfsFd::reset_writers`], since truncate removes hostdir trees.
+    hostdirs_ready: Mutex<HashSet<u32>>,
+    /// Under [`OpenMarkers::Lazy`]: the pid whose `openhosts/` marker
+    /// stands for every writer on this fd (`None` = no marker yet).
+    lazy_marker: Mutex<Option<u64>>,
     /// Per-pid write streams behind id-hashed lock shards: pids are dense
     /// (MPI ranks), so masking spreads them evenly.
     shards: Box<[WriterShard]>,
@@ -87,6 +101,10 @@ impl PlfsFd {
             flags,
             write_conf,
             read_conf: ReadConf::default(),
+            meta_conf: MetaConf::default(),
+            cache: None,
+            hostdirs_ready: Mutex::new(HashSet::new()),
+            lazy_marker: Mutex::new(None),
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             shard_mask: n - 1,
             refs: Mutex::new(refs),
@@ -121,9 +139,26 @@ impl PlfsFd {
         self
     }
 
+    /// Set the metadata-path configuration (builder style, pre-Arc).
+    pub fn with_meta_conf(mut self, conf: MetaConf) -> PlfsFd {
+        self.meta_conf = conf;
+        self
+    }
+
+    /// Attach the process-wide metadata cache this fd keeps current.
+    pub(crate) fn with_meta_cache(mut self, cache: Arc<MetaCache>) -> PlfsFd {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The read-path configuration readers built from this fd use.
     pub fn read_conf(&self) -> &ReadConf {
         &self.read_conf
+    }
+
+    /// The metadata-path configuration this fd runs under.
+    pub fn meta_conf(&self) -> &MetaConf {
+        &self.meta_conf
     }
 
     /// The write-path configuration writers opened by this fd use.
@@ -211,14 +246,15 @@ impl PlfsFd {
         pid: u64,
     ) -> Result<usize> {
         if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(pid) {
-            let w = WriteFile::open_with(
+            self.ensure_hostdir_once(pid)?;
+            let w = WriteFile::open_prepared(
                 self.backing.as_ref(),
                 &self.container,
                 &self.params,
                 pid,
                 &self.write_conf,
             )?;
-            container::mark_open(self.backing.as_ref(), &self.container, pid)?;
+            self.note_writer_open(pid)?;
             e.insert(w);
         }
         let n = shard.get_mut(&pid).unwrap().write(buf, offset)?;
@@ -226,6 +262,91 @@ impl PlfsFd {
         self.eof.fetch_max(offset + n as u64, Ordering::Relaxed);
         self.dirty.store(true, Ordering::Relaxed); // relaxed: flag only schedules a reader refresh; index data is published by the shard lock release
         Ok(n)
+    }
+
+    /// Run `ensure_hostdir` for `pid`'s hostdir at most once per fd: after
+    /// the first writer lands there, the exists/mkdir probe is pure
+    /// metadata overhead on every later writer open.
+    fn ensure_hostdir_once(&self, pid: u64) -> Result<()> {
+        let hd = match self.params.mode {
+            container::LayoutMode::LogStructured => 0,
+            _ => container::hostdir_for_pid(pid, self.params.num_hostdirs),
+        };
+        if self.hostdirs_ready.lock().contains(&hd) {
+            return Ok(());
+        }
+        container::ensure_hostdir(self.backing.as_ref(), &self.container, &self.params, pid)?;
+        self.hostdirs_ready.lock().insert(hd);
+        Ok(())
+    }
+
+    /// Record a new writer: bump the cached writer count and place the
+    /// `openhosts/` marker the configured policy calls for.
+    fn note_writer_open(&self, pid: u64) -> Result<()> {
+        if let Some(c) = &self.cache {
+            c.writer_inc(&self.container);
+        }
+        match self.meta_conf.open_markers {
+            OpenMarkers::Eager => {
+                let t0 = iotrace::global().start();
+                container::mark_open(self.backing.as_ref(), &self.container, pid)?;
+                self.trace_marker(t0);
+            }
+            OpenMarkers::Lazy => {
+                let mut lm = self.lazy_marker.lock();
+                if lm.is_none() {
+                    let t0 = iotrace::global().start();
+                    container::mark_open(
+                        // plfs-lint: allow(lock-across-io, "intentional: the lazy marker must be created exactly once per fd; the Option is the latch and racing writers would each pay a marker create")
+                        self.backing.as_ref(),
+                        &self.container,
+                        pid,
+                    )?;
+                    self.trace_marker(t0);
+                    *lm = Some(pid);
+                }
+            }
+            OpenMarkers::Off => {}
+        }
+        Ok(())
+    }
+
+    /// Record a departing writer: drop the cached writer count and remove
+    /// the `openhosts/` marker when the policy says this writer (or, for
+    /// lazy markers, the last writer) owned one.
+    fn note_writer_close(&self, pid: u64) -> Result<()> {
+        if let Some(c) = &self.cache {
+            c.writer_dec(&self.container);
+        }
+        match self.meta_conf.open_markers {
+            OpenMarkers::Eager => {
+                let t0 = iotrace::global().start();
+                container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
+                self.trace_marker(t0);
+            }
+            OpenMarkers::Lazy => {
+                if self.shards.iter().all(|s| s.lock().is_empty()) {
+                    let marker = self.lazy_marker.lock().take();
+                    if let Some(mp) = marker {
+                        let t0 = iotrace::global().start();
+                        container::mark_closed(self.backing.as_ref(), &self.container, mp)?;
+                        self.trace_marker(t0);
+                    }
+                }
+            }
+            OpenMarkers::Off => {}
+        }
+        Ok(())
+    }
+
+    fn trace_marker(&self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            iotrace::global().record(
+                t0,
+                iotrace::OpEvent::new(iotrace::Layer::Plfs, iotrace::OpKind::OpenMarker)
+                    .path(&self.container),
+            );
+        }
     }
 
     /// Read into `buf` from `offset`. Reads observe this process's writes:
@@ -417,10 +538,22 @@ impl PlfsFd {
             let writers = std::mem::take(&mut *shard.lock());
             for (pid, mut w) in writers {
                 w.sync()?;
-                // plfs-lint: allow(lock-across-io, "intentional quiesce: truncate holds the reader lock while tearing down writers so no refresh observes a half-reset fd")
-                container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
+                if let Some(c) = &self.cache {
+                    c.writer_dec(&self.container);
+                }
+                if self.meta_conf.open_markers == OpenMarkers::Eager {
+                    // plfs-lint: allow(lock-across-io, "intentional quiesce: truncate holds the reader lock while tearing down writers so no refresh observes a half-reset fd")
+                    container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
+                }
             }
         }
+        let marker = self.lazy_marker.lock().take();
+        if let Some(mp) = marker {
+            // plfs-lint: allow(lock-across-io, "intentional quiesce: same truncate teardown section as the per-pid markers above")
+            container::mark_closed(self.backing.as_ref(), &self.container, mp)?;
+        }
+        // Truncate removes hostdir trees: forget what existed.
+        self.hostdirs_ready.lock().clear();
         self.orphans.lock().clear();
         *guard = None;
         // relaxed: truncate path: callers quiesced all writers via reset_writers' shard locks
@@ -463,7 +596,12 @@ impl PlfsFd {
                     pid,
                 )?;
                 // plfs-lint: allow(lock-across-io, "intentional: same close-path teardown section as drop_meta above")
-                container::mark_closed(self.backing.as_ref(), &self.container, pid)?;
+                self.note_writer_close(pid)?;
+                if let Some(c) = &self.cache {
+                    // The meta drop just changed the fast-stat answer;
+                    // keep the exists/container verdicts.
+                    c.clear_meta(&self.container);
+                }
             }
         }
         Ok(refs.values().sum())
@@ -492,6 +630,24 @@ mod tests {
             conf,
             100,
         ));
+        (b, fd)
+    }
+
+    fn open_fd_markers(markers: OpenMarkers) -> (Arc<dyn Backing>, Arc<PlfsFd>) {
+        let b: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let params = ContainerParams::default();
+        create_container(b.as_ref(), "/f", &params, true).unwrap();
+        let fd = Arc::new(
+            PlfsFd::new(
+                b.clone(),
+                "/f".to_string(),
+                params,
+                OpenFlags::RDWR,
+                WriteConf::default().with_index_buffer_entries(64),
+                100,
+            )
+            .with_meta_conf(MetaConf::default().with_open_markers(markers)),
+        );
         (b, fd)
     }
 
@@ -702,6 +858,69 @@ mod tests {
         for i in 0..32usize {
             assert!(buf[i * 16..(i + 1) * 16].iter().all(|&x| x == i as u8 + 1));
         }
+    }
+
+    #[test]
+    fn lazy_markers_cost_one_marker_for_many_writers() {
+        let (b, fd) = open_fd_markers(OpenMarkers::Lazy);
+        fd.add_ref(200);
+        fd.add_ref(300);
+        fd.write(b"a", 0, 100).unwrap();
+        fd.write(b"b", 1, 200).unwrap();
+        fd.write(b"c", 2, 300).unwrap();
+        // Three writers, one shared marker.
+        assert_eq!(container::open_writers(b.as_ref(), "/f").unwrap(), 1);
+        fd.close(100).unwrap();
+        fd.close(200).unwrap();
+        assert_eq!(
+            container::open_writers(b.as_ref(), "/f").unwrap(),
+            1,
+            "marker stays while writers remain"
+        );
+        fd.close(300).unwrap();
+        assert_eq!(container::open_writers(b.as_ref(), "/f").unwrap(), 0);
+    }
+
+    #[test]
+    fn off_markers_leave_openhosts_empty() {
+        let (b, fd) = open_fd_markers(OpenMarkers::Off);
+        fd.write(b"a", 0, 100).unwrap();
+        assert_eq!(container::open_writers(b.as_ref(), "/f").unwrap(), 0);
+        fd.close(100).unwrap();
+        assert_eq!(container::open_writers(b.as_ref(), "/f").unwrap(), 0);
+    }
+
+    #[test]
+    fn hostdir_probe_runs_once_per_hostdir() {
+        use crate::meter::MeterBacking;
+        let inner: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let params = ContainerParams {
+            num_hostdirs: 1, // every pid maps to hostdir.0
+            mode: container::LayoutMode::Both,
+        };
+        create_container(inner.as_ref(), "/f", &params, true).unwrap();
+        let meter = Arc::new(MeterBacking::new(inner));
+        let fd = PlfsFd::new(
+            meter.clone(),
+            "/f".to_string(),
+            params,
+            OpenFlags::RDWR,
+            WriteConf::default(),
+            1,
+        );
+        fd.write(b"a", 0, 1).unwrap();
+        let before = meter.snapshot();
+        for pid in 2..10u64 {
+            fd.add_ref(pid);
+            fd.write(b"x", pid, pid).unwrap();
+        }
+        let d = meter.snapshot().delta(&before);
+        assert_eq!(d.mkdir, 0, "hostdir.0 already existed");
+        assert_eq!(
+            d.exists + d.stat,
+            0,
+            "memoized: no repeat hostdir probes, got {d:?}"
+        );
     }
 
     #[test]

@@ -41,6 +41,8 @@
 //! * [`flatten`] — extracting raw data from containers.
 //! * [`check`] — container integrity checking and repair.
 //! * [`faults`] — failure injection for error-path testing.
+//! * [`meta`] — the container metadata cache (the metadata fast path).
+//! * [`meter`] — a counting backing decorator for op-cost measurement.
 
 #![warn(missing_docs)]
 
@@ -55,6 +57,8 @@ pub mod fd;
 pub mod flags;
 pub mod flatten;
 pub mod index;
+pub mod meta;
+pub mod meter;
 pub mod mount;
 pub mod reader;
 pub mod writer;
@@ -62,13 +66,15 @@ pub mod writer;
 pub use api::{Dirent, Plfs, Stat};
 pub use backing::{BackStat, Backing, BackingFile, MemBacking, RealBacking};
 pub use check::{check, repair, CheckReport, Finding, RepairReport, Severity};
-pub use conf::{ReadConf, WriteConf};
+pub use conf::{MetaConf, OpenMarkers, ReadConf, WriteConf};
 pub use container::{ContainerParams, LayoutMode};
 pub use error::{Error, Result};
 pub use faults::{FaultKind, FaultOp, FaultRule, Faulty};
 pub use fd::PlfsFd;
 pub use flags::OpenFlags;
 pub use index::{ChunkSlice, GlobalIndex, IndexEntry};
+pub use meta::{MetaCache, MetaEntry};
+pub use meter::{MeterBacking, MeterSnapshot};
 pub use mount::{MountSpec, PlfsRc, SpreadBacking};
 pub use reader::ReadFile;
 pub use writer::WriteFile;

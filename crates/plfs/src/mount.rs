@@ -20,8 +20,9 @@
 
 use crate::backing::{BackStat, Backing, BackingFile};
 use crate::conf::{
-    ReadConf, WriteConf, DEFAULT_DATA_BUFFER_BYTES, DEFAULT_FANOUT_THRESHOLD,
-    DEFAULT_HANDLE_SHARDS, DEFAULT_WRITE_SHARDS,
+    MetaConf, OpenMarkers, ReadConf, WriteConf, DEFAULT_DATA_BUFFER_BYTES,
+    DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS, DEFAULT_META_CACHE_ENTRIES,
+    DEFAULT_META_CACHE_SHARDS, DEFAULT_WRITE_SHARDS,
 };
 use crate::container::{ContainerParams, LayoutMode, HOSTDIR_PREFIX};
 use crate::error::{Error, Result};
@@ -75,6 +76,14 @@ pub struct PlfsRc {
     /// Patch cached merged indices with local writes instead of re-merging
     /// (`incremental_refresh` key, `true`/`false`/`1`/`0`).
     pub incremental_refresh: bool,
+    /// Container metadata cache capacity in entries (`meta_cache_entries`
+    /// key; 0 disables the cache).
+    pub meta_cache_entries: usize,
+    /// Metadata cache lock-shard count (`meta_cache_shards` key).
+    pub meta_cache_shards: usize,
+    /// `openhosts/` marker policy (`open_markers` key: `eager`, `lazy`, or
+    /// `off`).
+    pub open_markers: OpenMarkers,
 }
 
 impl PlfsRc {
@@ -89,6 +98,9 @@ impl PlfsRc {
             write_shards: DEFAULT_WRITE_SHARDS,
             data_buffer_bytes: DEFAULT_DATA_BUFFER_BYTES,
             incremental_refresh: true,
+            meta_cache_entries: DEFAULT_META_CACHE_ENTRIES,
+            meta_cache_shards: DEFAULT_META_CACHE_SHARDS,
+            open_markers: OpenMarkers::default(),
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -130,19 +142,31 @@ impl PlfsRc {
                     rc.data_buffer_bytes = parse_num(value, lineno)?
                         .checked_mul(1 << 20)
                         .and_then(|b| usize::try_from(b).ok())
-                        .ok_or(Error::InvalidArg("data_buffer_mbs out of range"))?;
+                        .ok_or_else(|| config_error("data_buffer_mbs out of range", lineno))?;
                 }
                 "incremental_refresh" => {
                     rc.incremental_refresh = match value {
                         "true" | "1" | "yes" | "on" => true,
                         "false" | "0" | "no" | "off" => false,
-                        _ => return Err(Error::InvalidArg("bad boolean value in plfsrc")),
+                        _ => return Err(config_error("bad boolean value in plfsrc", lineno)),
                     };
+                }
+                "meta_cache_entries" => {
+                    rc.meta_cache_entries = parse_num(value, lineno)? as usize;
+                }
+                "meta_cache_shards" => {
+                    rc.meta_cache_shards = parse_num(value, lineno)? as usize;
+                }
+                "open_markers" => {
+                    rc.open_markers = OpenMarkers::parse(value).ok_or_else(|| {
+                        config_error("unknown open_markers policy in plfsrc", lineno)
+                    })?;
                 }
                 _ => {
                     let Some(m) = rc.mounts.last_mut() else {
-                        return Err(Error::InvalidArg(
+                        return Err(config_error(
                             "plfsrc key appears before any mount_point",
+                            lineno,
                         ));
                     };
                     match key {
@@ -157,7 +181,7 @@ impl PlfsRc {
                             // Checked: `as u32` would truncate 2^32+1 to a
                             // silently-accepted 1.
                             m.params.num_hostdirs = u32::try_from(parse_num(value, lineno)?)
-                                .map_err(|_| Error::InvalidArg("num_hostdirs out of range"))?;
+                                .map_err(|_| config_error("num_hostdirs out of range", lineno))?;
                         }
                         "index_buffer_entries" => {
                             m.index_buffer_entries = parse_num(value, lineno)? as usize;
@@ -169,7 +193,7 @@ impl PlfsRc {
                                     LayoutMode::PartitionedOnly
                                 }
                                 "log" => LayoutMode::LogStructured,
-                                _ => return Err(Error::InvalidArg("unknown workload mode")),
+                                _ => return Err(config_error("unknown workload mode", lineno)),
                             };
                         }
                         // Accept-and-ignore keys the real plfsrc has.
@@ -210,6 +234,15 @@ impl PlfsRc {
             .with_incremental_refresh(self.incremental_refresh)
     }
 
+    /// The metadata fast-path configuration these global knobs describe,
+    /// ready to hand to [`crate::api::Plfs::with_meta_conf`].
+    pub fn meta_conf(&self) -> MetaConf {
+        MetaConf::default()
+            .with_meta_cache_entries(self.meta_cache_entries)
+            .with_meta_cache_shards(self.meta_cache_shards)
+            .with_open_markers(self.open_markers)
+    }
+
     /// Find the mount whose mount point prefixes `path` (longest match).
     pub fn mount_for(&self, path: &str) -> Option<&MountSpec> {
         self.mounts
@@ -219,13 +252,23 @@ impl PlfsRc {
     }
 }
 
-fn parse_num(v: &str, _lineno: usize) -> Result<u64> {
+fn parse_num(v: &str, lineno: usize) -> Result<u64> {
     v.parse()
-        .map_err(|_| Error::InvalidArg("bad numeric value in plfsrc"))
+        .map_err(|_| config_error("bad numeric value in plfsrc", lineno))
 }
 
-fn annotate_line(e: Error, _lineno: usize) -> Error {
-    e
+/// A malformed-plfsrc error naming the offending (1-based) line, so a bad
+/// knob in a 300-line site config is findable. Stays EINVAL like every
+/// other config error.
+fn config_error(msg: &str, lineno: usize) -> Error {
+    Error::Config(format!("{msg}, line {}", lineno + 1))
+}
+
+fn annotate_line(e: Error, lineno: usize) -> Error {
+    match e {
+        Error::InvalidArg(m) => config_error(m, lineno),
+        other => other,
+    }
 }
 
 /// True if `path` is `prefix` or lives underneath it.
@@ -438,6 +481,54 @@ mod tests {
         assert!(conf.incremental_refresh);
         // Bad booleans are rejected.
         assert!(PlfsRc::parse("incremental_refresh maybe\n").is_err());
+    }
+
+    #[test]
+    fn parse_meta_knobs_into_meta_conf() {
+        let rc = PlfsRc::parse(
+            "meta_cache_entries 128\n\
+             meta_cache_shards 2\n\
+             open_markers lazy\n\
+             mount_point /p\n\
+             backends /b\n",
+        )
+        .unwrap();
+        let conf = rc.meta_conf();
+        assert_eq!(conf.meta_cache_entries, 128);
+        assert_eq!(conf.meta_cache_shards, 2);
+        assert_eq!(conf.open_markers, OpenMarkers::Lazy);
+        // Defaults when the keys are absent.
+        let rc = PlfsRc::parse("mount_point /p\nbackends /b\n").unwrap();
+        let conf = rc.meta_conf();
+        assert_eq!(conf.meta_cache_entries, DEFAULT_META_CACHE_ENTRIES);
+        assert_eq!(conf.open_markers, OpenMarkers::Eager);
+        assert!(conf.cache_enabled());
+        // The cache can be turned off from the file.
+        let rc = PlfsRc::parse("meta_cache_entries 0\nmount_point /p\nbackends /b\n").unwrap();
+        assert!(!rc.meta_conf().cache_enabled());
+        // Bad marker policies are rejected.
+        assert!(PlfsRc::parse("open_markers sometimes\n").is_err());
+    }
+
+    #[test]
+    fn errors_report_plfsrc_line_number() {
+        // The bad number sits on (1-based) line 3.
+        let err = PlfsRc::parse("# header\nmount_point /p\nnum_hostdirs pony\nbackends /b\n")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "error must name the line: {msg}");
+        assert_eq!(err.errno(), 22, "malformed plfsrc stays EINVAL");
+        // Every in-loop error site carries its line.
+        let err = PlfsRc::parse("open_markers never\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = PlfsRc::parse("mount_point /p\nbackends /b\nworkload strange\n").unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let err = PlfsRc::parse("threadpool_size\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = PlfsRc::parse("backends /b\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = PlfsRc::parse("mount_point /p\nincremental_refresh maybe\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

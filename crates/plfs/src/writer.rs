@@ -89,6 +89,20 @@ impl WriteFile {
         conf: &WriteConf,
     ) -> Result<WriteFile> {
         container::ensure_hostdir(b, container, params, pid)?;
+        WriteFile::open_prepared(b, container, params, pid, conf)
+    }
+
+    /// Like [`WriteFile::open_with`], but trusting the caller that the
+    /// pid's hostdir already exists — `PlfsFd` memoizes `ensure_hostdir`
+    /// per (container, hostdir), so repeat writers skip the exists/mkdir
+    /// probe entirely.
+    pub(crate) fn open_prepared(
+        b: &dyn Backing,
+        container: &str,
+        params: &ContainerParams,
+        pid: u64,
+        conf: &WriteConf,
+    ) -> Result<WriteFile> {
         let (data, index, data_path) = match params.mode {
             LayoutMode::LogStructured => {
                 // All pids share dropping pair 0; first creator wins, the

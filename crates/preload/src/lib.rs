@@ -182,6 +182,23 @@ fn init_shim() -> Option<Shim> {
                 });
             }
         }
+        // Metadata fast-path knobs, mirroring the plfsrc keys:
+        // LDPLFS_META_CACHE=0 disables the container metadata cache (any
+        // other number sizes it), LDPLFS_OPEN_MARKERS=eager|lazy|off picks
+        // the openhosts/ marker policy. Unparsable values keep defaults —
+        // the shim must never refuse to start over a tuning knob.
+        let mut meta_conf = plfs::MetaConf::default();
+        if let Ok(n) = std::env::var("LDPLFS_META_CACHE") {
+            if let Ok(n) = n.parse::<usize>() {
+                meta_conf = meta_conf.with_meta_cache_entries(n);
+            }
+        }
+        if let Ok(m) = std::env::var("LDPLFS_OPEN_MARKERS") {
+            if let Some(m) = plfs::OpenMarkers::parse(&m) {
+                meta_conf = meta_conf.with_open_markers(m);
+            }
+        }
+        plfs = plfs.with_meta_conf(meta_conf);
         Some(Shim {
             mount,
             plfs,

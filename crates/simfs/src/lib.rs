@@ -28,6 +28,7 @@ pub mod config;
 pub mod fs;
 pub mod locks;
 pub mod mds;
+pub mod mdstorm;
 pub mod presets;
 pub mod queue;
 pub mod readpath;
@@ -36,5 +37,6 @@ pub mod trace;
 pub use config::{CacheConfig, ClusterConfig, FsConfig, LockConfig, MdsConfig, Platform};
 pub use fs::{FileId, FsStats, SimError, SimFs, SimResult};
 pub use mds::{MetaOp, MetadataService};
+pub use mdstorm::{create_storm, storm_sweep, OpenProfile, StormOutcome};
 pub use queue::{MultiQueue, SingleQueue};
 pub use trace::{Trace, TraceKind, TraceRecord};

@@ -336,6 +336,37 @@ pub fn trace_summary(jsonl: &str) -> ToolResult {
             m.percentile_ns(0.99),
         );
     }
+    // Metadata-vs-data breakout: how much of the trace is the half a
+    // metadata service would see, and how well the container cache
+    // absorbed it.
+    let data_ops: u64 = recs.iter().filter(|(r, _)| r.op.is_data()).count() as u64;
+    let meta_ops = recs.len() as u64 - data_ops;
+    let cache_hits = recs
+        .iter()
+        .filter(|(r, _)| r.op == iotrace::OpKind::MetaCacheHit)
+        .count() as u64;
+    let cache_misses = recs
+        .iter()
+        .filter(|(r, _)| r.op == iotrace::OpKind::MetaCacheMiss)
+        .count() as u64;
+    let pct = |n: u64| 100.0 * n as f64 / (recs.len() as f64).max(1.0);
+    let _ = writeln!(
+        out,
+        "metadata ops {} ({:.1}%), data ops {} ({:.1}%)",
+        meta_ops,
+        pct(meta_ops),
+        data_ops,
+        pct(data_ops)
+    );
+    if cache_hits + cache_misses > 0 {
+        let _ = writeln!(
+            out,
+            "meta-cache: {} hits, {} misses ({:.1}% hit rate)",
+            cache_hits,
+            cache_misses,
+            100.0 * cache_hits as f64 / (cache_hits + cache_misses) as f64
+        );
+    }
     let _ = writeln!(out, "{} records total", recs.len());
     Ok(out)
 }
@@ -430,6 +461,31 @@ fn gate_metrics(doc: &jsonlite::Value) -> Result<Vec<(String, f64, bool)>, ToolE
                     row.get("refresh_speedup").and_then(|v| v.as_f64()),
                 ) {
                     out.push((format!("refresh_speedup[{w} writers]"), s, true));
+                }
+            }
+        }
+        "metadata" => {
+            // Op-count ratios and storm speedups are pure algorithm/model
+            // quantities — identical on any runner. The microsecond
+            // latencies are not gated.
+            for row in data
+                .get("measured")
+                .and_then(|m| m.as_array())
+                .unwrap_or(&[])
+            {
+                if let (Some(phase), Some(r)) = (
+                    row.get("phase").and_then(|v| v.as_str()),
+                    row.get("ops_reduction").and_then(|v| v.as_f64()),
+                ) {
+                    out.push((format!("ops_reduction[{phase}]"), r, true));
+                }
+            }
+            for row in data.get("storm").and_then(|m| m.as_array()).unwrap_or(&[]) {
+                if let (Some(p), Some(s)) = (
+                    row.get("procs").and_then(|v| v.as_u64()),
+                    row.get("speedup").and_then(|v| v.as_f64()),
+                ) {
+                    out.push((format!("storm_speedup[{p} procs]"), s, true));
                 }
             }
         }
@@ -731,6 +787,71 @@ mod tests {
             assert!(out.contains(name), "summary lost {name}: {out}");
         }
         assert!(out.contains("3 records total"), "{out}");
+    }
+
+    #[test]
+    fn trace_summary_breaks_out_metadata_and_cache_rate() {
+        use iotrace::{Layer, OpKind, TraceRecord, NO_NODE, NO_PATH};
+        let jsonl = [
+            (OpKind::Write, false),
+            (OpKind::MetaCacheHit, true),
+            (OpKind::MetaCacheHit, true),
+            (OpKind::MetaCacheMiss, false),
+        ]
+        .iter()
+        .map(|&(op, hit)| {
+            let r = TraceRecord {
+                layer: Layer::Plfs,
+                op,
+                path_id: NO_PATH,
+                node: NO_NODE,
+                fd: -1,
+                offset: 0,
+                bytes: 0,
+                start_ns: 0,
+                latency_ns: 50,
+                hit,
+            };
+            iotrace::record_to_json(&r, Some("/m/f")).to_json()
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+        let out = trace_summary(&jsonl).unwrap();
+        assert!(
+            out.contains("metadata ops 3 (75.0%), data ops 1 (25.0%)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("meta-cache: 2 hits, 1 misses (66.7% hit rate)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn benchgate_metadata_gates_ratios() {
+        let doc = |reduction: f64, speedup: f64| {
+            format!(
+                "{{\"figure\":\"metadata\",\"data\":{{\
+                 \"measured\":[{{\"phase\":\"reopen\",\"eager_us\":1.5,\
+                 \"ops_reduction\":{reduction}}}],\
+                 \"storm\":[{{\"procs\":1024,\"speedup\":{speedup}}}]}},\
+                 \"trace\":{{}}}}"
+            )
+        };
+        let out = benchcheck(&doc(4.0, 2.0), "BENCH_metadata.json").unwrap();
+        assert!(out.contains("2 gated metric"), "{out}");
+        // Ratios within threshold pass; a collapsed ops_reduction fails.
+        assert!(benchgate(&doc(4.0, 2.0), &doc(3.5, 1.9), 0.30).is_ok());
+        let err = benchgate(&doc(4.0, 2.0), &doc(1.0, 1.9), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("ops_reduction[reopen]")),
+            "{err:?}"
+        );
+        let err = benchgate(&doc(4.0, 2.0), &doc(4.0, 1.0), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("storm_speedup[1024 procs]")),
+            "{err:?}"
+        );
     }
 
     fn readpath_doc(speedup: f64) -> String {
