@@ -252,6 +252,15 @@ impl Plfs {
         }
     }
 
+    /// Drop cached verdicts for `bp` and everything under it. Renaming (or
+    /// removing) a directory moves/kills every descendant, so cached
+    /// verdicts below both endpoints must die with it.
+    fn meta_invalidate_tree(&self, bp: &str) {
+        if self.meta_conf.cache_enabled() {
+            self.cache.invalidate_tree(bp);
+        }
+    }
+
     /// Install the verdict for a just-created container so the creating
     /// process reopens it warm, without a single backing probe.
     fn meta_install(&self, bp: &str, params: ContainerParams) {
@@ -310,9 +319,15 @@ impl Plfs {
             if flags.create() && flags.excl() {
                 return Err(Error::Exists(path.to_string()));
             }
-            if flags.trunc() {
+            let e = if flags.trunc() {
                 self.trunc_backend(&bp, 0)?;
-            }
+                // trunc_backend invalidated the cached verdict; feeding the
+                // pre-truncate entry back into params_for would reinstall
+                // its fast-stat field and resurrect the old size.
+                MetaEntry { meta: None, ..e }
+            } else {
+                e
+            };
             self.params_for(&bp, e)?
         };
         let fd = PlfsFd::new(
@@ -404,8 +419,9 @@ impl Plfs {
         // listing openhosts/. A cached meta verdict implies the container
         // was closed when probed and no local open/close touched it since
         // (writer close clears it), so a warm getattr skips even the
-        // openhosts readdir; a writer in *another* process can briefly make
-        // that stale — sizes converge at its close (see [`MetaConf`] docs).
+        // openhosts readdir; a writer in *another* process can make that
+        // stale until the verdict is locally dropped or evicted — see the
+        // cross-process consistency note in the README / [`MetaConf`] docs.
         let local_writers = if self.meta_conf.cache_enabled() {
             self.cache.local_writers(&bp)
         } else {
@@ -453,9 +469,14 @@ impl Plfs {
     pub fn unlink(&self, path: &str) -> Result<()> {
         let bp = self.backend_path(path);
         let e = self.meta_entry(&bp);
-        let r = if e.is_container {
-            container::remove_container(self.backing.as_ref(), &bp)
-        } else if !e.exists {
+        if e.is_container {
+            let rm = container::remove_container(self.backing.as_ref(), &bp);
+            // Removing a container deletes a directory tree; any cached
+            // probe of an internal path (hostdirs, meta/) dies with it.
+            self.meta_invalidate_tree(&bp);
+            return rm;
+        }
+        let r = if !e.exists {
             Err(Error::NotFound(path.to_string()))
         } else if e.is_dir {
             Err(Error::IsDir(path.to_string()))
@@ -472,12 +493,15 @@ impl Plfs {
         let t = self.backend_path(to);
         if self.meta_entry(&t).is_container {
             let rm = container::remove_container(self.backing.as_ref(), &t);
-            self.meta_invalidate(&t);
+            self.meta_invalidate_tree(&t);
             rm?;
         }
         let r = self.backing.rename(&f, &t);
-        self.meta_invalidate(&f);
-        self.meta_invalidate(&t);
+        // Tree-wide: a directory rename moves every descendant, so cached
+        // `exists` verdicts under `from` and cached `missing` verdicts
+        // under `to` are both stale now.
+        self.meta_invalidate_tree(&f);
+        self.meta_invalidate_tree(&t);
         r
     }
 
@@ -650,6 +674,51 @@ mod tests {
         let fd = p.open("/f", flags, 1).unwrap();
         assert_eq!(fd.size().unwrap(), 0);
         p.close(&fd, 1).unwrap();
+    }
+
+    /// Regression: an O_TRUNC open must not resurrect the pre-truncate
+    /// fast-stat verdict. The stale path was: getattr warms `meta` (params
+    /// still unfilled), the trunc-open invalidates, then params_for
+    /// reinstalled the captured entry — old `meta` included — and the next
+    /// getattr reported the pre-truncate size.
+    #[test]
+    fn open_trunc_drops_cached_fast_stat() {
+        let p = plfs();
+        let fd = p.open("/f", CREATE_RW, 1).unwrap();
+        p.write(&fd, b"hello", 0, 1).unwrap();
+        p.close(&fd, 1).unwrap();
+        // A same-length path trunc drops the create-time verdict, so the
+        // getattr below rebuilds the entry from a probe: meta filled,
+        // params still lazy — the exact shape that resurrected.
+        p.trunc("/f", 5).unwrap();
+        assert_eq!(p.getattr("/f").unwrap().size, 5);
+        let flags = OpenFlags::RDWR | OpenFlags::TRUNC;
+        let fd = p.open("/f", flags, 1).unwrap();
+        p.close(&fd, 1).unwrap();
+        assert_eq!(p.getattr("/f").unwrap().size, 0, "stale pre-truncate size");
+    }
+
+    /// Regression: rename of a directory must invalidate cached verdicts
+    /// for every descendant, not just the two endpoint paths — both warm
+    /// `exists` verdicts under the old name and warm `missing` verdicts
+    /// under the new one.
+    #[test]
+    fn rename_directory_invalidates_descendant_verdicts() {
+        let p = plfs();
+        p.mkdir("/d").unwrap();
+        let fd = p.open("/d/f", CREATE_RW, 1).unwrap();
+        p.write(&fd, b"x", 0, 1).unwrap();
+        p.close(&fd, 1).unwrap();
+        p.access("/d/f").unwrap(); // warm exists=true under /d
+        assert!(p.access("/e/f").is_err()); // warm exists=false under /e
+        p.rename("/d", "/e").unwrap();
+        assert!(
+            p.access("/d/f").is_err(),
+            "stale exists verdict under renamed-away dir"
+        );
+        p.access("/e/f").unwrap();
+        assert_eq!(p.getattr("/e/f").unwrap().size, 1);
+        assert!(p.is_container("/e/f"));
     }
 
     #[test]

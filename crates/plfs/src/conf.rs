@@ -202,6 +202,14 @@ impl OpenMarkers {
 }
 
 /// Tuning knobs for the container metadata path.
+///
+/// Consistency note: with the cache enabled, a warm fast-stat verdict
+/// lets `getattr` skip the `openhosts/` readdir, so another *process*'s
+/// writes stay invisible to a stat here until this process drops the
+/// cached verdict (local open/close/mutation of the path, or capacity
+/// eviction). Cross-process stat freshness is eventual, not
+/// read-your-close; [`MetaConf::serial`] restores the strict pre-cache
+/// behaviour. Same-process stats are always exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetaConf {
     /// Approximate capacity of the container metadata cache, in entries

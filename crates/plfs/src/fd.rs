@@ -283,9 +283,6 @@ impl PlfsFd {
     /// Record a new writer: bump the cached writer count and place the
     /// `openhosts/` marker the configured policy calls for.
     fn note_writer_open(&self, pid: u64) -> Result<()> {
-        if let Some(c) = &self.cache {
-            c.writer_inc(&self.container);
-        }
         match self.meta_conf.open_markers {
             OpenMarkers::Eager => {
                 let t0 = iotrace::global().start();
@@ -307,6 +304,13 @@ impl PlfsFd {
                 }
             }
             OpenMarkers::Off => {}
+        }
+        // Count the writer only once its marker landed: a failed mark_open
+        // propagates before the WriteFile is installed, so no close would
+        // ever decrement — the count would pin local_writers above zero
+        // (and getattr off its fast path) for the life of the process.
+        if let Some(c) = &self.cache {
+            c.writer_inc(&self.container);
         }
         Ok(())
     }

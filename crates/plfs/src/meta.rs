@@ -146,6 +146,23 @@ impl MetaCache {
         map.remove(path);
     }
 
+    /// Drop every verdict for `path` *and all paths under it*. Called on
+    /// rename, where moving a directory silently relocates each descendant:
+    /// cached `exists` verdicts under the old name and cached `missing`
+    /// verdicts under the new one are both wrong afterwards. Descendant
+    /// keys hash to arbitrary shards, so every shard's generation bumps —
+    /// pricier than [`MetaCache::invalidate`], but rename is rare and the
+    /// point-invalidation alone resurrects children of renamed trees.
+    pub fn invalidate_tree(&self, path: &str) {
+        let prefix = format!("{}/", path.trim_end_matches('/'));
+        for shard in self.shards.iter() {
+            let mut map = shard.map.lock();
+            // relaxed: the shard lock (also taken by complete_fill) orders this
+            shard.generation.fetch_add(1, Ordering::Relaxed);
+            map.retain(|k, _| k != path && !k.starts_with(&prefix));
+        }
+    }
+
     /// Drop only the cached fast-stat info for `path`, keeping the
     /// exists/container verdicts (used at writer close, which changes the
     /// file size but not whether the path is a container).
@@ -252,6 +269,25 @@ mod tests {
         c.invalidate("/a");
         assert!(c.lookup("/a").is_none());
         assert!(c.lookup("/b").is_some());
+    }
+
+    #[test]
+    fn invalidate_tree_drops_descendants_and_kills_fills() {
+        let c = MetaCache::new(64, 4);
+        for p in ["/d", "/d/f", "/d/sub/g", "/dx", "/e"] {
+            let g = c.begin_fill(p);
+            c.complete_fill(p, g, entry(true));
+        }
+        // A fill for a descendant is in flight when the rename lands.
+        let g = c.begin_fill("/d/late");
+        c.invalidate_tree("/d");
+        c.complete_fill("/d/late", g, entry(true));
+        for p in ["/d", "/d/f", "/d/sub/g", "/d/late"] {
+            assert!(c.lookup(p).is_none(), "{p} survived tree invalidation");
+        }
+        // Sibling with a shared name prefix but not under /d/ stays.
+        assert!(c.lookup("/dx").is_some());
+        assert!(c.lookup("/e").is_some());
     }
 
     #[test]

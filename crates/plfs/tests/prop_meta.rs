@@ -52,7 +52,9 @@ enum Op {
     Readdir,
 }
 
-const PATHS: [&str; 3] = ["/a", "/b", "/c"];
+// Nested paths matter: renaming /a must invalidate cached verdicts for
+// /a/x too (a flat namespace once let a rename resurrect descendants).
+const PATHS: [&str; 5] = ["/a", "/b", "/c", "/a/x", "/b/x"];
 
 fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
