@@ -10,6 +10,7 @@
 //! paperbench readpath [--quick]  # serial vs parallel container open/read
 //! paperbench writepath [--quick] # serial vs sharded/buffered writers
 //! paperbench metadata [--quick]  # per-open metadata ops + MDS-storm projection
+//! paperbench indexscale [--quick] # eager vs bounded merged-index residency
 //! paperbench all [--quick]       # everything above
 //! paperbench ... --json PATH     # also dump JSON for EXPERIMENTS.md
 //! paperbench ... --emit-json DIR # figure data + per-layer op/latency trace
@@ -17,10 +18,10 @@
 
 use apps::nas_bt::BtClass;
 use bench::{
-    crossover, fig3, fig4, fig5_with, metadata_comparison, readpath_comparison,
-    readpath_projection, render_metadata, render_panel, render_readpath,
-    render_readpath_projection, render_table2, render_writepath, table2, writepath_comparison,
-    Scale,
+    crossover, fig3, fig4, fig5_with, indexscale_comparison, metadata_comparison,
+    readpath_comparison, readpath_projection, render_indexscale, render_metadata, render_panel,
+    render_readpath, render_readpath_projection, render_table2, render_writepath, table2,
+    writepath_comparison, Scale,
 };
 use jsonlite::{ToJson, Value};
 use simfs::presets;
@@ -295,6 +296,16 @@ fn cmd_metadata(args: &Args) {
     trace_emit(args, "metadata", &report);
 }
 
+fn cmd_indexscale(args: &Args) {
+    println!("# Index residency: eager vs bounded merged index, 1x-100x entries\n");
+    trace_begin(args);
+    let report = indexscale_comparison(scale(args.quick));
+    println!("## Measured (in-memory backing, this host)\n");
+    println!("{}", render_indexscale(&report));
+    dump_json(&args.json, "indexscale", &report);
+    trace_emit(args, "indexscale", &report);
+}
+
 fn cmd_crossover(args: &Args) {
     println!("# PLFS benefit crossover (FLASH-IO, LDPLFS vs MPI-IO)\n");
     for (platform, label) in [
@@ -331,6 +342,7 @@ fn main() {
         "readpath" => cmd_readpath(&args),
         "writepath" => cmd_writepath(&args),
         "metadata" => cmd_metadata(&args),
+        "indexscale" => cmd_indexscale(&args),
         "all" => {
             cmd_table1();
             cmd_fig3(&args);
@@ -343,10 +355,11 @@ fn main() {
             cmd_readpath(&args);
             cmd_writepath(&args);
             cmd_metadata(&args);
+            cmd_indexscale(&args);
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|writepath|metadata|all] \
+                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|writepath|metadata|indexscale|all] \
                  [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR] [--emit-json DIR]"
             );
         }

@@ -138,12 +138,25 @@ mod tests {
     #[test]
     fn from_plfsrc_plumbs_read_conf() {
         let rc = "threadpool_size 4\nread_fanout_threshold 2048\nhandle_cache_shards 2\n\
+                  index_memory_bytes 65536\n\
                   mount_point /ckpt\nbackends /be\n";
         let s = from_plfsrc(under("conf"), rc, |_| Arc::new(MemBacking::new())).unwrap();
         let conf = s.mounts()[0].plfs.read_conf();
         assert_eq!(conf.threads, 4);
         assert_eq!(conf.fanout_threshold, 2048);
         assert_eq!(conf.handle_shards, 2);
+        assert_eq!(conf.index_memory_bytes, 65536);
+        assert!(conf.bounded_index());
+    }
+
+    #[test]
+    fn from_plfsrc_plumbs_compaction_threshold() {
+        let rc = "compact_droppings_threshold 32\nmount_point /ckpt\nbackends /be\n";
+        let s = from_plfsrc(under("cconf"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        assert_eq!(
+            s.mounts()[0].plfs.write_conf().compact_droppings_threshold,
+            32
+        );
     }
 
     #[test]

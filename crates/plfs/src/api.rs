@@ -622,6 +622,20 @@ impl Plfs {
     pub fn is_container(&self, path: &str) -> bool {
         self.meta_entry(&self.backend_path(path)).is_container
     }
+
+    /// Fold a container's droppings into one flattened dropping pair in
+    /// place (see [`crate::flatten::compact_container`]). Fails with
+    /// [`Error::InvalidArg`] while writers hold the container open.
+    pub fn compact(&self, path: &str) -> Result<crate::flatten::CompactStats> {
+        let bp = self.backend_path(path);
+        if !container::is_container(self.backing.as_ref(), &bp) {
+            return Err(Error::NotContainer(bp));
+        }
+        let r = crate::flatten::compact_container(self.backing.as_ref(), &bp);
+        // Dropping layout and meta drops changed; re-derive fast stat.
+        self.meta_invalidate(&bp);
+        r
+    }
 }
 
 #[cfg(test)]
@@ -645,6 +659,47 @@ mod tests {
         assert_eq!(&buf, b"data");
         assert_eq!(p.close(&fd, 1).unwrap(), 0);
         assert_eq!(p.getattr("/f").unwrap().size, 4);
+    }
+
+    #[test]
+    fn compact_folds_container_and_keeps_getattr_fresh() {
+        let p = plfs();
+        let fd = p.open("/f", CREATE_RW, 1).unwrap();
+        for pid in [1u64, 2, 3] {
+            if pid != 1 {
+                fd.add_ref(pid);
+            }
+            p.write(&fd, &[pid as u8; 10], (pid - 1) * 10, pid).unwrap();
+        }
+        for pid in [1u64, 2, 3] {
+            p.close(&fd, pid).unwrap();
+        }
+        // Warm the fast-stat cache so compact() must invalidate it.
+        assert_eq!(p.getattr("/f").unwrap().size, 30);
+        let stats = p.compact("/f").unwrap();
+        assert_eq!(stats.droppings_before, 3);
+        assert_eq!(stats.droppings_after, 1);
+        assert_eq!(p.getattr("/f").unwrap().size, 30);
+        let fd = p.open("/f", OpenFlags::RDONLY, 1).unwrap();
+        let mut buf = [0u8; 30];
+        assert_eq!(p.read(&fd, &mut buf, 0).unwrap(), 30);
+        for pid in [1u8, 2, 3] {
+            assert!(buf[(pid as usize - 1) * 10..pid as usize * 10]
+                .iter()
+                .all(|&x| x == pid));
+        }
+    }
+
+    #[test]
+    fn compact_rejects_non_container_and_open_writers() {
+        let p = plfs();
+        p.mkdir("/dir").unwrap();
+        assert!(matches!(p.compact("/dir"), Err(Error::NotContainer(_))));
+        let fd = p.open("/f", CREATE_RW, 1).unwrap();
+        p.write(&fd, b"a", 0, 1).unwrap();
+        p.sync(&fd, 1).unwrap();
+        assert!(matches!(p.compact("/f"), Err(Error::InvalidArg(_))));
+        p.close(&fd, 1).unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::backing::{join, Backing};
 use crate::container::{self, DroppingRef};
 use crate::error::{Error, Result};
-use crate::index::{IndexEntry, RECORD_SIZE};
+use crate::index::{IndexEntry, IndexRecord, PatternRecord, PATTERN_MAGIC, RECORD_SIZE};
 use std::fmt;
 
 /// Severity of a finding.
@@ -154,6 +154,29 @@ fn index_path_of(d: &DroppingRef) -> Option<&str> {
     d.index_path.as_deref()
 }
 
+/// Decode one on-disk record of either kind, applying the same bounds
+/// validation as the read path (hostile counts, off_t overflow, bad magic
+/// all land in `Err`). A record that fails here would make `ReadFile::open`
+/// refuse the container.
+fn decode_record(rec: &[u8]) -> Result<IndexRecord> {
+    let magic = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+    if magic == PATTERN_MAGIC {
+        Ok(IndexRecord::Pattern(PatternRecord::decode(rec)?))
+    } else {
+        Ok(IndexRecord::Plain(IndexEntry::decode(rec)?))
+    }
+}
+
+/// How many leading writes of a pattern run fit entirely inside a data
+/// dropping of `data_size` bytes. Write `i` occupies physical bytes
+/// `[physical_start + i·length, +length)`.
+fn pattern_fit(p: &PatternRecord, data_size: u64) -> u64 {
+    if data_size <= p.physical_start {
+        return 0;
+    }
+    ((data_size - p.physical_start) / p.length as u64).min(p.count as u64)
+}
+
 /// Examine a container and report inconsistencies. Read-only.
 pub fn check(b: &dyn Backing, path: &str) -> Result<CheckReport> {
     let mut report = CheckReport::default();
@@ -192,13 +215,23 @@ pub fn check(b: &dyn Backing, path: &str) -> Result<CheckReport> {
         let data_size = b.stat(&d.data_path)?.size;
         let mut overruns = 0u64;
         for (i, rec) in raw[..whole].chunks_exact(RECORD_SIZE).enumerate() {
-            match IndexEntry::decode(rec) {
-                Ok(e) => {
+            match decode_record(rec) {
+                Ok(IndexRecord::Plain(e)) => {
                     report.records += 1;
                     if e.physical_offset + e.length > data_size {
                         overruns += 1;
                     } else {
                         eof = eof.max(e.logical_end());
+                    }
+                }
+                Ok(IndexRecord::Pattern(p)) => {
+                    report.records += 1;
+                    // Overrun accounting is per expanded write, so a torn
+                    // run reports how many writes actually lost bytes.
+                    let fit = pattern_fit(&p, data_size);
+                    overruns += p.count as u64 - fit;
+                    if fit > 0 {
+                        eof = eof.max(p.entry_at(fit - 1).logical_end());
                     }
                 }
                 Err(_) => {
@@ -313,9 +346,26 @@ pub fn repair(b: &dyn Backing, path: &str, clear_markers: bool) -> Result<Repair
         let mut kept = Vec::with_capacity(raw.len());
         let mut dropped = 0u64;
         for rec in raw.chunks_exact(RECORD_SIZE) {
-            match IndexEntry::decode(rec) {
-                Ok(e) if e.physical_offset + e.length > data_size => dropped += 1,
-                Ok(_) => kept.extend_from_slice(rec),
+            match decode_record(rec) {
+                Ok(IndexRecord::Plain(e)) if e.physical_offset + e.length > data_size => {
+                    dropped += 1
+                }
+                Ok(IndexRecord::Plain(_)) => kept.extend_from_slice(rec),
+                Ok(IndexRecord::Pattern(p)) => {
+                    let fit = pattern_fit(&p, data_size);
+                    if fit == p.count as u64 {
+                        kept.extend_from_slice(rec);
+                    } else {
+                        // Re-encode the surviving prefix of the run; the
+                        // overrunning tail writes are the lost ones.
+                        dropped += p.count as u64 - fit;
+                        if fit > 0 {
+                            let mut q = p;
+                            q.count = fit as u32;
+                            q.encode(&mut kept);
+                        }
+                    }
+                }
                 // Corrupt records are unrepairable; keep them out of the
                 // rewritten index so readers stop tripping on them.
                 Err(_) => dropped += 1,
@@ -449,6 +499,99 @@ mod tests {
         let rep = repair(b.as_ref(), "/c", false).unwrap();
         assert!(!rep.unrepairable.is_empty());
         // After repair the bad record is gone and reads work again.
+        assert!(crate::reader::ReadFile::open(b.as_ref(), "/c").is_ok());
+    }
+
+    fn pattern_container() -> Arc<MemBacking> {
+        let backing = Arc::new(MemBacking::new());
+        container::create_container(
+            backing.as_ref(),
+            "/c",
+            &crate::container::ContainerParams::default(),
+            true,
+        )
+        .unwrap();
+        // Strided writes with a large index buffer flush as pattern records.
+        let mut w = crate::writer::WriteFile::open(
+            backing.as_ref(),
+            "/c",
+            &crate::container::ContainerParams::default(),
+            1,
+            4096,
+        )
+        .unwrap();
+        for i in 0..16u64 {
+            w.write(&[7u8; 32], i * 64).unwrap();
+        }
+        w.sync().unwrap();
+        backing
+    }
+
+    /// Regression: valid pattern records must not be misdiagnosed as
+    /// corruption (and then deleted by repair — silent data loss).
+    #[test]
+    fn pattern_records_check_clean() {
+        let b = pattern_container();
+        let raw = {
+            let ip = first_index(b.as_ref());
+            let f = b.open(&ip, false).unwrap();
+            let mut v = vec![0u8; f.size().unwrap() as usize];
+            f.pread(&mut v, 0).unwrap();
+            v
+        };
+        // Sanity: the container actually holds a pattern record.
+        assert!(raw
+            .chunks_exact(RECORD_SIZE)
+            .any(|r| u32::from_le_bytes(r[0..4].try_into().unwrap()) == PATTERN_MAGIC));
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r.is_clean(), "{:?}", r.findings);
+        let rep = repair(b.as_ref(), "/c", false).unwrap();
+        assert_eq!(rep.entries_dropped, 0);
+        assert_eq!(
+            crate::flatten::flatten_to_vec(b.as_ref(), "/c")
+                .unwrap()
+                .len(),
+            15 * 64 + 32
+        );
+    }
+
+    #[test]
+    fn pattern_overrun_trimmed_by_reencoding_prefix() {
+        let b = pattern_container();
+        let d = &container::list_droppings(b.as_ref(), "/c").unwrap()[0];
+        // Cut the data dropping mid-run: 10 of 16 writes (32 B each) survive.
+        b.truncate(&d.data_path, 10 * 32).unwrap();
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::IndexOverrun { entries: 6, .. })));
+        let rep = repair(b.as_ref(), "/c", false).unwrap();
+        assert_eq!(rep.entries_dropped, 6);
+        assert!(check(b.as_ref(), "/c").unwrap().is_clean());
+        // The surviving prefix still reads back.
+        let flat = crate::flatten::flatten_to_vec(b.as_ref(), "/c").unwrap();
+        assert_eq!(flat.len(), 9 * 64 + 32);
+        assert!(flat[9 * 64..].iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn hostile_pattern_count_is_corrupt_not_expanded() {
+        let b = pattern_container();
+        let ip = first_index(b.as_ref());
+        // Smash the count field to u32::MAX: a naive checker would try to
+        // expand four billion entries; ours must flag the record instead.
+        let f = b.open(&ip, true).unwrap();
+        f.pwrite(&u32::MAX.to_le_bytes(), 40).unwrap();
+        drop(f);
+        let r = check(b.as_ref(), "/c").unwrap();
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::CorruptIndexRecord { record: 0, .. })));
+        assert_eq!(r.worst(), Some(Severity::DataLoss));
+        let rep = repair(b.as_ref(), "/c", false).unwrap();
+        assert!(!rep.unrepairable.is_empty());
         assert!(crate::reader::ReadFile::open(b.as_ref(), "/c").is_ok());
     }
 

@@ -34,6 +34,13 @@ pub struct ReadConf {
     /// Minimum dropping count before the index merge decodes droppings in
     /// parallel; tiny containers stay serial.
     pub parallel_merge_min_droppings: usize,
+    /// Resident-memory budget in bytes for the merged index (0 = unbounded:
+    /// the classic eager path expands every record at open). Any nonzero
+    /// value switches the reader to the compact index: pattern records stay
+    /// unexpanded and `pread` materialises per-extent views cached under
+    /// this budget, so index residency is O(on-disk records + budget)
+    /// instead of O(writes).
+    pub index_memory_bytes: usize,
 }
 
 impl Default for ReadConf {
@@ -43,6 +50,7 @@ impl Default for ReadConf {
             fanout_threshold: DEFAULT_FANOUT_THRESHOLD,
             handle_shards: DEFAULT_HANDLE_SHARDS,
             parallel_merge_min_droppings: DEFAULT_PARALLEL_MERGE_MIN,
+            index_memory_bytes: 0,
         }
     }
 }
@@ -81,6 +89,18 @@ impl ReadConf {
         self
     }
 
+    /// Builder-style: set the merged-index memory budget in bytes
+    /// (0 = unbounded eager index).
+    pub fn with_index_memory_bytes(mut self, bytes: usize) -> ReadConf {
+        self.index_memory_bytes = bytes;
+        self
+    }
+
+    /// Is the memory-bounded compact index enabled?
+    pub fn bounded_index(&self) -> bool {
+        self.index_memory_bytes > 0
+    }
+
     /// Should the index merge for a container with `droppings` droppings
     /// run in parallel under this configuration?
     pub fn parallel_merge(&self, droppings: usize) -> bool {
@@ -114,6 +134,11 @@ pub struct WriteConf {
     /// process's freshly flushed entries instead of re-reading every
     /// dropping. Off forces a full re-merge on each post-write read.
     pub incremental_refresh: bool,
+    /// When the last writer closes a container holding more than this many
+    /// droppings, spawn a background task that compacts them into one
+    /// flattened dropping (0 = never compact automatically). Compaction is
+    /// also available on demand via `plfs-tools compact`.
+    pub compact_droppings_threshold: usize,
 }
 
 /// Default writer-table shard count.
@@ -128,6 +153,7 @@ impl Default for WriteConf {
             data_buffer_bytes: DEFAULT_DATA_BUFFER_BYTES,
             index_buffer_entries: crate::writer::DEFAULT_INDEX_BUFFER_ENTRIES,
             incremental_refresh: true,
+            compact_droppings_threshold: 0,
         }
     }
 }
@@ -166,6 +192,13 @@ impl WriteConf {
     /// Builder-style: enable or disable incremental reader refresh.
     pub fn with_incremental_refresh(mut self, on: bool) -> WriteConf {
         self.incremental_refresh = on;
+        self
+    }
+
+    /// Builder-style: set the background-compaction dropping threshold
+    /// (0 = off).
+    pub fn with_compact_droppings_threshold(mut self, droppings: usize) -> WriteConf {
+        self.compact_droppings_threshold = droppings;
         self
     }
 }
@@ -282,6 +315,23 @@ mod tests {
         assert_eq!(c.threads, 1);
         assert!(!c.parallel_merge(1000));
         assert!(!c.fanout(u64::MAX));
+        assert_eq!(c.index_memory_bytes, 0, "eager index by default");
+        assert!(!c.bounded_index());
+    }
+
+    #[test]
+    fn index_memory_budget_enables_bounded_index() {
+        let c = ReadConf::default().with_index_memory_bytes(1 << 20);
+        assert_eq!(c.index_memory_bytes, 1 << 20);
+        assert!(c.bounded_index());
+        assert!(!c.with_index_memory_bytes(0).bounded_index());
+    }
+
+    #[test]
+    fn compact_threshold_defaults_off() {
+        assert_eq!(WriteConf::default().compact_droppings_threshold, 0);
+        let c = WriteConf::default().with_compact_droppings_threshold(8);
+        assert_eq!(c.compact_droppings_threshold, 8);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use crate::backing::{join, remove_tree, Backing};
 use crate::conf::ReadConf;
 use crate::error::{Error, Result};
-use crate::index::{GlobalIndex, IndexEntry};
+use crate::index::{CompactIndex, GlobalIndex, IndexEntry, IndexRecord};
 use rayon::prelude::*;
 
 /// Name of the marker file that identifies a container.
@@ -342,6 +342,52 @@ pub fn build_global_index_with(
         .collect();
     let runs: Vec<Vec<IndexEntry>> = runs.into_iter().collect::<Result<_>>()?;
     Ok((GlobalIndex::from_sorted_runs(runs), droppings, true))
+}
+
+/// Read and decode one index dropping into compact records (patterns stay
+/// unexpanded), renumbering to the global dropping id.
+fn read_index_dropping_compact(b: &dyn Backing, id: u32, ip: &str) -> Result<Vec<IndexRecord>> {
+    let f = b.open(ip, false)?;
+    let size = f.size()? as usize;
+    let mut buf = vec![0u8; size];
+    let n = f.pread(&mut buf, 0)?;
+    if n != size {
+        return Err(Error::Corrupt(format!("short read of index {ip}")));
+    }
+    CompactIndex::decode_dropping(&buf, id)
+}
+
+/// Load every index dropping into a [`CompactIndex`] without expanding
+/// pattern records — the memory-bounded alternative to
+/// [`build_global_index_with`], numbering droppings identically. Decodes in
+/// parallel under the same `conf` gate as the eager path; the third tuple
+/// element reports whether the parallel path ran.
+pub fn build_compact_index(
+    b: &dyn Backing,
+    container: &str,
+    conf: &ReadConf,
+) -> Result<(CompactIndex, Vec<DroppingRef>, bool)> {
+    let droppings = list_droppings(b, container)?;
+    let indexed: Vec<(u32, &str)> = droppings
+        .iter()
+        .enumerate()
+        .filter_map(|(id, d)| d.index_path.as_deref().map(|ip| (id as u32, ip)))
+        .collect();
+    let parallel = conf.parallel_merge(indexed.len());
+    let runs: Vec<Vec<IndexRecord>> = if parallel {
+        let runs: Vec<Result<Vec<IndexRecord>>> = indexed
+            .par_iter()
+            .map(|&(id, ip)| read_index_dropping_compact(b, id, ip))
+            .collect();
+        runs.into_iter().collect::<Result<_>>()?
+    } else {
+        let mut runs = Vec::with_capacity(indexed.len());
+        for (id, ip) in indexed {
+            runs.push(read_index_dropping_compact(b, id, ip)?);
+        }
+        runs
+    };
+    Ok((CompactIndex::from_runs(runs), droppings, parallel))
 }
 
 /// Cached metadata dropped into `meta/` at close: `<eof>.<bytes>.<pid>`.

@@ -395,7 +395,14 @@ impl PlfsFd {
                     }
                 }
             }
-            if self.write_conf.incremental_refresh && guard.is_some() && !fresh.is_empty() {
+            // The memory-bounded reader has no resident full index to
+            // patch; it rebuilds (cheaply — records stay compact) instead.
+            let patchable = !self.read_conf.bounded_index();
+            if self.write_conf.incremental_refresh
+                && patchable
+                && guard.is_some()
+                && !fresh.is_empty()
+            {
                 let prev = guard.take().unwrap();
                 let r = self.patch_reader(&prev, fresh)?;
                 *guard = Some(r.clone());
@@ -442,7 +449,7 @@ impl PlfsFd {
     /// requires.
     fn patch_reader(&self, prev: &Arc<ReadFile>, fresh: Orphans) -> Result<Arc<ReadFile>> {
         let t0 = iotrace::global().start();
-        let mut index = prev.index().clone();
+        let mut index = prev.index().into_owned();
         let mut droppings = prev.droppings().to_vec();
         let mut entries: Vec<IndexEntry> = Vec::new();
         for (data_path, ents) in fresh {
@@ -608,7 +615,43 @@ impl PlfsFd {
                 }
             }
         }
-        Ok(refs.values().sum())
+        let remaining: u32 = refs.values().sum();
+        if remaining == 0 {
+            self.maybe_compact_in_background();
+        }
+        Ok(remaining)
+    }
+
+    /// Opt-in background compaction (`WriteConf::compact_droppings_threshold`):
+    /// when the last reference on a writable fd goes away and the container
+    /// has accumulated more droppings than the threshold, fold them into one
+    /// flattened dropping off-thread. Best-effort housekeeping: the dropping
+    /// census and the compaction itself run detached, errors are swallowed,
+    /// and a failed compaction leaves the container readable as it was.
+    fn maybe_compact_in_background(&self) {
+        let threshold = self.write_conf.compact_droppings_threshold;
+        if threshold == 0 || !self.flags.writable() {
+            return;
+        }
+        let b = self.backing.clone();
+        let container = self.container.clone();
+        let cache = self.cache.clone();
+        std::thread::spawn(move || {
+            let n = match container::list_droppings(b.as_ref(), &container) {
+                Ok(d) => d.len(),
+                Err(_) => return,
+            };
+            if n <= threshold {
+                return;
+            }
+            if crate::flatten::compact_container(b.as_ref(), &container).is_ok() {
+                if let Some(c) = cache {
+                    // Dropping layout and meta drops changed under the
+                    // cache's feet; fast-stat must re-derive.
+                    c.clear_meta(&container);
+                }
+            }
+        });
     }
 }
 
@@ -653,6 +696,68 @@ mod tests {
             .with_meta_conf(MetaConf::default().with_open_markers(markers)),
         );
         (b, fd)
+    }
+
+    #[test]
+    fn background_compaction_folds_droppings_after_last_close() {
+        let (b, fd) = open_fd_with(
+            OpenFlags::RDWR,
+            WriteConf::default()
+                .with_index_buffer_entries(64)
+                .with_compact_droppings_threshold(2),
+        );
+        for pid in 0..4u64 {
+            fd.add_ref(pid);
+            fd.write(&[pid as u8 + 1; 50], pid * 50, pid).unwrap();
+        }
+        fd.write(b"x", 200, 100).unwrap();
+        for pid in 0..4u64 {
+            fd.close(pid).unwrap();
+        }
+        fd.close(100).unwrap();
+        // Compaction runs on a detached thread; wait for it to land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let n = container::list_droppings(b.as_ref(), "/f").unwrap().len();
+            if n == 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background compaction never folded {n} droppings"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let r = crate::reader::ReadFile::open(b.as_ref(), "/f").unwrap();
+        let mut got = vec![0u8; 201];
+        assert_eq!(r.pread(b.as_ref(), &mut got, 0).unwrap(), 201);
+        for pid in 0..4usize {
+            assert!(got[pid * 50..pid * 50 + 50]
+                .iter()
+                .all(|&x| x == pid as u8 + 1));
+        }
+        assert_eq!(got[200], b'x');
+    }
+
+    #[test]
+    fn no_background_compaction_below_threshold_or_readonly() {
+        let (b, fd) = open_fd_with(
+            OpenFlags::RDWR,
+            WriteConf::default()
+                .with_index_buffer_entries(64)
+                .with_compact_droppings_threshold(8),
+        );
+        fd.add_ref(200);
+        fd.write(b"aa", 0, 100).unwrap();
+        fd.write(b"bb", 2, 200).unwrap();
+        fd.close(100).unwrap();
+        fd.close(200).unwrap();
+        // Threshold not exceeded: both droppings survive.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(
+            container::list_droppings(b.as_ref(), "/f").unwrap().len(),
+            2
+        );
     }
 
     #[test]

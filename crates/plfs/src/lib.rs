@@ -72,7 +72,8 @@ pub use error::{Error, Result};
 pub use faults::{FaultKind, FaultOp, FaultRule, Faulty};
 pub use fd::PlfsFd;
 pub use flags::OpenFlags;
-pub use index::{ChunkSlice, GlobalIndex, IndexEntry};
+pub use flatten::CompactStats;
+pub use index::{ChunkSlice, CompactIndex, GlobalIndex, IndexEntry, IndexRecord};
 pub use meta::{MetaCache, MetaEntry};
 pub use meter::{MeterBacking, MeterSnapshot};
 pub use mount::{MountSpec, PlfsRc, SpreadBacking};

@@ -84,6 +84,12 @@ pub struct PlfsRc {
     /// `openhosts/` marker policy (`open_markers` key: `eager`, `lazy`, or
     /// `off`).
     pub open_markers: OpenMarkers,
+    /// Merged-index residency budget in bytes (`index_memory_bytes` key;
+    /// 0 keeps the eager fully-expanded index).
+    pub index_memory_bytes: usize,
+    /// Background-compaction dropping threshold (`compact_droppings_threshold`
+    /// key; 0 disables compaction at close).
+    pub compact_droppings_threshold: usize,
 }
 
 impl PlfsRc {
@@ -101,6 +107,8 @@ impl PlfsRc {
             meta_cache_entries: DEFAULT_META_CACHE_ENTRIES,
             meta_cache_shards: DEFAULT_META_CACHE_SHARDS,
             open_markers: OpenMarkers::default(),
+            index_memory_bytes: 0,
+            compact_droppings_threshold: 0,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -156,6 +164,12 @@ impl PlfsRc {
                 }
                 "meta_cache_shards" => {
                     rc.meta_cache_shards = parse_num(value, lineno)? as usize;
+                }
+                "index_memory_bytes" => {
+                    rc.index_memory_bytes = parse_num(value, lineno)? as usize;
+                }
+                "compact_droppings_threshold" => {
+                    rc.compact_droppings_threshold = parse_num(value, lineno)? as usize;
                 }
                 "open_markers" => {
                     rc.open_markers = OpenMarkers::parse(value).ok_or_else(|| {
@@ -220,6 +234,7 @@ impl PlfsRc {
             .with_threads(self.threadpool_size)
             .with_fanout_threshold(self.read_fanout_threshold)
             .with_handle_shards(self.handle_cache_shards)
+            .with_index_memory_bytes(self.index_memory_bytes)
     }
 
     /// The write-path configuration these global knobs describe, ready to
@@ -232,6 +247,7 @@ impl PlfsRc {
             .with_write_shards(self.write_shards)
             .with_data_buffer_bytes(self.data_buffer_bytes)
             .with_incremental_refresh(self.incremental_refresh)
+            .with_compact_droppings_threshold(self.compact_droppings_threshold)
     }
 
     /// The metadata fast-path configuration these global knobs describe,
@@ -453,6 +469,30 @@ mod tests {
         assert_eq!(conf.threads, 16);
         assert_eq!(conf.fanout_threshold, DEFAULT_FANOUT_THRESHOLD);
         assert_eq!(conf.handle_shards, DEFAULT_HANDLE_SHARDS);
+    }
+
+    #[test]
+    fn parse_index_residency_knobs() {
+        let rc = PlfsRc::parse(
+            "index_memory_bytes 1048576\n\
+             compact_droppings_threshold 64\n\
+             mount_point /p\n\
+             backends /b\n",
+        )
+        .unwrap();
+        let rconf = rc.read_conf();
+        assert_eq!(rconf.index_memory_bytes, 1 << 20);
+        assert!(rconf.bounded_index());
+        assert_eq!(rc.write_conf().compact_droppings_threshold, 64);
+        // Defaults: eager index, compaction off.
+        let rc = PlfsRc::parse("mount_point /p\nbackends /b\n").unwrap();
+        assert!(!rc.read_conf().bounded_index());
+        assert_eq!(rc.write_conf().compact_droppings_threshold, 0);
+        // Malformed values are line-numbered errors like every other knob.
+        let err = PlfsRc::parse("mount_point /p\nindex_memory_bytes lots\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = PlfsRc::parse("compact_droppings_threshold x\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 
     #[test]

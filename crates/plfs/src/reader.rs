@@ -10,11 +10,17 @@ use crate::backing::{Backing, BackingFile};
 use crate::conf::ReadConf;
 use crate::container::{self, DroppingRef};
 use crate::error::{Error, Result};
-use crate::index::{ChunkSlice, GlobalIndex};
+use crate::index::{ChunkSlice, CompactIndex, GlobalIndex};
 use iotrace::{Layer, OpEvent, OpKind};
 use parking_lot::Mutex;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Byte span covered by one cached index view in the memory-bounded read
+/// path: `pread`s are split on these boundaries and each window
+/// materialises (and caches) its own partial [`GlobalIndex`].
+pub const INDEX_WINDOW_BYTES: u64 = 4 << 20;
 
 /// Sharded dropping-handle cache: concurrent readers touching distinct
 /// droppings only contend when their ids collide in a shard, instead of
@@ -43,9 +49,111 @@ impl HandleCache {
     }
 }
 
+/// Per-window LRU of materialised index views (see [`CompactSource`]).
+struct ViewCache {
+    /// Window id -> (last-use tick, materialised view).
+    views: HashMap<u64, (u64, Arc<GlobalIndex>)>,
+    tick: u64,
+    /// Approximate resident bytes of all cached views.
+    bytes: usize,
+}
+
+/// Fixed per-view bookkeeping cost charged against the budget, so even a
+/// view of an empty window has nonzero weight.
+const VIEW_BASE_COST: usize = 64;
+
+fn view_cost(v: &GlobalIndex) -> usize {
+    VIEW_BASE_COST + v.approx_resident_bytes()
+}
+
+/// The memory-bounded index source: compact records plus an LRU of
+/// per-window materialised views, budgeted by `index_memory_bytes`.
+struct CompactSource {
+    compact: CompactIndex,
+    /// View-cache budget in bytes (the compact records themselves are the
+    /// O(on-disk records) floor and are not charged against it).
+    budget: usize,
+    /// Window span in bytes ([`INDEX_WINDOW_BYTES`]; tests shrink it).
+    window: u64,
+    views: Mutex<ViewCache>,
+}
+
+impl CompactSource {
+    fn new(compact: CompactIndex, budget: usize) -> CompactSource {
+        CompactSource {
+            compact,
+            budget,
+            window: INDEX_WINDOW_BYTES,
+            views: Mutex::new(ViewCache {
+                views: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// The cached view for window `w`, materialising it on a miss and
+    /// evicting least-recently-used views past the budget (the window just
+    /// asked for is always kept, so a single view larger than the budget
+    /// still works).
+    fn view(&self, w: u64) -> Arc<GlobalIndex> {
+        {
+            let mut c = self.views.lock();
+            c.tick += 1;
+            let tick = c.tick;
+            if let Some(slot) = c.views.get_mut(&w) {
+                slot.0 = tick;
+                return slot.1.clone();
+            }
+        }
+        // Materialise outside the lock: pure in-memory work, but it scales
+        // with the records in range, and a slow fill must not block readers
+        // hitting other windows. Racing fills both compute; both results
+        // are identical, and the loser's insert just refreshes the slot.
+        let start = w.saturating_mul(self.window);
+        let v = Arc::new(self.compact.view(start, self.window));
+        let cost = view_cost(&v);
+        let mut c = self.views.lock();
+        c.tick += 1;
+        let tick = c.tick;
+        if let Some(slot) = c.views.get_mut(&w) {
+            slot.0 = tick;
+            return slot.1.clone();
+        }
+        c.views.insert(w, (tick, v.clone()));
+        c.bytes += cost;
+        while c.bytes > self.budget && c.views.len() > 1 {
+            let oldest = c
+                .views
+                .iter()
+                .filter(|(&k, _)| k != w)
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(&k, _)| k);
+            let Some(k) = oldest else { break };
+            if let Some((_, old)) = c.views.remove(&k) {
+                c.bytes -= view_cost(&old);
+            }
+        }
+        v
+    }
+
+    /// Approximate resident bytes of the currently cached views.
+    fn cached_view_bytes(&self) -> usize {
+        self.views.lock().bytes
+    }
+}
+
+/// Where a [`ReadFile`] gets its merged index from.
+enum IndexSource {
+    /// The classic fully expanded merged index, built at open.
+    Eager(GlobalIndex),
+    /// Compact records with budgeted per-window views (`index_memory_bytes`).
+    Compact(CompactSource),
+}
+
 /// An open read view of a container.
 pub struct ReadFile {
-    index: GlobalIndex,
+    source: IndexSource,
     droppings: Vec<DroppingRef>,
     handles: HandleCache,
     conf: ReadConf,
@@ -61,12 +169,24 @@ impl ReadFile {
 
     /// Build a read view under an explicit [`ReadConf`]: the index merge
     /// runs in parallel when the configuration allows it, and the handle
-    /// cache is sharded `conf.handle_shards` ways.
+    /// cache is sharded `conf.handle_shards` ways. A nonzero
+    /// `index_memory_bytes` switches the merged index to the memory-bounded
+    /// compact form: pattern records stay unexpanded and `pread`
+    /// materialises per-window views cached under that budget.
     pub fn open_with(b: &dyn Backing, container: &str, conf: ReadConf) -> Result<ReadFile> {
-        let (index, droppings, merged_parallel) =
-            container::build_global_index_with(b, container, &conf)?;
+        let (source, droppings, merged_parallel) = if conf.bounded_index() {
+            let (compact, droppings, par) = container::build_compact_index(b, container, &conf)?;
+            (
+                IndexSource::Compact(CompactSource::new(compact, conf.index_memory_bytes)),
+                droppings,
+                par,
+            )
+        } else {
+            let (index, droppings, par) = container::build_global_index_with(b, container, &conf)?;
+            (IndexSource::Eager(index), droppings, par)
+        };
         Ok(ReadFile {
-            index,
+            source,
             droppings,
             handles: HandleCache::new(conf.handle_shards),
             conf,
@@ -85,7 +205,7 @@ impl ReadFile {
         conf: ReadConf,
     ) -> ReadFile {
         ReadFile {
-            index,
+            source: IndexSource::Eager(index),
             droppings,
             handles: HandleCache::new(conf.handle_shards),
             conf,
@@ -95,12 +215,34 @@ impl ReadFile {
 
     /// Logical end-of-file.
     pub fn eof(&self) -> u64 {
-        self.index.eof()
+        match &self.source {
+            IndexSource::Eager(i) => i.eof(),
+            IndexSource::Compact(cs) => cs.compact.eof(),
+        }
     }
 
-    /// Access the merged index (used by flatten and the map query).
-    pub fn index(&self) -> &GlobalIndex {
-        &self.index
+    /// The merged index (used by flatten and the map query): borrowed from
+    /// an eager view, materialised in full from a compact one.
+    pub fn index(&self) -> Cow<'_, GlobalIndex> {
+        match &self.source {
+            IndexSource::Eager(i) => Cow::Borrowed(i),
+            IndexSource::Compact(cs) => Cow::Owned(cs.compact.full_view()),
+        }
+    }
+
+    /// Is this view using the memory-bounded compact index?
+    pub fn bounded_index(&self) -> bool {
+        matches!(self.source, IndexSource::Compact(_))
+    }
+
+    /// Approximate resident bytes attributable to the merged index: the
+    /// full segment map for an eager view, or the compact records plus the
+    /// currently cached window views for a bounded one.
+    pub fn index_resident_bytes(&self) -> usize {
+        match &self.source {
+            IndexSource::Eager(i) => i.approx_resident_bytes(),
+            IndexSource::Compact(cs) => cs.compact.approx_resident_bytes() + cs.cached_view_bytes(),
+        }
     }
 
     /// The droppings backing this view, in `dropping_id` order.
@@ -137,11 +279,57 @@ impl ReadFile {
     /// Positional read of logical bytes. Returns bytes read; 0 at EOF.
     /// Holes read as zeros, exactly like a sparse POSIX file.
     pub fn pread(&self, b: &dyn Backing, buf: &mut [u8], off: u64) -> Result<usize> {
-        if off >= self.index.eof() || buf.is_empty() {
+        match &self.source {
+            IndexSource::Eager(index) => self.pread_slices(index, b, buf, off),
+            IndexSource::Compact(cs) => self.pread_windows(cs, b, buf, off),
+        }
+    }
+
+    /// The bounded-index read path: split the request on view-window
+    /// boundaries and serve each piece from that window's cached partial
+    /// index. Each window resolves identically to the eager index (entries
+    /// outside a window cannot shadow bytes inside it), so the assembled
+    /// read is byte-identical to the eager path.
+    fn pread_windows(
+        &self,
+        cs: &CompactSource,
+        b: &dyn Backing,
+        buf: &mut [u8],
+        off: u64,
+    ) -> Result<usize> {
+        let eof = cs.compact.eof();
+        if off >= eof || buf.is_empty() {
+            return Ok(0);
+        }
+        let end = off.saturating_add(buf.len() as u64).min(eof);
+        let mut cursor = off;
+        while cursor < end {
+            let w = cursor / cs.window;
+            let wend = (w + 1).saturating_mul(cs.window).min(end);
+            let view = cs.view(w);
+            let dst_start = (cursor - off) as usize;
+            let dst = &mut buf[dst_start..dst_start + (wend - cursor) as usize];
+            self.pread_slices(&view, b, dst, cursor)?;
+            cursor = wend;
+        }
+        Ok((end - off) as usize)
+    }
+
+    /// Resolve `[off, off + buf.len())` against `index` and fill `buf` from
+    /// the data droppings (zeros for holes). Returns bytes read, clamped at
+    /// the index's EOF.
+    fn pread_slices(
+        &self,
+        index: &GlobalIndex,
+        b: &dyn Backing,
+        buf: &mut [u8],
+        off: u64,
+    ) -> Result<usize> {
+        if off >= index.eof() || buf.is_empty() {
             return Ok(0);
         }
         let want = buf.len() as u64;
-        let slices = self.index.resolve(off, want);
+        let slices = index.resolve(off, want);
         let mut total = 0usize;
         for s in &slices {
             let dst_start = (s.logical_offset - off) as usize;
@@ -199,10 +387,16 @@ impl ReadFile {
         off: u64,
         threads: usize,
     ) -> Result<usize> {
-        if off >= self.index.eof() || buf.is_empty() {
+        // The bounded index serves reads window by window; fan-out inside a
+        // window isn't worth a thread handoff, so it stays serial.
+        let index = match &self.source {
+            IndexSource::Eager(i) => i,
+            IndexSource::Compact(_) => return self.pread(b, buf, off),
+        };
+        if off >= index.eof() || buf.is_empty() {
             return Ok(0);
         }
-        let slices = self.index.resolve(off, buf.len() as u64);
+        let slices = index.resolve(off, buf.len() as u64);
         if threads <= 1 || slices.len() < 2 {
             return self.pread(b, buf, off);
         }
@@ -539,6 +733,156 @@ mod tests {
         assert_eq!(
             r.read_all(&b).unwrap(),
             b"0000000011111111222222223333333344444444"
+        );
+    }
+
+    /// Open with a bounded index and shrink the view window so small test
+    /// files still span many windows.
+    fn open_bounded(b: &MemBacking, budget: usize, window: u64) -> ReadFile {
+        let conf = ReadConf::default().with_index_memory_bytes(budget);
+        let mut r = ReadFile::open_with(b, "/c", conf).unwrap();
+        match &mut r.source {
+            IndexSource::Compact(cs) => cs.window = window,
+            IndexSource::Eager(_) => unreachable!("budget > 0 must go compact"),
+        }
+        r
+    }
+
+    fn strided_container() -> (MemBacking, ContainerParams) {
+        let (b, p) = setup();
+        // Interleaved strided writers plus overlapping rewrites: the shapes
+        // that stress window-boundary resolution.
+        for pid in 0..4u64 {
+            let mut w = WriteFile::open(&b, "/c", &p, pid, 4096).unwrap();
+            for row in 0..64u64 {
+                w.write(&[pid as u8 + 1; 32], (row * 4 + pid) * 32).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let mut w = WriteFile::open(&b, "/c", &p, 9, 64).unwrap();
+        w.write(&[0xEE; 700], 500).unwrap();
+        w.write(&[0xDD; 40], 8100).unwrap();
+        w.sync().unwrap();
+        (b, p)
+    }
+
+    #[test]
+    fn bounded_index_reads_match_eager() {
+        let (b, _p) = strided_container();
+        let eager = ReadFile::open(&b, "/c").unwrap();
+        let expect = eager.read_all(&b).unwrap();
+        let r = open_bounded(&b, 1 << 20, 256);
+        assert!(r.bounded_index());
+        assert_eq!(r.eof(), eager.eof());
+        assert_eq!(r.read_all(&b).unwrap(), expect, "windowed == eager");
+        // Unaligned reads crossing window boundaries.
+        for (off, len) in [
+            (0u64, 1usize),
+            (200, 300),
+            (255, 2),
+            (500, 3000),
+            (8000, 400),
+        ] {
+            let mut got = vec![0u8; len];
+            let n = r.pread(&b, &mut got, off).unwrap();
+            let mut want = vec![0u8; len];
+            let m = eager.pread(&b, &mut want, off).unwrap();
+            assert_eq!(n, m, "count at ({off}, {len})");
+            assert_eq!(got[..n], want[..m], "bytes at ({off}, {len})");
+        }
+    }
+
+    #[test]
+    fn bounded_index_full_view_matches_eager_index() {
+        let (b, _p) = strided_container();
+        let eager = ReadFile::open(&b, "/c").unwrap();
+        let r = open_bounded(&b, 1 << 20, 256);
+        assert_eq!(
+            r.index().iter_segments().collect::<Vec<_>>(),
+            eager.index().iter_segments().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bounded_index_evicts_to_budget() {
+        let (b, _p) = strided_container();
+        // A budget far below one view per window forces constant eviction.
+        let budget = 2 * VIEW_BASE_COST + 512;
+        let r = open_bounded(&b, budget, 128);
+        let eager = ReadFile::open(&b, "/c").unwrap();
+        let expect = eager.read_all(&b).unwrap();
+        // Sweep forward and backward so the LRU actually cycles.
+        for off in (0..expect.len() as u64)
+            .step_by(97)
+            .chain((0..8000).rev().step_by(311))
+        {
+            let mut buf = vec![0u8; 113];
+            let n = r.pread(&b, &mut buf, off).unwrap();
+            assert_eq!(&buf[..n], &expect[off as usize..off as usize + n]);
+            let cached = match &r.source {
+                IndexSource::Compact(cs) => cs.cached_view_bytes(),
+                IndexSource::Eager(_) => unreachable!(),
+            };
+            // The budget holds unless a single view alone exceeds it (the
+            // always-keep-current rule); with this data no window does.
+            assert!(cached <= budget, "view cache {cached} > budget {budget}");
+        }
+    }
+
+    #[test]
+    fn bounded_index_pread_auto_and_parallel_match() {
+        let (b, _p) = strided_container();
+        let eager = ReadFile::open(&b, "/c").unwrap();
+        let expect = eager.read_all(&b).unwrap();
+        let conf = ReadConf::default()
+            .with_index_memory_bytes(1 << 20)
+            .with_threads(4)
+            .with_fanout_threshold(64);
+        let r = ReadFile::open_with(&b, "/c", conf).unwrap();
+        let mut buf = vec![0u8; expect.len()];
+        assert_eq!(r.pread_auto(&b, &mut buf, 0).unwrap(), expect.len());
+        assert_eq!(buf, expect);
+        let mut buf = vec![0u8; 2000];
+        let n = r.pread_parallel(&b, &mut buf, 300, 4).unwrap();
+        assert_eq!(&buf[..n], &expect[300..300 + n]);
+    }
+
+    #[test]
+    fn bounded_index_zero_budget_stays_eager() {
+        let (b, _p) = strided_container();
+        let r = ReadFile::open_with(&b, "/c", ReadConf::default()).unwrap();
+        assert!(!r.bounded_index(), "budget 0 keeps the eager path");
+    }
+
+    #[test]
+    fn bounded_index_resident_bytes_stay_below_eager_for_patterns() {
+        let (b, p) = setup();
+        // One big strided run per writer, index buffer deep enough that the
+        // whole run compresses to a single pattern record.
+        for pid in 0..4u64 {
+            let mut w = WriteFile::open(&b, "/c", &p, pid, 4096).unwrap();
+            for row in 0..512u64 {
+                w.write(&[1; 16], (row * 4 + pid) * 16).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let eager = ReadFile::open(&b, "/c").unwrap();
+        let r = open_bounded(&b, 4096, 1024);
+        // Touch a few scattered offsets, then compare residency.
+        for off in [0u64, 9000, 20000, 31000] {
+            let mut x = [0u8; 64];
+            let mut y = [0u8; 64];
+            assert_eq!(
+                r.pread(&b, &mut x, off).unwrap(),
+                eager.pread(&b, &mut y, off).unwrap()
+            );
+            assert_eq!(x, y);
+        }
+        assert!(
+            r.index_resident_bytes() < eager.index_resident_bytes() / 4,
+            "compact {} vs eager {}",
+            r.index_resident_bytes(),
+            eager.index_resident_bytes()
         );
     }
 

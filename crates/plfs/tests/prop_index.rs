@@ -1,7 +1,7 @@
 //! Property tests: the global index against a brute-force byte map.
 
-use plfs::index::encode_compressed;
-use plfs::{GlobalIndex, IndexEntry};
+use plfs::index::{encode_compressed, OFFSET_MAX};
+use plfs::{CompactIndex, Error, GlobalIndex, IndexEntry};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -91,11 +91,12 @@ proptest! {
         }
     }
 
-    /// Encode/decode round-trips arbitrary records.
+    /// Encode/decode round-trips every record whose logical and physical
+    /// spans stay inside off_t range (the only records the writer emits).
     #[test]
     fn record_codec_roundtrip(
-        lo in 0u64..u64::MAX / 2, len in 0u64..u64::MAX / 2,
-        phys in any::<u64>(), drop_id in any::<u32>(),
+        lo in 0u64..1 << 62, len in 0u64..1 << 61,
+        phys in 0u64..1 << 62, drop_id in any::<u32>(),
         ts in any::<u64>(), pid in any::<u64>()
     ) {
         let e = IndexEntry {
@@ -109,6 +110,29 @@ proptest! {
         let mut buf = Vec::new();
         e.encode(&mut buf);
         prop_assert_eq!(IndexEntry::decode(&buf).unwrap(), e);
+    }
+
+    /// Records whose spans leave off_t range never decode — a hostile
+    /// 48-byte record cannot smuggle a wrapping extent past the reader.
+    #[test]
+    fn record_decode_rejects_off_t_overflow(
+        lo in (1u64 << 62)..u64::MAX, len in (1u64 << 62)..u64::MAX,
+        phys in any::<u64>(), drop_id in any::<u32>(),
+        ts in any::<u64>(), pid in any::<u64>()
+    ) {
+        let e = IndexEntry {
+            logical_offset: lo,
+            length: len,
+            physical_offset: phys,
+            dropping_id: drop_id,
+            timestamp: ts,
+            pid,
+        };
+        prop_assert!(lo.checked_add(len).is_none_or(|end| end > OFFSET_MAX));
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let err = IndexEntry::decode(&buf).unwrap_err();
+        prop_assert!(matches!(err, Error::Corrupt(_)), "{:?}", err);
     }
 
     /// The segment count never exceeds the entry count (coalescing only
@@ -179,6 +203,81 @@ proptest! {
         let records = encode_compressed(&entries, 3, &mut buf);
         prop_assert_eq!(records, 1);
         prop_assert_eq!(IndexEntry::decode_all(&buf).unwrap(), entries);
+    }
+
+    /// Overlapping strides (stride < length, each write shadowing part of
+    /// the previous one) still round-trip losslessly through pattern
+    /// compression: newest-wins resolution depends on exact timestamps,
+    /// so the expansion must reproduce them bit-for-bit.
+    #[test]
+    fn overlapping_stride_runs_roundtrip(
+        start in 0u64..10_000,
+        len in 2u64..2048,
+        stride in 1u64..2048,
+        count in 3usize..100,
+    ) {
+        let stride = stride.min(len - 1); // force overlap
+        let entries: Vec<IndexEntry> = (0..count as u64)
+            .map(|i| IndexEntry {
+                logical_offset: start + i * stride,
+                length: len,
+                physical_offset: i * len,
+                dropping_id: 0,
+                timestamp: i + 1,
+                pid: 1,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        let records = encode_compressed(&entries, 3, &mut buf);
+        prop_assert_eq!(records, 1);
+        prop_assert_eq!(IndexEntry::decode_all(&buf).unwrap(), entries);
+    }
+
+    /// The compact index is byte-identical to the eager path: for any
+    /// window, decode → view → resolve produces exactly the slices the
+    /// fully-expanded GlobalIndex resolves, and the full view matches EOF.
+    #[test]
+    fn compact_view_matches_eager_index(
+        raw in entries(24),
+        min_run in 2usize..6,
+        off in 0u64..3000,
+        len in 1u64..600,
+    ) {
+        // Writer-shaped records: consecutive timestamps, log-contiguous
+        // physical offsets (what encode_compressed actually sees).
+        let mut phys = 0u64;
+        let es: Vec<IndexEntry> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, elen, _, _))| {
+                let e = IndexEntry {
+                    logical_offset: lo,
+                    length: elen,
+                    physical_offset: phys,
+                    dropping_id: 3,
+                    timestamp: i as u64 + 1,
+                    pid: 9,
+                };
+                phys += elen;
+                e
+            })
+            .collect();
+        let mut eager = GlobalIndex::default();
+        for e in &es {
+            eager.insert(*e);
+        }
+        let mut buf = Vec::new();
+        encode_compressed(&es, min_run, &mut buf);
+        let run = CompactIndex::decode_dropping(&buf, 3).unwrap();
+        let compact = CompactIndex::from_runs(vec![run]);
+        prop_assert_eq!(compact.eof(), eager.eof());
+        prop_assert_eq!(compact.expanded_entries(), es.len());
+        // Windowed view agrees with the eager index inside the window.
+        let view = compact.view(off, len);
+        prop_assert_eq!(view.resolve(off, len), eager.resolve(off, len));
+        // The full view agrees everywhere.
+        let full = compact.view(0, u64::MAX);
+        prop_assert_eq!(full.resolve(0, eager.eof()), eager.resolve(0, eager.eof()));
     }
 
     /// Truncate never grows EOF and clamps resolution.

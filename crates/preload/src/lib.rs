@@ -31,6 +31,12 @@
 //! I/O (stdio's `fread`, `mmap`) sees them without further interposition.
 //! Set `LDPLFS_SNAPSHOT_READS=0` to force the interposed read path instead.
 //!
+//! Tuning knobs (all optional): `LDPLFS_HOSTDIRS`, `LDPLFS_META_CACHE`,
+//! `LDPLFS_OPEN_MARKERS`, `LDPLFS_INDEX_MEMORY_BYTES` (bound the resident
+//! merged index; 0 keeps the eager index), and `LDPLFS_COMPACT_THRESHOLD`
+//! (fold droppings in the background after last close once a container
+//! exceeds this many).
+//!
 //! Known limitation (shared with the original): descriptors inherited
 //! *across `execve`* lose their PLFS identity, so shell output redirection
 //! `> /mount/file` feeding an exec'd child is not supported; tools that
@@ -199,6 +205,23 @@ fn init_shim() -> Option<Shim> {
             }
         }
         plfs = plfs.with_meta_conf(meta_conf);
+        // LDPLFS_INDEX_MEMORY_BYTES bounds the resident merged index
+        // (mirrors the plfsrc index_memory_bytes key; 0 or unset keeps the
+        // eager fully-expanded index). LDPLFS_COMPACT_THRESHOLD opts into
+        // background compaction at last close once a container accumulates
+        // more droppings than the threshold.
+        if let Ok(n) = std::env::var("LDPLFS_INDEX_MEMORY_BYTES") {
+            if let Ok(n) = n.parse::<usize>() {
+                let conf = plfs.read_conf().with_index_memory_bytes(n);
+                plfs = plfs.with_read_conf(conf);
+            }
+        }
+        if let Ok(n) = std::env::var("LDPLFS_COMPACT_THRESHOLD") {
+            if let Ok(n) = n.parse::<usize>() {
+                let conf = plfs.write_conf().with_compact_droppings_threshold(n);
+                plfs = plfs.with_write_conf(conf);
+            }
+        }
         Some(Shim {
             mount,
             plfs,

@@ -110,6 +110,23 @@ pub fn flatten(b: &dyn Backing, container: &str, dest: &str) -> ToolResult {
     Ok(format!("wrote {n} bytes to {dest}\n"))
 }
 
+/// `compact`: fold a container's droppings into one flattened pair in
+/// place. Refuses while writers hold the container open.
+pub fn compact(b: &dyn Backing, container: &str) -> ToolResult {
+    let stats = plfs::flatten::compact_container(b, container)?;
+    if stats.droppings_before == stats.droppings_after {
+        Ok(format!(
+            "already compact: {} dropping(s), {} logical bytes\n",
+            stats.droppings_after, stats.bytes
+        ))
+    } else {
+        Ok(format!(
+            "compacted {} droppings into 1 ({} logical bytes)\n",
+            stats.droppings_before, stats.bytes
+        ))
+    }
+}
+
 /// `check`: integrity report.
 pub fn check(b: &dyn Backing, container: &str) -> ToolResult {
     let report = plfs::check(b, container)?;
@@ -489,6 +506,18 @@ fn gate_metrics(doc: &jsonlite::Value) -> Result<Vec<(String, f64, bool)>, ToolE
                 }
             }
         }
+        "indexscale" => {
+            // Both ratios are algorithmic (resident-byte counts and a
+            // latency ratio between two in-process paths), stable across
+            // runner speeds. Lower is better for both: memory_ratio ≈ 1
+            // means residency does not scale with entries, latency_ratio
+            // ≈ 1 means cold reads stay flat.
+            for name in ["memory_ratio", "latency_ratio"] {
+                if let Some(v) = data.get(name).and_then(|v| v.as_f64()) {
+                    out.push((name.to_string(), v, false));
+                }
+            }
+        }
         "table2" => {
             for row in data.as_array().unwrap_or(&[]) {
                 if let (Some(tool), Some(plfs), Some(std_)) = (
@@ -629,6 +658,20 @@ mod tests {
         let out = flatten(b.as_ref(), "/c", "/flat").unwrap();
         assert!(out.contains("wrote 128 bytes"));
         assert_eq!(b.stat("/flat").unwrap().size, 128);
+    }
+
+    #[test]
+    fn compact_folds_droppings_and_reports() {
+        let b = container();
+        let out = compact(b.as_ref(), "/c").unwrap();
+        assert!(out.contains("compacted 2 droppings into 1"), "{out}");
+        assert!(out.contains("128 logical bytes"), "{out}");
+        let d = plfs::container::list_droppings(b.as_ref(), "/c").unwrap();
+        assert_eq!(d.len(), 1);
+        // A second run is a no-op and says so.
+        let out = compact(b.as_ref(), "/c").unwrap();
+        assert!(out.contains("already compact"), "{out}");
+        assert!(flatten(b.as_ref(), "/c", "/flat").unwrap().contains("128"));
     }
 
     #[test]
@@ -921,6 +964,32 @@ mod tests {
         assert!(benchgate(&doc(10.0), &doc(11.0), 0.30).is_ok());
         let err = benchgate(&doc(10.0), &doc(14.0), 0.30).unwrap_err();
         assert!(matches!(err, ToolError::Gate(_)), "{err:?}");
+    }
+
+    #[test]
+    fn benchgate_indexscale_gates_memory_and_latency_ratios() {
+        let doc = |mem: f64, lat: f64| {
+            format!(
+                "{{\"figure\":\"indexscale\",\"data\":{{\"rows\":[],\
+                 \"memory_ratio\":{mem},\"latency_ratio\":{lat}}},\"trace\":{{}}}}"
+            )
+        };
+        let out = benchcheck(&doc(1.0, 1.0), "BENCH_indexscale.json").unwrap();
+        assert!(out.contains("2 gated metric"), "{out}");
+        // Both ratios are lower-is-better: shrinking is fine, growing past
+        // the threshold trips the matching metric.
+        assert!(benchgate(&doc(1.5, 1.0), &doc(1.0, 1.0), 0.30).is_ok());
+        assert!(benchgate(&doc(1.0, 1.0), &doc(1.2, 1.1), 0.30).is_ok());
+        let err = benchgate(&doc(1.0, 1.0), &doc(2.0, 1.0), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("memory_ratio")),
+            "{err:?}"
+        );
+        let err = benchgate(&doc(1.0, 1.0), &doc(1.0, 1.5), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("latency_ratio")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! plfs-tools stat    /path/to/backend/file      # structure summary
 //! plfs-tools map     /path/to/backend/file      # logical→physical extents
 //! plfs-tools flatten /path/to/backend/file OUT  # extract raw bytes
+//! plfs-tools compact /path/to/backend/file      # fold droppings into one
 //! plfs-tools check   /path/to/backend/file      # integrity report
 //! plfs-tools repair  /path/to/backend/file [--clear-markers]
 //! plfs-tools ls      /path/to/backend           # list, tagging containers
@@ -35,7 +36,7 @@ fn main() {
 fn run(args: &[String]) -> plfs_tools::ToolResult {
     let usage = || {
         plfs_tools::ToolError::Usage(
-            "commands: stat|map|flatten|check|repair|ls|du|rm|version|rccheck|trace|\
+            "commands: stat|map|flatten|compact|check|repair|ls|du|rm|version|rccheck|trace|\
              benchcheck|benchgate|lint (see --help)"
                 .to_string(),
         )
@@ -134,6 +135,7 @@ fn run(args: &[String]) -> plfs_tools::ToolResult {
                 .unwrap_or_else(|| format!("{container}.flat"));
             plfs_tools::flatten(&b, &container, &dest)
         }
+        "compact" => plfs_tools::compact(&b, &container),
         "check" => plfs_tools::check(&b, &container),
         "repair" => {
             let clear = args.iter().any(|a| a == "--clear-markers");

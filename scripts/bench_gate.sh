@@ -3,7 +3,8 @@
 # diff them against the committed baselines in results/. Fails when a
 # gated metric (read-path open speedup, write-path refresh speedup,
 # Table II shim-overhead ratio, metadata ops-per-open reduction and
-# MDS-storm speedup) regresses by more than the threshold. Only runner-speed-independent
+# MDS-storm speedup, index-residency memory/latency ratios) regresses by
+# more than the threshold. Only runner-speed-independent
 # ratios are gated, so the comparison is meaningful across machines; CI
 # runs this as a non-blocking job to start.
 #
@@ -23,9 +24,11 @@ cargo run --offline --release -q -p bench --bin paperbench -- \
     table2 --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p bench --bin paperbench -- \
     metadata --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    indexscale --emit-json "$tmp" > /dev/null
 
 status=0
-for fig in readpath writepath table2 metadata; do
+for fig in readpath writepath table2 metadata indexscale; do
     base="results/BENCH_${fig}.json"
     fresh="$tmp/BENCH_${fig}.json"
     if [ ! -f "$base" ]; then

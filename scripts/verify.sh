@@ -30,6 +30,8 @@ cargo run --offline --release -q -p bench --bin paperbench -- \
     table2 --gb 1 --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p bench --bin paperbench -- \
     metadata --quick --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    indexscale --quick --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p plfs-tools -- benchcheck "$tmp"/BENCH_*.json
 
 echo "verify: OK"
