@@ -11,6 +11,7 @@
 //! paperbench writepath [--quick] # serial vs sharded/buffered writers
 //! paperbench metadata [--quick]  # per-open metadata ops + MDS-storm projection
 //! paperbench indexscale [--quick] # eager vs bounded merged-index residency
+//! paperbench noncontig [--quick] # list I/O vs data sieving on strided views
 //! paperbench all [--quick]       # everything above
 //! paperbench ... --json PATH     # also dump JSON for EXPERIMENTS.md
 //! paperbench ... --emit-json DIR # figure data + per-layer op/latency trace
@@ -19,9 +20,9 @@
 use apps::nas_bt::BtClass;
 use bench::{
     crossover, fig3, fig4, fig5_with, indexscale_comparison, metadata_comparison,
-    readpath_comparison, readpath_projection, render_indexscale, render_metadata, render_panel,
-    render_readpath, render_readpath_projection, render_table2, render_writepath, table2,
-    writepath_comparison, Scale,
+    noncontig_comparison, readpath_comparison, readpath_projection, render_indexscale,
+    render_metadata, render_noncontig, render_panel, render_readpath, render_readpath_projection,
+    render_table2, render_writepath, table2, writepath_comparison, Scale,
 };
 use jsonlite::{ToJson, Value};
 use simfs::presets;
@@ -306,6 +307,19 @@ fn cmd_indexscale(args: &Args) {
     trace_emit(args, "indexscale", &report);
 }
 
+fn cmd_noncontig(args: &Args) {
+    println!("# Noncontiguous I/O: list I/O vs data sieving vs per-extent lowering\n");
+    trace_begin(args);
+    let report = noncontig_comparison(scale(args.quick));
+    println!("## Simulated block-cyclic checkpoint (write + read back)\n");
+    println!("{}", render_noncontig(&report));
+    println!(
+        "(sieving pays a 512 KiB read-modify-write per strided extent; PLFS\n          list I/O batches every extent of a view access into one op and one\n          index record — the per-extent column isolates the batching win)\n"
+    );
+    dump_json(&args.json, "noncontig", &report);
+    trace_emit(args, "noncontig", &report);
+}
+
 fn cmd_crossover(args: &Args) {
     println!("# PLFS benefit crossover (FLASH-IO, LDPLFS vs MPI-IO)\n");
     for (platform, label) in [
@@ -343,6 +357,7 @@ fn main() {
         "writepath" => cmd_writepath(&args),
         "metadata" => cmd_metadata(&args),
         "indexscale" => cmd_indexscale(&args),
+        "noncontig" => cmd_noncontig(&args),
         "all" => {
             cmd_table1();
             cmd_fig3(&args);
@@ -356,10 +371,11 @@ fn main() {
             cmd_writepath(&args);
             cmd_metadata(&args);
             cmd_indexscale(&args);
+            cmd_noncontig(&args);
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|writepath|metadata|indexscale|all] \
+                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|writepath|metadata|indexscale|noncontig|all] \
                  [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR] [--emit-json DIR]"
             );
         }

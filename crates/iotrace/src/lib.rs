@@ -124,11 +124,20 @@ pub enum OpKind {
     MetaCacheMiss,
     /// An `openhosts/` writer-marker create or unlink.
     OpenMarker,
+    /// A noncontiguous extent vector written through the list-I/O path
+    /// (one index-record batch for the whole vector).
+    ListWrite,
+    /// A noncontiguous extent vector read through the list-I/O path (one
+    /// merged-index query fanned out over all extents).
+    ListRead,
+    /// A noncontiguous access lowered to the read-modify-write data-sieving
+    /// path because list I/O was unavailable or disabled.
+    SieveFallback,
 }
 
 impl OpKind {
     /// Every op kind, in reporting order.
-    pub const ALL: [OpKind; 17] = [
+    pub const ALL: [OpKind; 20] = [
         OpKind::Open,
         OpKind::Close,
         OpKind::Read,
@@ -146,6 +155,9 @@ impl OpKind {
         OpKind::MetaCacheHit,
         OpKind::MetaCacheMiss,
         OpKind::OpenMarker,
+        OpKind::ListWrite,
+        OpKind::ListRead,
+        OpKind::SieveFallback,
     ];
 
     /// Stable lower-case name (JSON field value).
@@ -168,6 +180,9 @@ impl OpKind {
             OpKind::MetaCacheHit => "meta_cache_hit",
             OpKind::MetaCacheMiss => "meta_cache_miss",
             OpKind::OpenMarker => "open_marker",
+            OpKind::ListWrite => "list_write",
+            OpKind::ListRead => "list_read",
+            OpKind::SieveFallback => "sieve_fallback",
         }
     }
 
@@ -187,6 +202,9 @@ impl OpKind {
                 | OpKind::ReadFanout
                 | OpKind::DataBufferFlush
                 | OpKind::AppendFastpath
+                | OpKind::ListWrite
+                | OpKind::ListRead
+                | OpKind::SieveFallback
         )
     }
 
@@ -209,6 +227,9 @@ impl OpKind {
             OpKind::MetaCacheHit => 14,
             OpKind::MetaCacheMiss => 15,
             OpKind::OpenMarker => 16,
+            OpKind::ListWrite => 17,
+            OpKind::ListRead => 18,
+            OpKind::SieveFallback => 19,
         }
     }
 }
@@ -1078,6 +1099,9 @@ mod tests {
         assert_eq!(OpKind::MetaCacheHit.as_str(), "meta_cache_hit");
         assert_eq!(OpKind::MetaCacheMiss.as_str(), "meta_cache_miss");
         assert_eq!(OpKind::OpenMarker.as_str(), "open_marker");
+        assert_eq!(OpKind::ListWrite.as_str(), "list_write");
+        assert_eq!(OpKind::ListRead.as_str(), "list_read");
+        assert_eq!(OpKind::SieveFallback.as_str(), "sieve_fallback");
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub fn from_plfsrc(
         let plfs = plfs_for_spec(spec, &mut backing_for)?
             .with_read_conf(rc.read_conf())
             .with_write_conf(write_conf)
-            .with_meta_conf(rc.meta_conf());
+            .with_meta_conf(rc.meta_conf())
+            .with_list_io_conf(rc.list_io_conf());
         builder = builder.mount(spec.mount_point.clone(), plfs);
     }
     builder.build()
@@ -181,6 +182,15 @@ mod tests {
         assert_eq!(conf.meta_cache_entries, 64);
         assert_eq!(conf.meta_cache_shards, 2);
         assert_eq!(conf.open_markers, plfs::OpenMarkers::Lazy);
+    }
+
+    #[test]
+    fn from_plfsrc_plumbs_list_io_conf() {
+        let rc = "list_io off\nlist_io_max_extents 7\nmount_point /ckpt\nbackends /be\n";
+        let s = from_plfsrc(under("lconf"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        let conf = s.mounts()[0].plfs.list_io_conf();
+        assert!(!conf.enabled);
+        assert_eq!(conf.max_extents, 7);
     }
 
     #[test]

@@ -120,6 +120,106 @@ pub trait PosixLayer: Send + Sync {
     fn pread(&self, fd: Fd, buf: &mut [u8], off: u64) -> PosixResult<usize>;
     /// `pwrite(2)`: positional write; does not move the cursor.
     fn pwrite(&self, fd: Fd, buf: &[u8], off: u64) -> PosixResult<usize>;
+    /// `readv(2)`: scatter a cursor-positioned read over `bufs` in order.
+    /// The default lowers to one [`PosixLayer::read`] per buffer, stopping
+    /// at the first short read (EOF) — layers with a native vectored path
+    /// override this to serve the whole vector in one operation.
+    fn readv(&self, fd: Fd, bufs: &mut [&mut [u8]]) -> PosixResult<usize> {
+        let mut total = 0;
+        for buf in bufs.iter_mut() {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = self.read(fd, buf)?;
+            total += n;
+            if n < buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// `writev(2)`: gather `bufs` into one cursor-positioned write. The
+    /// default lowers to one [`PosixLayer::write`] per buffer, stopping at
+    /// the first short write.
+    fn writev(&self, fd: Fd, bufs: &[&[u8]]) -> PosixResult<usize> {
+        let mut total = 0;
+        for buf in bufs {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = self.write(fd, buf)?;
+            total += n;
+            if n < buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// `preadv(2)`: positional scatter read; does not move the cursor.
+    /// Buffers fill from consecutive file offsets starting at `off`.
+    fn preadv(&self, fd: Fd, bufs: &mut [&mut [u8]], off: u64) -> PosixResult<usize> {
+        let mut total = 0;
+        let mut pos = off;
+        for buf in bufs.iter_mut() {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = self.pread(fd, buf, pos)?;
+            total += n;
+            pos += n as u64;
+            if n < buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// `pwritev(2)`: positional gather write; does not move the cursor.
+    fn pwritev(&self, fd: Fd, bufs: &[&[u8]], off: u64) -> PosixResult<usize> {
+        let mut total = 0;
+        let mut pos = off;
+        for buf in bufs {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = self.pwrite(fd, buf, pos)?;
+            total += n;
+            pos += n as u64;
+            if n < buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// `preadv2(2)`: like [`PosixLayer::preadv`], but an offset of `-1`
+    /// means "use (and advance) the cursor", i.e. `readv` semantics. Flags
+    /// (`RWF_*`) are accepted and ignored, like a file system without
+    /// per-call hints.
+    fn preadv2(&self, fd: Fd, bufs: &mut [&mut [u8]], off: i64, _flags: u32) -> PosixResult<usize> {
+        if off == -1 {
+            self.readv(fd, bufs)
+        } else if off < 0 {
+            Err(Errno::EINVAL)
+        } else {
+            self.preadv(fd, bufs, off as u64)
+        }
+    }
+
+    /// `pwritev2(2)`: like [`PosixLayer::pwritev`], with `-1` meaning
+    /// `writev` semantics; flags accepted and ignored.
+    fn pwritev2(&self, fd: Fd, bufs: &[&[u8]], off: i64, _flags: u32) -> PosixResult<usize> {
+        if off == -1 {
+            self.writev(fd, bufs)
+        } else if off < 0 {
+            Err(Errno::EINVAL)
+        } else {
+            self.pwritev(fd, bufs, off as u64)
+        }
+    }
+
     /// `lseek(2)`: move the cursor; returns the new offset.
     fn lseek(&self, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64>;
     /// `fsync(2)`.

@@ -173,6 +173,94 @@ impl PosixLayer for RealPosix {
         Ok(n)
     }
 
+    fn readv(&self, fd: Fd, bufs: &mut [&mut [u8]]) -> PosixResult<usize> {
+        let d = self.desc(fd)?;
+        if !d.readable {
+            return Err(Errno::EBADF);
+        }
+        // One lock acquisition for the whole vector: the scatter is atomic
+        // with respect to other readers/writers of this description.
+        let mut f = d.file.lock();
+        let mut total = 0;
+        for buf in bufs.iter_mut() {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = f.read(buf).map_err(Errno::from)?;
+            total += n;
+            if n < buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    fn writev(&self, fd: Fd, bufs: &[&[u8]]) -> PosixResult<usize> {
+        let d = self.desc(fd)?;
+        if !d.writable {
+            return Err(Errno::EBADF);
+        }
+        let mut f = d.file.lock();
+        let mut total = 0;
+        for buf in bufs {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = f.write(buf).map_err(Errno::from)?;
+            total += n;
+            if n < buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    fn preadv(&self, fd: Fd, bufs: &mut [&mut [u8]], off: u64) -> PosixResult<usize> {
+        let d = self.desc(fd)?;
+        if !d.readable {
+            return Err(Errno::EBADF);
+        }
+        let mut f = d.file.lock();
+        let saved = f.stream_position().map_err(Errno::from)?;
+        f.seek(SeekFrom::Start(off)).map_err(Errno::from)?;
+        let mut total = 0;
+        for buf in bufs.iter_mut() {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = f.read(buf).map_err(Errno::from)?;
+            total += n;
+            if n < buf.len() {
+                break;
+            }
+        }
+        f.seek(SeekFrom::Start(saved)).map_err(Errno::from)?;
+        Ok(total)
+    }
+
+    fn pwritev(&self, fd: Fd, bufs: &[&[u8]], off: u64) -> PosixResult<usize> {
+        let d = self.desc(fd)?;
+        if !d.writable {
+            return Err(Errno::EBADF);
+        }
+        let mut f = d.file.lock();
+        let saved = f.stream_position().map_err(Errno::from)?;
+        f.seek(SeekFrom::Start(off)).map_err(Errno::from)?;
+        let mut total = 0;
+        for buf in bufs {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = f.write(buf).map_err(Errno::from)?;
+            total += n;
+            if n < buf.len() {
+                break;
+            }
+        }
+        f.seek(SeekFrom::Start(saved)).map_err(Errno::from)?;
+        Ok(total)
+    }
+
     fn lseek(&self, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
         let d = self.desc(fd)?;
         let mut f = d.file.lock();

@@ -355,6 +355,152 @@ impl PosixLayer for LdPlfs {
         r
     }
 
+    fn readv(&self, fd: Fd, bufs: &mut [&mut [u8]]) -> PosixResult<usize> {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
+            Some((st, _)) => {
+                let r = (|| {
+                    let total: usize = bufs.iter().map(|b| b.len()).sum();
+                    if total == 0 {
+                        return Ok(0);
+                    }
+                    // readv is contiguous in the file: one list read covers
+                    // the whole vector (one index query), then the bytes are
+                    // scattered over the caller's buffers.
+                    let off = self.cursor(fd)?;
+                    let mut gather = vec![0u8; total];
+                    let n = st.plfs_fd.read_list(&mut gather, &[(off, total as u64)])?;
+                    let mut pos = 0;
+                    for buf in bufs.iter_mut() {
+                        if pos >= n {
+                            break;
+                        }
+                        let take = buf.len().min(n - pos);
+                        buf[..take].copy_from_slice(&gather[pos..pos + take]);
+                        pos += take;
+                    }
+                    self.set_cursor(fd, off + n as u64)?;
+                    Ok(n)
+                })();
+                (r, true)
+            }
+            None => (self.under.readv(fd, bufs), false),
+        };
+        self.track(OpClass::Read, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::ListRead)
+                .fd(fd as i64)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
+    }
+
+    fn writev(&self, fd: Fd, bufs: &[&[u8]]) -> PosixResult<usize> {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
+            Some((st, _open_pid)) => {
+                let r = (|| {
+                    let total: usize = bufs.iter().map(|b| b.len()).sum();
+                    if total == 0 {
+                        return Ok(0);
+                    }
+                    let pid = current_pid();
+                    // Gather the iovecs into one contiguous extent so the
+                    // whole vector costs a single PLFS index record instead
+                    // of one per buffer.
+                    let mut gather = Vec::with_capacity(total);
+                    for buf in bufs {
+                        gather.extend_from_slice(buf);
+                    }
+                    let (off, n) = if st.append {
+                        st.plfs_fd.append(&gather, pid)?
+                    } else {
+                        let off = self.cursor(fd)?;
+                        let n = st
+                            .plfs_fd
+                            .write_list(&gather, &[(off, total as u64)], pid)?;
+                        (off, n)
+                    };
+                    self.set_cursor(fd, off + n as u64)?;
+                    Ok(n)
+                })();
+                (r, true)
+            }
+            None => (self.under.writev(fd, bufs), false),
+        };
+        self.track(OpClass::Write, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::ListWrite)
+                .fd(fd as i64)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
+    }
+
+    fn preadv(&self, fd: Fd, bufs: &mut [&mut [u8]], off: u64) -> PosixResult<usize> {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
+            Some((st, _)) => {
+                let r = (|| {
+                    let total: usize = bufs.iter().map(|b| b.len()).sum();
+                    if total == 0 {
+                        return Ok(0);
+                    }
+                    let mut gather = vec![0u8; total];
+                    let n = st.plfs_fd.read_list(&mut gather, &[(off, total as u64)])?;
+                    let mut pos = 0;
+                    for buf in bufs.iter_mut() {
+                        if pos >= n {
+                            break;
+                        }
+                        let take = buf.len().min(n - pos);
+                        buf[..take].copy_from_slice(&gather[pos..pos + take]);
+                        pos += take;
+                    }
+                    Ok(n)
+                })();
+                (r, true)
+            }
+            None => (self.under.preadv(fd, bufs, off), false),
+        };
+        self.track(OpClass::Read, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::ListRead)
+                .fd(fd as i64)
+                .offset(off)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
+    }
+
+    fn pwritev(&self, fd: Fd, bufs: &[&[u8]], off: u64) -> PosixResult<usize> {
+        let t0 = iotrace::global().start();
+        let (r, hit) = match self.entry_state(fd) {
+            Some((st, _open_pid)) => {
+                let r = (|| {
+                    let total: usize = bufs.iter().map(|b| b.len()).sum();
+                    if total == 0 {
+                        return Ok(0);
+                    }
+                    let pid = current_pid();
+                    let mut gather = Vec::with_capacity(total);
+                    for buf in bufs {
+                        gather.extend_from_slice(buf);
+                    }
+                    Ok(st
+                        .plfs_fd
+                        .write_list(&gather, &[(off, total as u64)], pid)?)
+                })();
+                (r, true)
+            }
+            None => (self.under.pwritev(fd, bufs, off), false),
+        };
+        self.track(OpClass::Write, hit, t0, || {
+            OpEvent::new(Layer::Shim, OpKind::ListWrite)
+                .fd(fd as i64)
+                .offset(off)
+                .bytes(*r.as_ref().unwrap_or(&0) as u64)
+        });
+        r
+    }
+
     fn lseek(&self, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
         let t0 = iotrace::global().start();
         let (r, hit) = match self.entry_state(fd) {
@@ -836,6 +982,89 @@ mod tests {
         let b = s.mounts()[0].plfs.backing().clone();
         let d = plfs::container::list_droppings(b.as_ref(), "/f").unwrap();
         assert!(d.len() >= 2, "expected >=2 droppings, got {}", d.len());
+    }
+
+    #[test]
+    fn vectored_io_round_trips_through_plfs() {
+        let s = shim();
+        let fd = s.open("/plfs/v", CREATE_RW, 0o644).unwrap();
+        assert_eq!(s.writev(fd, &[b"abc", b"", b"defgh"]).unwrap(), 8);
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 8, "cursor advanced");
+        s.lseek(fd, 0, Whence::Set).unwrap();
+        let mut a = [0u8; 2];
+        let mut b = [0u8; 6];
+        assert_eq!(s.readv(fd, &mut [&mut a[..], &mut b[..]]).unwrap(), 8);
+        assert_eq!(&a, b"ab");
+        assert_eq!(&b, b"cdefgh");
+        // Positional variants leave the cursor alone.
+        let mut c = [0u8; 3];
+        assert_eq!(s.preadv(fd, &mut [&mut c[..]], 2).unwrap(), 3);
+        assert_eq!(&c, b"cde");
+        s.pwritev(fd, &[b"X", b"Y"], 0).unwrap();
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 8, "cursor untouched");
+        let mut d = [0u8; 2];
+        s.pread(fd, &mut d, 0).unwrap();
+        assert_eq!(&d, b"XY");
+        s.close(fd).unwrap();
+    }
+
+    #[test]
+    fn writev_costs_one_index_record() {
+        let s = shim();
+        let fd = s.open("/plfs/one", CREATE_RW, 0o644).unwrap();
+        s.writev(fd, &[b"aaaa", b"bbbb", b"cccc"]).unwrap();
+        s.close(fd).unwrap();
+        let b = s.mounts()[0].plfs.backing().clone();
+        let d = plfs::container::list_droppings(b.as_ref(), "/one").unwrap();
+        let idx_bytes: u64 = d
+            .iter()
+            .filter_map(|dr| dr.index_path.as_deref())
+            .map(|p| b.stat(p).map(|st| st.size).unwrap_or(0))
+            .sum();
+        assert_eq!(
+            idx_bytes,
+            plfs::index::RECORD_SIZE as u64,
+            "three iovecs gathered into a single index record"
+        );
+    }
+
+    #[test]
+    fn writev_in_append_mode_lands_at_logical_eof() {
+        let s = shim();
+        let fd = s.open("/plfs/ap", CREATE_RW, 0o644).unwrap();
+        s.write(fd, b"head").unwrap();
+        s.close(fd).unwrap();
+        let fd = s
+            .open("/plfs/ap", OpenFlags::WRONLY | OpenFlags::APPEND, 0o644)
+            .unwrap();
+        assert_eq!(s.writev(fd, &[b"+t", b"ail"]).unwrap(), 5);
+        s.close(fd).unwrap();
+        assert_eq!(s.stat("/plfs/ap").unwrap().size, 9);
+    }
+
+    #[test]
+    fn preadv2_pwritev2_follow_offset_convention() {
+        let s = shim();
+        let fd = s.open("/plfs/v2", CREATE_RW, 0o644).unwrap();
+        // off = -1 means cursor semantics.
+        assert_eq!(s.pwritev2(fd, &[b"01", b"23"], -1, 0).unwrap(), 4);
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 4);
+        // Explicit offset does not move the cursor.
+        assert_eq!(s.pwritev2(fd, &[b"45"], 4, 0).unwrap(), 2);
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 4);
+        s.lseek(fd, 0, Whence::Set).unwrap();
+        let mut a = [0u8; 6];
+        assert_eq!(s.preadv2(fd, &mut [&mut a[..]], -1, 0).unwrap(), 6);
+        assert_eq!(&a, b"012345");
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 6);
+        let mut b = [0u8; 2];
+        assert_eq!(s.preadv2(fd, &mut [&mut b[..]], 2, 0).unwrap(), 2);
+        assert_eq!(&b, b"23");
+        assert_eq!(s.lseek(fd, 0, Whence::Cur).unwrap(), 6, "cursor untouched");
+        // Other negative offsets are EINVAL.
+        assert_eq!(s.preadv2(fd, &mut [&mut b[..]], -2, 0), Err(Errno::EINVAL));
+        assert_eq!(s.pwritev2(fd, &[b"x"], -2, 0), Err(Errno::EINVAL));
+        s.close(fd).unwrap();
     }
 
     #[test]

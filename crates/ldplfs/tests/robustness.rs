@@ -84,6 +84,63 @@ fn untracked_fd_ops_error_cleanly() {
 }
 
 #[test]
+fn untracked_fd_vectored_ops_pass_through_not_panic() {
+    let s = shim("untracked-vec");
+    let bogus = 9_999;
+    let mut a = [0u8; 4];
+    let mut b = [0u8; 4];
+    assert!(s.readv(bogus, &mut [&mut a[..], &mut b[..]]).is_err());
+    assert!(s.writev(bogus, &[b"x", b"y"]).is_err());
+    assert!(s.preadv(bogus, &mut [&mut a[..]], 0).is_err());
+    assert!(s.pwritev(bogus, &[b"x"], 0).is_err());
+    assert!(s.preadv2(bogus, &mut [&mut a[..]], -1, 0).is_err());
+    assert!(s.pwritev2(bogus, &[b"x"], -1, 0).is_err());
+    // An fd genuinely open on the UNDER layer (outside any mount) must be
+    // served by the under layer, not mistaken for a PLFS fd: the regression
+    // this guards is vectored calls on a tracked fd silently hitting the
+    // reserved backing fd (and vice versa).
+    let fd = s
+        .open("/outside.bin", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+        .unwrap();
+    assert_eq!(s.writev(fd, &[b"ab", b"cd"]).unwrap(), 4);
+    s.lseek(fd, 0, Whence::Set).unwrap();
+    let mut buf = [0u8; 4];
+    assert_eq!(s.readv(fd, &mut [&mut buf[..]]).unwrap(), 4);
+    assert_eq!(&buf, b"abcd");
+    s.close(fd).unwrap();
+    assert_eq!(s.underlying().stat("/outside.bin").unwrap().size, 4);
+    assert!(
+        !s.mounts()[0].plfs.is_container("/outside.bin"),
+        "outside-the-mount vectored writes must not create a container"
+    );
+}
+
+#[test]
+fn tracked_fd_vectored_ops_route_to_plfs_not_backing() {
+    let s = shim("tracked-vec");
+    let fd = s
+        .open("/plfs/vec.bin", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+        .unwrap();
+    assert_eq!(s.writev(fd, &[b"1234", b"5678"]).unwrap(), 8);
+    s.lseek(fd, 0, Whence::Set).unwrap();
+    let mut a = [0u8; 3];
+    let mut b = [0u8; 5];
+    assert_eq!(s.readv(fd, &mut [&mut a[..], &mut b[..]]).unwrap(), 8);
+    assert_eq!(&a, b"123");
+    assert_eq!(&b, b"45678");
+    s.close(fd).unwrap();
+    // The bytes live in a PLFS container, not in the scratch/backing file:
+    // before the shim grew vectored overrides, readv/writev fell through to
+    // the reserved (empty) backing fd and silently returned its contents.
+    assert!(s.mounts()[0].plfs.is_container("/vec.bin"));
+    assert_eq!(s.stat("/plfs/vec.bin").unwrap().size, 8);
+    assert!(
+        s.underlying().stat("/plfs/vec.bin").is_err(),
+        "no shadow file on the real FS"
+    );
+}
+
+#[test]
 fn close_is_not_double_closeable() {
     let s = shim("doubleclose");
     let fd = s

@@ -85,16 +85,48 @@ impl MpiFile {
             return self.write_at(fs, job, rank, view_off, len, Access::Contiguous);
         };
         let extents = view.map_region(view_off, len);
+        let node = job.node_of(rank);
+        // Noncontiguous lowering: hand the whole extent vector to the
+        // driver's list path when it has one — otherwise extent-by-extent,
+        // which on UFS is the data-sieving fallback.
+        if extents.len() > 1 && self.info.list_io && self.driver.supports_list_io() {
+            let t0 = iotrace::global().start();
+            let c = self
+                .driver
+                .write_list(fs, job.time(rank), rank, node, &extents)?;
+            if let Some(t0) = t0 {
+                iotrace::global().record(
+                    t0,
+                    iotrace::OpEvent::new(iotrace::Layer::Mpi, iotrace::OpKind::ListWrite)
+                        .path(&self.path)
+                        .offset(extents[0].0)
+                        .bytes(len),
+                );
+            }
+            job.set_time(rank, c);
+            return Ok(c);
+        }
         let access = if extents.len() > 1 {
             Access::Strided
         } else {
             Access::Contiguous
         };
+        if access == Access::Strided {
+            if let Some(t0) = iotrace::global().start() {
+                iotrace::global().record(
+                    t0,
+                    iotrace::OpEvent::new(iotrace::Layer::Mpi, iotrace::OpKind::SieveFallback)
+                        .path(&self.path)
+                        .offset(extents[0].0)
+                        .bytes(len),
+                );
+            }
+        }
         let mut c = job.time(rank);
         for (off, elen) in extents {
             let req = IoReq {
                 rank,
-                node: job.node_of(rank),
+                node,
                 offset: off,
                 len: elen,
                 access,
@@ -118,16 +150,45 @@ impl MpiFile {
             return self.read_at(fs, job, rank, view_off, len, Access::Contiguous);
         };
         let extents = view.map_region(view_off, len);
+        let node = job.node_of(rank);
+        if extents.len() > 1 && self.info.list_io && self.driver.supports_list_io() {
+            let t0 = iotrace::global().start();
+            let c = self
+                .driver
+                .read_list(fs, job.time(rank), rank, node, &extents)?;
+            if let Some(t0) = t0 {
+                iotrace::global().record(
+                    t0,
+                    iotrace::OpEvent::new(iotrace::Layer::Mpi, iotrace::OpKind::ListRead)
+                        .path(&self.path)
+                        .offset(extents[0].0)
+                        .bytes(len),
+                );
+            }
+            job.set_time(rank, c);
+            return Ok(c);
+        }
         let access = if extents.len() > 1 {
             Access::Strided
         } else {
             Access::Contiguous
         };
+        if access == Access::Strided {
+            if let Some(t0) = iotrace::global().start() {
+                iotrace::global().record(
+                    t0,
+                    iotrace::OpEvent::new(iotrace::Layer::Mpi, iotrace::OpKind::SieveFallback)
+                        .path(&self.path)
+                        .offset(extents[0].0)
+                        .bytes(len),
+                );
+            }
+        }
         let mut c = job.time(rank);
         for (off, elen) in extents {
             let req = IoReq {
                 rank,
-                node: job.node_of(rank),
+                node,
                 offset: off,
                 len: elen,
                 access,
@@ -444,6 +505,66 @@ mod tests {
         );
         assert!(s.bytes_read > 0, "sieve RMW reads");
         assert!(s.write_ops >= 16, "one op per strided extent");
+    }
+
+    #[test]
+    fn views_on_plfs_route_to_list_io() {
+        // Same interleaved views as above, but on a list-capable driver:
+        // one batched append per write_view call, no sieve reads, and one
+        // index record per call rather than one per extent.
+        let (mut fs, mut job) = setup(4, 2);
+        let mut f = open(&mut fs, &mut job, Method::Ldplfs);
+        for r in 0..4 {
+            f.set_view(r, crate::view::FileView::interleaved(r, 4, 64 * 1024));
+        }
+        for r in 0..4 {
+            f.write_view(&mut fs, &mut job, r, 0, 256 * 1024).unwrap();
+        }
+        let s = fs.stats();
+        assert_eq!(s.bytes_written, 4 * 256 * 1024, "no sieve amplification");
+        assert_eq!(s.bytes_read, 0, "no RMW reads on the list path");
+        f.close(&mut fs, &mut job).unwrap();
+        // Close flushes exactly one buffered index record per rank.
+        assert_eq!(
+            fs.stats().bytes_written,
+            4 * 256 * 1024 + 4 * 48,
+            "one index record per write_view batch"
+        );
+    }
+
+    #[test]
+    fn list_io_hint_off_restores_per_extent_lowering() {
+        let run = |list_io: bool| -> u64 {
+            let (mut fs, mut job) = setup(2, 2);
+            let info = MpiInfo {
+                list_io,
+                ..Default::default()
+            };
+            let mut f =
+                MpiFile::open(&mut fs, &mut job, "/out", true, Method::Ldplfs, info, 4).unwrap();
+            f.set_view(0, crate::view::FileView::interleaved(0, 2, 64 * 1024));
+            f.write_view(&mut fs, &mut job, 0, 0, 256 * 1024).unwrap();
+            fs.stats().write_ops
+        };
+        let listed = run(true);
+        let fallback = run(false);
+        assert!(
+            fallback > listed,
+            "hint off must pay one write op per extent: {fallback} vs {listed}"
+        );
+    }
+
+    #[test]
+    fn list_read_serves_noncontiguous_views_in_one_op() {
+        let (mut fs, mut job) = setup(2, 2);
+        let mut f = open(&mut fs, &mut job, Method::Romio);
+        f.set_view(0, crate::view::FileView::interleaved(0, 2, 64 * 1024));
+        f.write_view(&mut fs, &mut job, 0, 0, 256 * 1024).unwrap();
+        let ops_before = fs.stats().read_ops;
+        f.read_view(&mut fs, &mut job, 0, 0, 256 * 1024).unwrap();
+        let s = fs.stats();
+        assert_eq!(s.bytes_read, 256 * 1024);
+        assert_eq!(s.read_ops - ops_before, 1, "one fan-out read per batch");
     }
 
     #[test]

@@ -16,6 +16,11 @@ pub struct MpiInfo {
     pub cb_buffer_size: u64,
     /// Enable data sieving for independent strided access on POSIX paths.
     pub sieving: bool,
+    /// Lower noncontiguous view accesses onto the driver's native list-I/O
+    /// path when it has one (`romio_plfs_listio` in spirit). Drivers
+    /// without list support (UFS, FUSE) ignore the hint and keep the
+    /// sieving / per-extent fallback.
+    pub list_io: bool,
 }
 
 impl Default for MpiInfo {
@@ -25,6 +30,7 @@ impl Default for MpiInfo {
             cb_aggregators_per_node: 1,
             cb_buffer_size: 16 << 20,
             sieving: true,
+            list_io: true,
         }
     }
 }
@@ -40,5 +46,6 @@ mod tests {
         assert_eq!(i.cb_aggregators_per_node, 1);
         assert!(i.sieving);
         assert_eq!(i.cb_buffer_size, 16 << 20);
+        assert!(i.list_io, "list I/O on by default where drivers support it");
     }
 }

@@ -10,7 +10,7 @@
 //! (`/checkpoint/dump.0001`), mapped onto backend paths internally.
 
 use crate::backing::{join, Backing};
-use crate::conf::{MetaConf, ReadConf, WriteConf};
+use crate::conf::{ListIoConf, MetaConf, ReadConf, WriteConf};
 use crate::container::{self, ContainerParams};
 use crate::error::{Error, Result};
 use crate::fd::PlfsFd;
@@ -55,6 +55,7 @@ pub struct Plfs {
     read_conf: ReadConf,
     write_conf: WriteConf,
     meta_conf: MetaConf,
+    list_io_conf: ListIoConf,
     cache: Arc<MetaCache>,
 }
 
@@ -68,6 +69,7 @@ impl Plfs {
             read_conf: ReadConf::default(),
             write_conf: WriteConf::default(),
             meta_conf,
+            list_io_conf: ListIoConf::default(),
             cache: Arc::new(MetaCache::new(
                 meta_conf.meta_cache_entries.max(1),
                 meta_conf.meta_cache_shards,
@@ -135,6 +137,18 @@ impl Plfs {
     /// The metadata fast-path configuration open fds inherit.
     pub fn meta_conf(&self) -> &MetaConf {
         &self.meta_conf
+    }
+
+    /// Set the noncontiguous list-I/O configuration: the master switch and
+    /// per-batch extent cap (see [`ListIoConf`]).
+    pub fn with_list_io_conf(mut self, conf: ListIoConf) -> Plfs {
+        self.list_io_conf = conf;
+        self
+    }
+
+    /// The list-I/O configuration open fds inherit.
+    pub fn list_io_conf(&self) -> &ListIoConf {
+        &self.list_io_conf
     }
 
     /// Lifetime metadata-cache `(hits, misses)` — exposed for benches and
@@ -339,7 +353,8 @@ impl Plfs {
             pid,
         )
         .with_read_conf(self.read_conf)
-        .with_meta_conf(self.meta_conf);
+        .with_meta_conf(self.meta_conf)
+        .with_list_io_conf(self.list_io_conf);
         let fd = if self.meta_conf.cache_enabled() {
             fd.with_meta_cache(Arc::clone(&self.cache))
         } else {
@@ -380,6 +395,24 @@ impl Plfs {
                 .bytes(*r.as_ref().unwrap_or(&0) as u64)
         });
         r
+    }
+
+    /// List-I/O write: one call carries a whole `(logical_offset, len)`
+    /// extent vector (see [`PlfsFd::write_list`]).
+    pub fn write_list(
+        &self,
+        fd: &PlfsFd,
+        data: &[u8],
+        extents: &[(u64, u64)],
+        pid: u64,
+    ) -> Result<usize> {
+        fd.write_list(data, extents, pid)
+    }
+
+    /// List-I/O read: one merged-index query serves a whole extent vector
+    /// (see [`PlfsFd::read_list`]).
+    pub fn read_list(&self, fd: &PlfsFd, data: &mut [u8], extents: &[(u64, u64)]) -> Result<usize> {
+        fd.read_list(data, extents)
     }
 
     /// `plfs_sync`: flush `pid`'s buffered index and sync droppings.

@@ -203,6 +203,61 @@ impl WriteConf {
     }
 }
 
+/// Tuning knobs for the noncontiguous (list) I/O path.
+///
+/// List I/O takes a whole `(logical_offset, len)` extent vector through the
+/// stack in one call: one index-record batch on the log-structured write
+/// path (the batch flush lets pattern compression fold strided runs into
+/// single records) and one merged-index query fanned out over all extents
+/// on the read path. Disabling it makes [`crate::fd::PlfsFd::write_list`] /
+/// [`crate::fd::PlfsFd::read_list`] degrade to a plain per-extent loop —
+/// the property-test reference path and the behaviour MPI-IO data sieving
+/// falls back to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListIoConf {
+    /// Master switch: false lowers every list call to single-extent ops.
+    pub enabled: bool,
+    /// Maximum extents handled per internal batch; longer vectors are
+    /// processed in chunks of this size so one huge vector cannot pin an
+    /// unbounded index-entry buffer.
+    pub max_extents: usize,
+}
+
+/// Default per-batch extent cap for list I/O.
+pub const DEFAULT_LIST_IO_MAX_EXTENTS: usize = 1024;
+
+impl Default for ListIoConf {
+    fn default() -> ListIoConf {
+        ListIoConf {
+            enabled: true,
+            max_extents: DEFAULT_LIST_IO_MAX_EXTENTS,
+        }
+    }
+}
+
+impl ListIoConf {
+    /// The disabled configuration: every list call degrades to a
+    /// single-extent loop (the property-test reference path).
+    pub fn disabled() -> ListIoConf {
+        ListIoConf {
+            enabled: false,
+            ..ListIoConf::default()
+        }
+    }
+
+    /// Builder-style: enable or disable list I/O.
+    pub fn with_enabled(mut self, on: bool) -> ListIoConf {
+        self.enabled = on;
+        self
+    }
+
+    /// Builder-style: set the per-batch extent cap (min 1).
+    pub fn with_max_extents(mut self, extents: usize) -> ListIoConf {
+        self.max_extents = extents.max(1);
+        self
+    }
+}
+
 /// When a writer announces itself in `openhosts/` — the paper's per-open
 /// metadata burst lives here, so the marker policy is a knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -397,6 +452,20 @@ mod tests {
         assert_eq!(c.meta_cache_shards, 1);
         assert!(!c.cache_enabled());
         assert_eq!(c.open_markers, OpenMarkers::Lazy);
+    }
+
+    #[test]
+    fn list_io_defaults_on_and_clamps() {
+        let c = ListIoConf::default();
+        assert!(c.enabled);
+        assert_eq!(c.max_extents, DEFAULT_LIST_IO_MAX_EXTENTS);
+        let c = ListIoConf::disabled();
+        assert!(!c.enabled);
+        let c = ListIoConf::default()
+            .with_max_extents(0)
+            .with_enabled(false);
+        assert_eq!(c.max_extents, 1);
+        assert!(!c.enabled);
     }
 
     #[test]

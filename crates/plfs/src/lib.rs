@@ -66,7 +66,7 @@ pub mod writer;
 pub use api::{Dirent, Plfs, Stat};
 pub use backing::{BackStat, Backing, BackingFile, MemBacking, RealBacking};
 pub use check::{check, repair, CheckReport, Finding, RepairReport, Severity};
-pub use conf::{MetaConf, OpenMarkers, ReadConf, WriteConf};
+pub use conf::{ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf};
 pub use container::{ContainerParams, LayoutMode};
 pub use error::{Error, Result};
 pub use faults::{FaultKind, FaultOp, FaultRule, Faulty};

@@ -20,9 +20,9 @@
 
 use crate::backing::{BackStat, Backing, BackingFile};
 use crate::conf::{
-    MetaConf, OpenMarkers, ReadConf, WriteConf, DEFAULT_DATA_BUFFER_BYTES,
-    DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS, DEFAULT_META_CACHE_ENTRIES,
-    DEFAULT_META_CACHE_SHARDS, DEFAULT_WRITE_SHARDS,
+    ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf, DEFAULT_DATA_BUFFER_BYTES,
+    DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS, DEFAULT_LIST_IO_MAX_EXTENTS,
+    DEFAULT_META_CACHE_ENTRIES, DEFAULT_META_CACHE_SHARDS, DEFAULT_WRITE_SHARDS,
 };
 use crate::container::{ContainerParams, LayoutMode, HOSTDIR_PREFIX};
 use crate::error::{Error, Result};
@@ -90,6 +90,11 @@ pub struct PlfsRc {
     /// Background-compaction dropping threshold (`compact_droppings_threshold`
     /// key; 0 disables compaction at close).
     pub compact_droppings_threshold: usize,
+    /// Noncontiguous list I/O master switch (`list_io` key,
+    /// `true`/`false`/`1`/`0`; on by default).
+    pub list_io: bool,
+    /// Per-batch extent cap for list I/O (`list_io_max_extents` key).
+    pub list_io_max_extents: usize,
 }
 
 impl PlfsRc {
@@ -109,6 +114,8 @@ impl PlfsRc {
             open_markers: OpenMarkers::default(),
             index_memory_bytes: 0,
             compact_droppings_threshold: 0,
+            list_io: true,
+            list_io_max_extents: DEFAULT_LIST_IO_MAX_EXTENTS,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -170,6 +177,16 @@ impl PlfsRc {
                 }
                 "compact_droppings_threshold" => {
                     rc.compact_droppings_threshold = parse_num(value, lineno)? as usize;
+                }
+                "list_io" => {
+                    rc.list_io = match value {
+                        "true" | "1" | "yes" | "on" => true,
+                        "false" | "0" | "no" | "off" => false,
+                        _ => return Err(config_error("bad boolean value in plfsrc", lineno)),
+                    };
+                }
+                "list_io_max_extents" => {
+                    rc.list_io_max_extents = parse_num(value, lineno)? as usize;
                 }
                 "open_markers" => {
                     rc.open_markers = OpenMarkers::parse(value).ok_or_else(|| {
@@ -248,6 +265,14 @@ impl PlfsRc {
             .with_data_buffer_bytes(self.data_buffer_bytes)
             .with_incremental_refresh(self.incremental_refresh)
             .with_compact_droppings_threshold(self.compact_droppings_threshold)
+    }
+
+    /// The noncontiguous list-I/O configuration these global knobs
+    /// describe, ready to hand to [`crate::api::Plfs::with_list_io_conf`].
+    pub fn list_io_conf(&self) -> ListIoConf {
+        ListIoConf::default()
+            .with_enabled(self.list_io)
+            .with_max_extents(self.list_io_max_extents)
     }
 
     /// The metadata fast-path configuration these global knobs describe,
@@ -493,6 +518,30 @@ mod tests {
         assert!(err.to_string().contains("line 2"), "{err}");
         let err = PlfsRc::parse("compact_droppings_threshold x\n").unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn parse_list_io_knobs_into_list_io_conf() {
+        let rc = PlfsRc::parse(
+            "list_io off\n\
+             list_io_max_extents 64\n\
+             mount_point /p\n\
+             backends /b\n",
+        )
+        .unwrap();
+        let conf = rc.list_io_conf();
+        assert!(!conf.enabled);
+        assert_eq!(conf.max_extents, 64);
+        // Defaults: enabled, default extent cap.
+        let rc = PlfsRc::parse("mount_point /p\nbackends /b\n").unwrap();
+        let conf = rc.list_io_conf();
+        assert!(conf.enabled);
+        assert_eq!(conf.max_extents, DEFAULT_LIST_IO_MAX_EXTENTS);
+        // Malformed values are line-numbered errors.
+        let err = PlfsRc::parse("list_io maybe\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = PlfsRc::parse("mount_point /p\nlist_io_max_extents many\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -14,11 +14,13 @@
 //! ```
 //!
 //! Interposed symbols: `open`, `open64`, `openat`, `openat64`, `creat`,
-//! `read`, `write`, `pread(64)`, `pwrite(64)`, `lseek(64)`, `close`,
-//! `fsync`, `dup`, `dup2`, `unlink`, `access`, `mkdir`, `rmdir`,
-//! `ftruncate(64)`, and the `stat`/`lstat`/`fstat` family. Calls on paths
-//! outside `LDPLFS_MOUNT` forward to the real libc via
-//! `dlsym(RTLD_NEXT, …)`, exactly like the original.
+//! `read`, `write`, `pread(64)`, `pwrite(64)`, `readv`, `writev`,
+//! `preadv(64)`, `pwritev(64)`, `preadv2`/`pwritev2` (and their `64v2`
+//! aliases), `lseek(64)`, `close`, `fsync`, `dup`, `dup2`, `unlink`,
+//! `access`, `mkdir`, `rmdir`, `ftruncate(64)`, and the
+//! `stat`/`lstat`/`fstat` family. Calls on paths outside `LDPLFS_MOUNT`
+//! forward to the real libc via `dlsym(RTLD_NEXT, …)`, exactly like the
+//! original.
 //!
 //! Faithful to the paper's design, the shim reserves a *genuine* kernel fd
 //! per PLFS open (here via `memfd_create`, avoiding the litter of the
@@ -33,9 +35,11 @@
 //!
 //! Tuning knobs (all optional): `LDPLFS_HOSTDIRS`, `LDPLFS_META_CACHE`,
 //! `LDPLFS_OPEN_MARKERS`, `LDPLFS_INDEX_MEMORY_BYTES` (bound the resident
-//! merged index; 0 keeps the eager index), and `LDPLFS_COMPACT_THRESHOLD`
+//! merged index; 0 keeps the eager index), `LDPLFS_COMPACT_THRESHOLD`
 //! (fold droppings in the background after last close once a container
-//! exceeds this many).
+//! exceeds this many), `LDPLFS_LIST_IO` (`0` lowers vectored/list calls to
+//! per-extent single ops), and `LDPLFS_LIST_IO_MAX_EXTENTS` (extents per
+//! internal list-I/O batch).
 //!
 //! Known limitation (shared with the original): descriptors inherited
 //! *across `execve`* lose their PLFS identity, so shell output redirection
@@ -222,6 +226,20 @@ fn init_shim() -> Option<Shim> {
                 plfs = plfs.with_write_conf(conf);
             }
         }
+        // LDPLFS_LIST_IO=0 disables the native list-I/O path — vectored
+        // calls then lower to one single-extent op per buffer —
+        // and LDPLFS_LIST_IO_MAX_EXTENTS caps the extents handled per
+        // internal batch (mirrors the plfsrc list_io* keys).
+        let mut list_conf = *plfs.list_io_conf();
+        if let Ok(v) = std::env::var("LDPLFS_LIST_IO") {
+            list_conf = list_conf.with_enabled(!matches!(v.as_str(), "0" | "false" | "off" | "no"));
+        }
+        if let Ok(n) = std::env::var("LDPLFS_LIST_IO_MAX_EXTENTS") {
+            if let Ok(n) = n.parse::<usize>() {
+                list_conf = list_conf.with_max_extents(n);
+            }
+        }
+        plfs = plfs.with_list_io_conf(list_conf);
         Some(Shim {
             mount,
             plfs,
@@ -611,6 +629,338 @@ pub unsafe extern "C" fn pwrite64(
     off: OffT,
 ) -> SsizeT {
     ffi_guard!(-1, do_pwrite(fd, buf, count, off))
+}
+
+// ---------------------------------------------------------------------------
+// vectored I/O. On a tracked fd the iovecs are gathered (writes) or
+// scattered (reads) around ONE PlfsFd list call, so an N-buffer vector
+// costs one index record instead of N. Untracked fds — including read-only
+// snapshots, whose memfd serves vectored reads natively — forward to the
+// real libc symbols.
+// ---------------------------------------------------------------------------
+
+/// `struct iovec` (uapi layout).
+#[repr(C)]
+pub struct IoVec {
+    /// Buffer start.
+    pub iov_base: *mut c_void,
+    /// Buffer length in bytes.
+    pub iov_len: SizeT,
+}
+
+/// Total byte count of an iovec array; `None` on invalid count/pointer or
+/// length overflow (POSIX caps the sum at `SSIZE_MAX`).
+unsafe fn iov_total(iov: *const IoVec, cnt: c_int) -> Option<usize> {
+    if cnt < 0 || (cnt > 0 && iov.is_null()) {
+        return None;
+    }
+    let mut total = 0usize;
+    for v in std::slice::from_raw_parts(iov, cnt as usize) {
+        total = total.checked_add(v.iov_len)?;
+    }
+    if total > isize::MAX as usize {
+        return None;
+    }
+    Some(total)
+}
+
+unsafe fn gather_iov(iov: *const IoVec, cnt: c_int, total: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(total);
+    for v in std::slice::from_raw_parts(iov, cnt as usize) {
+        if v.iov_len != 0 {
+            out.extend_from_slice(std::slice::from_raw_parts(
+                v.iov_base as *const u8,
+                v.iov_len,
+            ));
+        }
+    }
+    out
+}
+
+unsafe fn scatter_iov(iov: *const IoVec, cnt: c_int, data: &[u8]) {
+    let mut pos = 0usize;
+    for v in std::slice::from_raw_parts(iov, cnt as usize) {
+        if pos >= data.len() {
+            break;
+        }
+        let take = v.iov_len.min(data.len() - pos);
+        std::ptr::copy_nonoverlapping(data[pos..].as_ptr(), v.iov_base as *mut u8, take);
+        pos += take;
+    }
+}
+
+unsafe fn do_readv(fd: c_int, iov: *const IoVec, cnt: c_int) -> SsizeT {
+    match lookup(fd) {
+        None => {
+            let f = real!(
+                readv,
+                unsafe extern "C" fn(c_int, *const IoVec, c_int) -> SsizeT
+            );
+            f(fd, iov, cnt)
+        }
+        Some(st) => {
+            let Some(total) = iov_total(iov, cnt) else {
+                set_errno(EINVAL);
+                return -1;
+            };
+            if total == 0 {
+                return 0;
+            }
+            let off = cursor_get(fd);
+            let mut data = vec![0u8; total];
+            match st
+                .plfs_fd
+                .read_list(&mut data, &[(off as u64, total as u64)])
+            {
+                Ok(n) => {
+                    scatter_iov(iov, cnt, &data[..n]);
+                    cursor_set(fd, off + n as OffT);
+                    n as SsizeT
+                }
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `readv(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn readv(fd: c_int, iov: *const IoVec, cnt: c_int) -> SsizeT {
+    ffi_guard!(-1, do_readv(fd, iov, cnt))
+}
+
+unsafe fn do_writev(fd: c_int, iov: *const IoVec, cnt: c_int) -> SsizeT {
+    match lookup(fd) {
+        None => {
+            let f = real!(
+                writev,
+                unsafe extern "C" fn(c_int, *const IoVec, c_int) -> SsizeT
+            );
+            f(fd, iov, cnt)
+        }
+        Some(st) => {
+            let Some(total) = iov_total(iov, cnt) else {
+                set_errno(EINVAL);
+                return -1;
+            };
+            if total == 0 {
+                return 0;
+            }
+            let data = gather_iov(iov, cnt, total);
+            let pid = getpid() as u64;
+            let (off, n) = if st.append {
+                match st.plfs_fd.append(&data, pid) {
+                    Ok((off, n)) => (off as OffT, n),
+                    Err(e) => {
+                        set_errno(plfs_errno(&e));
+                        return -1;
+                    }
+                }
+            } else {
+                let off = cursor_get(fd);
+                match st
+                    .plfs_fd
+                    .write_list(&data, &[(off as u64, total as u64)], pid)
+                {
+                    Ok(n) => (off, n),
+                    Err(e) => {
+                        set_errno(plfs_errno(&e));
+                        return -1;
+                    }
+                }
+            };
+            cursor_set(fd, off + n as OffT);
+            n as SsizeT
+        }
+    }
+}
+
+/// `writev(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn writev(fd: c_int, iov: *const IoVec, cnt: c_int) -> SsizeT {
+    ffi_guard!(-1, do_writev(fd, iov, cnt))
+}
+
+unsafe fn do_preadv(fd: c_int, iov: *const IoVec, cnt: c_int, off: OffT) -> SsizeT {
+    match lookup(fd) {
+        None => {
+            let f = real!(
+                preadv,
+                unsafe extern "C" fn(c_int, *const IoVec, c_int, OffT) -> SsizeT
+            );
+            f(fd, iov, cnt, off)
+        }
+        Some(st) => {
+            let total = match iov_total(iov, cnt) {
+                Some(t) if off >= 0 => t,
+                _ => {
+                    set_errno(EINVAL);
+                    return -1;
+                }
+            };
+            if total == 0 {
+                return 0;
+            }
+            let mut data = vec![0u8; total];
+            match st
+                .plfs_fd
+                .read_list(&mut data, &[(off as u64, total as u64)])
+            {
+                Ok(n) => {
+                    scatter_iov(iov, cnt, &data[..n]);
+                    n as SsizeT
+                }
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `preadv(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn preadv(fd: c_int, iov: *const IoVec, cnt: c_int, off: OffT) -> SsizeT {
+    ffi_guard!(-1, do_preadv(fd, iov, cnt, off))
+}
+
+/// `preadv64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn preadv64(fd: c_int, iov: *const IoVec, cnt: c_int, off: OffT) -> SsizeT {
+    ffi_guard!(-1, do_preadv(fd, iov, cnt, off))
+}
+
+unsafe fn do_pwritev(fd: c_int, iov: *const IoVec, cnt: c_int, off: OffT) -> SsizeT {
+    match lookup(fd) {
+        None => {
+            let f = real!(
+                pwritev,
+                unsafe extern "C" fn(c_int, *const IoVec, c_int, OffT) -> SsizeT
+            );
+            f(fd, iov, cnt, off)
+        }
+        Some(st) => {
+            let total = match iov_total(iov, cnt) {
+                Some(t) if off >= 0 => t,
+                _ => {
+                    set_errno(EINVAL);
+                    return -1;
+                }
+            };
+            if total == 0 {
+                return 0;
+            }
+            let data = gather_iov(iov, cnt, total);
+            match st
+                .plfs_fd
+                .write_list(&data, &[(off as u64, total as u64)], getpid() as u64)
+            {
+                Ok(n) => n as SsizeT,
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `pwritev(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn pwritev(fd: c_int, iov: *const IoVec, cnt: c_int, off: OffT) -> SsizeT {
+    ffi_guard!(-1, do_pwritev(fd, iov, cnt, off))
+}
+
+/// `pwritev64(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn pwritev64(fd: c_int, iov: *const IoVec, cnt: c_int, off: OffT) -> SsizeT {
+    ffi_guard!(-1, do_pwritev(fd, iov, cnt, off))
+}
+
+/// `preadv2(2)` dispatch: offset `-1` means cursor (`readv`) semantics;
+/// `RWF_*` flags are accepted and ignored on the PLFS path.
+// plfs-lint: allow(errno-discipline, "pure dispatch: do_readv/do_preadv set errno on their own -1 returns")
+unsafe fn do_preadv2(fd: c_int, iov: *const IoVec, cnt: c_int, off: OffT, flags: c_int) -> SsizeT {
+    if lookup(fd).is_none() {
+        let f = real!(
+            preadv2,
+            unsafe extern "C" fn(c_int, *const IoVec, c_int, OffT, c_int) -> SsizeT
+        );
+        return f(fd, iov, cnt, off, flags);
+    }
+    if off == -1 {
+        do_readv(fd, iov, cnt)
+    } else {
+        do_preadv(fd, iov, cnt, off)
+    }
+}
+
+/// `preadv2(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn preadv2(
+    fd: c_int,
+    iov: *const IoVec,
+    cnt: c_int,
+    off: OffT,
+    flags: c_int,
+) -> SsizeT {
+    ffi_guard!(-1, do_preadv2(fd, iov, cnt, off, flags))
+}
+
+/// `preadv64v2(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn preadv64v2(
+    fd: c_int,
+    iov: *const IoVec,
+    cnt: c_int,
+    off: OffT,
+    flags: c_int,
+) -> SsizeT {
+    ffi_guard!(-1, do_preadv2(fd, iov, cnt, off, flags))
+}
+
+// plfs-lint: allow(errno-discipline, "pure dispatch: do_writev/do_pwritev set errno on their own -1 returns")
+unsafe fn do_pwritev2(fd: c_int, iov: *const IoVec, cnt: c_int, off: OffT, flags: c_int) -> SsizeT {
+    if lookup(fd).is_none() {
+        let f = real!(
+            pwritev2,
+            unsafe extern "C" fn(c_int, *const IoVec, c_int, OffT, c_int) -> SsizeT
+        );
+        return f(fd, iov, cnt, off, flags);
+    }
+    if off == -1 {
+        do_writev(fd, iov, cnt)
+    } else {
+        do_pwritev(fd, iov, cnt, off)
+    }
+}
+
+/// `pwritev2(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn pwritev2(
+    fd: c_int,
+    iov: *const IoVec,
+    cnt: c_int,
+    off: OffT,
+    flags: c_int,
+) -> SsizeT {
+    ffi_guard!(-1, do_pwritev2(fd, iov, cnt, off, flags))
+}
+
+/// `pwritev64v2(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn pwritev64v2(
+    fd: c_int,
+    iov: *const IoVec,
+    cnt: c_int,
+    off: OffT,
+    flags: c_int,
+) -> SsizeT {
+    ffi_guard!(-1, do_pwritev2(fd, iov, cnt, off, flags))
 }
 
 unsafe fn do_lseek(fd: c_int, offset: OffT, whence: c_int) -> OffT {

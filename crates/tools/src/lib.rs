@@ -518,6 +518,17 @@ fn gate_metrics(doc: &jsonlite::Value) -> Result<Vec<(String, f64, bool)>, ToolE
                 }
             }
         }
+        "noncontig" => {
+            // Both ratios come from simulated clocks — identical on any
+            // runner — so they gate directly. listio_vs_sieving is the
+            // headline: list I/O must stay ≥2x over data sieving, and the
+            // committed baseline holds that bar.
+            for name in ["listio_vs_sieving", "listio_vs_per_extent"] {
+                if let Some(v) = data.get(name).and_then(|v| v.as_f64()) {
+                    out.push((name.to_string(), v, true));
+                }
+            }
+        }
         "table2" => {
             for row in data.as_array().unwrap_or(&[]) {
                 if let (Some(tool), Some(plfs), Some(std_)) = (
@@ -988,6 +999,32 @@ mod tests {
         let err = benchgate(&doc(1.0, 1.0), &doc(1.0, 1.5), 0.30).unwrap_err();
         assert!(
             matches!(err, ToolError::Gate(ref m) if m.contains("latency_ratio")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn benchgate_noncontig_gates_listio_ratios() {
+        let doc = |sieve: f64, per_ext: f64| {
+            format!(
+                "{{\"figure\":\"noncontig\",\"data\":{{\"rows\":[],\
+                 \"listio_vs_sieving\":{sieve},\"listio_vs_per_extent\":{per_ext}}},\
+                 \"trace\":{{}}}}"
+            )
+        };
+        let out = benchcheck(&doc(3.0, 1.5), "BENCH_noncontig.json").unwrap();
+        assert!(out.contains("2 gated metric"), "{out}");
+        // Higher is better: a small dip passes, a collapse of either ratio
+        // fails on that metric.
+        assert!(benchgate(&doc(3.0, 1.5), &doc(2.5, 1.4), 0.30).is_ok());
+        let err = benchgate(&doc(3.0, 1.5), &doc(1.5, 1.4), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("listio_vs_sieving")),
+            "{err:?}"
+        );
+        let err = benchgate(&doc(3.0, 1.5), &doc(3.0, 0.5), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("listio_vs_per_extent")),
             "{err:?}"
         );
     }
