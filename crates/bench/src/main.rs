@@ -12,6 +12,7 @@
 //! paperbench metadata [--quick]  # per-open metadata ops + MDS-storm projection
 //! paperbench indexscale [--quick] # eager vs bounded merged-index residency
 //! paperbench noncontig [--quick] # list I/O vs data sieving on strided views
+//! paperbench staging2 [--quick]  # tiered burst-buffer + batched submission vs direct
 //! paperbench all [--quick]       # everything above
 //! paperbench ... --json PATH     # also dump JSON for EXPERIMENTS.md
 //! paperbench ... --emit-json DIR # figure data + per-layer op/latency trace
@@ -320,6 +321,19 @@ fn cmd_noncontig(args: &Args) {
     trace_emit(args, "noncontig", &report);
 }
 
+fn cmd_staging2(args: &Args) {
+    println!("# Burst-buffer staging: tiered+batched backend vs direct-to-slow\n");
+    trace_begin(args);
+    let report = bench::staging2_comparison(scale(args.quick));
+    println!("## Measured op counts (in-memory tiers), costed at preset rates\n");
+    println!("{}", bench::render_staging2(&report));
+    println!(
+        "(the direct arm pays the slow tier's per-op latency for every\n          application write; the tiered arm lands writes on the fast tier and\n          destages sealed droppings to the slow tier overlapped with compute)\n"
+    );
+    dump_json(&args.json, "staging2", &report);
+    trace_emit(args, "staging2", &report);
+}
+
 fn cmd_crossover(args: &Args) {
     println!("# PLFS benefit crossover (FLASH-IO, LDPLFS vs MPI-IO)\n");
     for (platform, label) in [
@@ -353,6 +367,7 @@ fn main() {
         "crossover" => cmd_crossover(&args),
         "ior" => cmd_ior(&args),
         "staging" => cmd_staging(&args),
+        "staging2" => cmd_staging2(&args),
         "readpath" => cmd_readpath(&args),
         "writepath" => cmd_writepath(&args),
         "metadata" => cmd_metadata(&args),
@@ -367,6 +382,7 @@ fn main() {
             cmd_crossover(&args);
             cmd_ior(&args);
             cmd_staging(&args);
+            cmd_staging2(&args);
             cmd_readpath(&args);
             cmd_writepath(&args);
             cmd_metadata(&args);
@@ -375,7 +391,7 @@ fn main() {
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|readpath|writepath|metadata|indexscale|noncontig|all] \
+                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|staging2|readpath|writepath|metadata|indexscale|noncontig|all] \
                  [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR] [--emit-json DIR]"
             );
         }

@@ -133,11 +133,21 @@ pub enum OpKind {
     /// A noncontiguous access lowered to the read-modify-write data-sieving
     /// path because list I/O was unavailable or disabled.
     SieveFallback,
+    /// A sealed dropping copied from the fast tier to the slow tier of a
+    /// tiered backing (bytes = dropping size).
+    Destage,
+    /// A batch of deferred backing ops drained by a submission worker
+    /// (bytes = payload bytes in the batch).
+    BatchSubmit,
+    /// A tiered-backing open/stat answered by the fast tier.
+    TierHit,
+    /// A tiered-backing open/stat that fell through to the slow tier.
+    TierMiss,
 }
 
 impl OpKind {
     /// Every op kind, in reporting order.
-    pub const ALL: [OpKind; 20] = [
+    pub const ALL: [OpKind; 24] = [
         OpKind::Open,
         OpKind::Close,
         OpKind::Read,
@@ -158,6 +168,10 @@ impl OpKind {
         OpKind::ListWrite,
         OpKind::ListRead,
         OpKind::SieveFallback,
+        OpKind::Destage,
+        OpKind::BatchSubmit,
+        OpKind::TierHit,
+        OpKind::TierMiss,
     ];
 
     /// Stable lower-case name (JSON field value).
@@ -183,6 +197,10 @@ impl OpKind {
             OpKind::ListWrite => "list_write",
             OpKind::ListRead => "list_read",
             OpKind::SieveFallback => "sieve_fallback",
+            OpKind::Destage => "destage",
+            OpKind::BatchSubmit => "batch_submit",
+            OpKind::TierHit => "tier_hit",
+            OpKind::TierMiss => "tier_miss",
         }
     }
 
@@ -205,6 +223,8 @@ impl OpKind {
                 | OpKind::ListWrite
                 | OpKind::ListRead
                 | OpKind::SieveFallback
+                | OpKind::Destage
+                | OpKind::BatchSubmit
         )
     }
 
@@ -230,6 +250,10 @@ impl OpKind {
             OpKind::ListWrite => 17,
             OpKind::ListRead => 18,
             OpKind::SieveFallback => 19,
+            OpKind::Destage => 20,
+            OpKind::BatchSubmit => 21,
+            OpKind::TierHit => 22,
+            OpKind::TierMiss => 23,
         }
     }
 }

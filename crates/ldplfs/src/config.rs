@@ -8,7 +8,10 @@
 
 use crate::posix::{Errno, PosixLayer, PosixResult};
 use crate::shim::{LdPlfs, ShimMount};
-use plfs::{Backing, MountSpec, Plfs, PlfsRc, SpreadBacking};
+use plfs::{
+    BackendConf, BackendKind, Backing, MountSpec, ObjectBacking, Plfs, PlfsRc, SpreadBacking,
+    TieredBacking,
+};
 use std::sync::Arc;
 
 /// Incremental builder for an [`LdPlfs`] shim.
@@ -44,22 +47,85 @@ impl LdPlfsBuilder {
     }
 }
 
+/// Resolve a run of backend paths into one backing: a single path maps
+/// directly, several become a [`SpreadBacking`].
+fn spread(
+    paths: &[String],
+    backing_for: &mut dyn FnMut(&str) -> Arc<dyn Backing>,
+) -> PosixResult<Arc<dyn Backing>> {
+    if paths.len() == 1 {
+        Ok(backing_for(&paths[0]))
+    } else {
+        let backends: Vec<Arc<dyn Backing>> = paths.iter().map(|b| backing_for(b)).collect();
+        Ok(Arc::new(SpreadBacking::new(backends).map_err(Errno::from)?))
+    }
+}
+
+/// Compose the backend stack the global `backend` plfsrc key asks for.
+///
+/// * `direct`/`batched` — the classic spread over every backend path (the
+///   batched submission layer is layered on later by
+///   [`Plfs::with_backend_conf`]).
+/// * `tiered` — the first backend path is the fast (burst-buffer) tier, the
+///   remaining path(s) the slow tier; fewer than two paths is a config error.
+/// * `object` — the spread is re-exposed as an object store of immutable
+///   whole-dropping objects.
+fn composed_backing(
+    spec: &MountSpec,
+    kind: BackendKind,
+    conf: BackendConf,
+    backing_for: &mut dyn FnMut(&str) -> Arc<dyn Backing>,
+) -> PosixResult<Arc<dyn Backing>> {
+    match kind {
+        BackendKind::Direct | BackendKind::Batched => spread(&spec.backends, backing_for),
+        BackendKind::Object => Ok(Arc::new(ObjectBacking::over(spread(
+            &spec.backends,
+            backing_for,
+        )?))),
+        BackendKind::Tiered => {
+            if spec.backends.len() < 2 {
+                // A burst buffer needs a fast tier AND somewhere to destage.
+                return Err(Errno::EINVAL);
+            }
+            let fast = backing_for(&spec.backends[0]);
+            let slow = spread(&spec.backends[1..], backing_for)?;
+            Ok(Arc::new(TieredBacking::new(fast, slow, conf)))
+        }
+    }
+}
+
 /// Build a [`Plfs`] instance for one parsed [`MountSpec`], resolving backend
-/// paths through `backing_for`.
+/// paths through `backing_for`. Uses the default direct backend stack; see
+/// [`plfs_for_spec_with_backend`] for the scale-out variants.
 pub fn plfs_for_spec(
     spec: &MountSpec,
     backing_for: &mut dyn FnMut(&str) -> Arc<dyn Backing>,
 ) -> PosixResult<Plfs> {
-    let backing: Arc<dyn Backing> = if spec.backends.len() == 1 {
-        backing_for(&spec.backends[0])
-    } else {
-        let backends: Vec<Arc<dyn Backing>> =
-            spec.backends.iter().map(|b| backing_for(b)).collect();
-        Arc::new(SpreadBacking::new(backends).map_err(Errno::from)?)
-    };
+    plfs_for_spec_with_backend(
+        spec,
+        BackendKind::Direct,
+        BackendConf::default(),
+        backing_for,
+    )
+}
+
+/// Build a [`Plfs`] instance for one parsed [`MountSpec`] with an explicit
+/// backend stack ([`BackendKind`]) and submission-layer knobs.
+pub fn plfs_for_spec_with_backend(
+    spec: &MountSpec,
+    kind: BackendKind,
+    mut conf: BackendConf,
+    backing_for: &mut dyn FnMut(&str) -> Arc<dyn Backing>,
+) -> PosixResult<Plfs> {
+    // `backend batched` with no explicit depth still means "turn it on".
+    if kind == BackendKind::Batched && !conf.batching() {
+        conf = conf.with_submit_depth(plfs::conf::DEFAULT_SUBMIT_DEPTH);
+    }
+    let backing = composed_backing(spec, kind, conf, backing_for)?;
     Ok(Plfs::new(backing)
         .with_params(spec.params)
-        .with_index_buffer(spec.index_buffer_entries))
+        .with_index_buffer(spec.index_buffer_entries)
+        .with_backend_conf(conf))
 }
 
 /// Build a shim from `plfsrc` text. `backing_for` maps each backend path in
@@ -77,11 +143,12 @@ pub fn from_plfsrc(
         let write_conf = rc
             .write_conf()
             .with_index_buffer_entries(spec.index_buffer_entries);
-        let plfs = plfs_for_spec(spec, &mut backing_for)?
-            .with_read_conf(rc.read_conf())
-            .with_write_conf(write_conf)
-            .with_meta_conf(rc.meta_conf())
-            .with_list_io_conf(rc.list_io_conf());
+        let plfs =
+            plfs_for_spec_with_backend(spec, rc.backend, rc.backend_conf(), &mut backing_for)?
+                .with_read_conf(rc.read_conf())
+                .with_write_conf(write_conf)
+                .with_meta_conf(rc.meta_conf())
+                .with_list_io_conf(rc.list_io_conf());
         builder = builder.mount(spec.mount_point.clone(), plfs);
     }
     builder.build()
@@ -191,6 +258,59 @@ mod tests {
         let conf = s.mounts()[0].plfs.list_io_conf();
         assert!(!conf.enabled);
         assert_eq!(conf.max_extents, 7);
+    }
+
+    #[test]
+    fn from_plfsrc_plumbs_backend_conf() {
+        // Tiered: first backend path is the fast tier, rest the slow tier,
+        // and the submission knobs ride along into the mount's Plfs.
+        let rc = "backend tiered\nsubmit_depth 8\nsubmit_workers 2\ndestage_threshold 16\n\
+                  mount_point /ckpt\nbackends /fast,/slow\n";
+        let s = from_plfsrc(under("bconf"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        let conf = s.mounts()[0].plfs.backend_conf();
+        assert_eq!(conf.submit_depth, 8);
+        assert_eq!(conf.submit_workers, 2);
+        assert_eq!(conf.destage_threshold, 16);
+        assert!(conf.batching());
+        // The composed stack still round-trips data end to end.
+        let fd = s
+            .open("/ckpt/dump", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
+        s.write(fd, b"staged").unwrap();
+        s.close(fd).unwrap();
+        assert_eq!(s.stat("/ckpt/dump").unwrap().size, 6);
+    }
+
+    #[test]
+    fn from_plfsrc_batched_defaults_depth_on() {
+        // `backend batched` alone turns the submission layer on.
+        let rc = "backend batched\nmount_point /ckpt\nbackends /be\n";
+        let s = from_plfsrc(under("bdef"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        assert!(s.mounts()[0].plfs.backend_conf().batching());
+        // Plain plfsrc leaves it off.
+        let s = from_plfsrc(under("bdef2"), "mount_point /ckpt\nbackends /be\n", |_| {
+            Arc::new(MemBacking::new())
+        })
+        .unwrap();
+        assert!(!s.mounts()[0].plfs.backend_conf().batching());
+    }
+
+    #[test]
+    fn from_plfsrc_tiered_needs_two_backends() {
+        let rc = "backend tiered\nmount_point /ckpt\nbackends /only\n";
+        assert!(from_plfsrc(under("b1"), rc, |_| Arc::new(MemBacking::new())).is_err());
+    }
+
+    #[test]
+    fn from_plfsrc_object_backend_round_trips() {
+        let rc = "backend object\nmount_point /ckpt\nbackends /be\n";
+        let s = from_plfsrc(under("bobj"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        let fd = s
+            .open("/ckpt/dump", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
+        s.write(fd, b"objects").unwrap();
+        s.close(fd).unwrap();
+        assert_eq!(s.stat("/ckpt/dump").unwrap().size, 7);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! (`/checkpoint/dump.0001`), mapped onto backend paths internally.
 
 use crate::backing::{join, Backing};
-use crate::conf::{ListIoConf, MetaConf, ReadConf, WriteConf};
+use crate::conf::{BackendConf, ListIoConf, MetaConf, ReadConf, WriteConf};
 use crate::container::{self, ContainerParams};
 use crate::error::{Error, Result};
 use crate::fd::PlfsFd;
@@ -56,6 +56,7 @@ pub struct Plfs {
     write_conf: WriteConf,
     meta_conf: MetaConf,
     list_io_conf: ListIoConf,
+    backend_conf: BackendConf,
     cache: Arc<MetaCache>,
 }
 
@@ -70,6 +71,7 @@ impl Plfs {
             write_conf: WriteConf::default(),
             meta_conf,
             list_io_conf: ListIoConf::default(),
+            backend_conf: BackendConf::default(),
             cache: Arc::new(MetaCache::new(
                 meta_conf.meta_cache_entries.max(1),
                 meta_conf.meta_cache_shards,
@@ -149,6 +151,27 @@ impl Plfs {
     /// The list-I/O configuration open fds inherit.
     pub fn list_io_conf(&self) -> &ListIoConf {
         &self.list_io_conf
+    }
+
+    /// Set the backend-layer configuration (see [`BackendConf`]). When the
+    /// async submission layer is enabled (`submit_depth > 0`) the mount's
+    /// backing is wrapped in a [`crate::BatchedBacking`] here, so every
+    /// subsequent open writes through the bounded queue; with the knobs off
+    /// this is a no-op and the backing is untouched.
+    pub fn with_backend_conf(mut self, conf: BackendConf) -> Plfs {
+        if conf.batching() {
+            self.backing = Arc::new(crate::backend::BatchedBacking::new(
+                Arc::clone(&self.backing),
+                conf,
+            ));
+        }
+        self.backend_conf = conf;
+        self
+    }
+
+    /// The backend-layer configuration this mount was built with.
+    pub fn backend_conf(&self) -> &BackendConf {
+        &self.backend_conf
     }
 
     /// Lifetime metadata-cache `(hits, misses)` — exposed for benches and

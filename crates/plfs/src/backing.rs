@@ -75,19 +75,44 @@ pub trait Backing: Send + Sync {
     }
     /// Truncate (or extend with zeros) a file by path.
     fn truncate(&self, path: &str, len: u64) -> Result<()>;
+    /// Notify the backing that `path` is sealed: its writer has closed and
+    /// the file is immutable from here on. A hint, not a barrier — plain
+    /// backings ignore it; [`crate::TieredBacking`] uses it to schedule a
+    /// background destage to the slow tier.
+    fn seal(&self, path: &str) -> Result<()> {
+        let _ = path;
+        Ok(())
+    }
 }
 
 /// Recursively delete a directory tree through any backing.
+///
+/// Tolerates children vanishing concurrently (a racing destage, unlink, or
+/// background compaction): a `NotFound` on any step means someone else
+/// already removed that piece, which is exactly the goal state.
 pub fn remove_tree(b: &dyn Backing, path: &str) -> Result<()> {
-    let st = b.stat(path)?;
+    let st = match b.stat(path) {
+        Ok(st) => st,
+        Err(Error::NotFound(_)) => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let not_found_ok = |r: Result<()>| match r {
+        Err(Error::NotFound(_)) => Ok(()),
+        other => other,
+    };
     if !st.is_dir {
-        return b.unlink(path);
+        return not_found_ok(b.unlink(path));
     }
-    for name in b.readdir(path)? {
+    let names = match b.readdir(path) {
+        Ok(names) => names,
+        Err(Error::NotFound(_)) => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for name in names {
         let child = join(path, &name);
         remove_tree(b, &child)?;
     }
-    b.rmdir(path)
+    not_found_ok(b.rmdir(path))
 }
 
 /// Join a backend-relative directory path and an entry name.
@@ -740,6 +765,58 @@ mod tests {
             remove_tree(b.as_ref(), "/c").unwrap();
             assert!(!b.exists("/c"), "{name}");
         }
+    }
+
+    /// A backing whose readdir reports one phantom child that no longer
+    /// exists — the shape a concurrent destage/unlink race leaves behind.
+    struct PhantomChild(MemBacking);
+
+    impl Backing for PhantomChild {
+        fn create(&self, path: &str, excl: bool) -> Result<Box<dyn BackingFile>> {
+            self.0.create(path, excl)
+        }
+        fn open(&self, path: &str, write: bool) -> Result<Box<dyn BackingFile>> {
+            self.0.open(path, write)
+        }
+        fn mkdir(&self, path: &str) -> Result<()> {
+            self.0.mkdir(path)
+        }
+        fn mkdir_all(&self, path: &str) -> Result<()> {
+            self.0.mkdir_all(path)
+        }
+        fn readdir(&self, path: &str) -> Result<Vec<String>> {
+            let mut names = self.0.readdir(path)?;
+            names.push("vanished-by-destage".to_string());
+            Ok(names)
+        }
+        fn unlink(&self, path: &str) -> Result<()> {
+            self.0.unlink(path)
+        }
+        fn rmdir(&self, path: &str) -> Result<()> {
+            self.0.rmdir(path)
+        }
+        fn rename(&self, from: &str, to: &str) -> Result<()> {
+            self.0.rename(from, to)
+        }
+        fn stat(&self, path: &str) -> Result<BackStat> {
+            self.0.stat(path)
+        }
+        fn truncate(&self, path: &str, len: u64) -> Result<()> {
+            self.0.truncate(path, len)
+        }
+    }
+
+    #[test]
+    fn remove_tree_tolerates_vanishing_children() {
+        let b = PhantomChild(MemBacking::new());
+        b.mkdir_all("/c/h1").unwrap();
+        b.create("/c/h1/d1", true).unwrap();
+        // Every readdir reports a child that stat/unlink will miss; the
+        // removal must shrug and still take the tree down.
+        remove_tree(&b, "/c").unwrap();
+        assert!(!b.exists("/c"));
+        // Removing an already-gone tree is a no-op, not an error.
+        remove_tree(&b, "/c").unwrap();
     }
 
     #[test]

@@ -360,6 +360,126 @@ impl MetaConf {
     }
 }
 
+/// Tuning knobs for the pluggable scale-out backend layer.
+///
+/// `submit_depth`/`submit_workers` configure the async submission queue of
+/// [`crate::BatchedBacking`]: deferred data writes queue up to
+/// `submit_depth` ops (submission blocks beyond that — natural
+/// backpressure) and `submit_workers` threads drain them, with per-file
+/// `sync`/`size`/`pread` and close acting as completion barriers.
+/// `destage_threshold` is the [`crate::TieredBacking`] knob: a sealed
+/// dropping at least this many bytes is copied to the slow tier in the
+/// background (0 = destage everything sealed). The disabled configuration
+/// keeps every backing call synchronous — byte-identical to the
+/// pre-backend-layer behaviour and the property-test reference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendConf {
+    /// Maximum deferred backing ops in flight (0 = submission layer off:
+    /// every op is issued synchronously in the caller's thread).
+    pub submit_depth: usize,
+    /// Worker threads draining the submission queue (min 1 when enabled).
+    pub submit_workers: usize,
+    /// Minimum sealed-dropping size in bytes before a tiered backing
+    /// destages it to the slow tier (0 = destage all sealed droppings).
+    pub destage_threshold: u64,
+}
+
+/// Default submission-queue depth when batching is enabled.
+pub const DEFAULT_SUBMIT_DEPTH: usize = 64;
+/// Default submission worker count when batching is enabled.
+pub const DEFAULT_SUBMIT_WORKERS: usize = 4;
+
+impl Default for BackendConf {
+    fn default() -> BackendConf {
+        BackendConf {
+            submit_depth: 0,
+            submit_workers: DEFAULT_SUBMIT_WORKERS,
+            destage_threshold: 0,
+        }
+    }
+}
+
+impl BackendConf {
+    /// The disabled configuration: synchronous submission, destage
+    /// everything sealed. This is the reference path — with the knobs off
+    /// the backend layer must be byte-identical to direct backing calls.
+    pub fn disabled() -> BackendConf {
+        BackendConf::default()
+    }
+
+    /// A batching configuration with the default depth and worker count.
+    pub fn batched() -> BackendConf {
+        BackendConf {
+            submit_depth: DEFAULT_SUBMIT_DEPTH,
+            submit_workers: DEFAULT_SUBMIT_WORKERS,
+            ..BackendConf::default()
+        }
+    }
+
+    /// Is the async submission layer enabled?
+    pub fn batching(&self) -> bool {
+        self.submit_depth > 0
+    }
+
+    /// Builder-style: set the submission-queue depth (0 = off).
+    pub fn with_submit_depth(mut self, depth: usize) -> BackendConf {
+        self.submit_depth = depth;
+        self
+    }
+
+    /// Builder-style: set the submission worker count (min 1).
+    pub fn with_submit_workers(mut self, workers: usize) -> BackendConf {
+        self.submit_workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style: set the destage size threshold in bytes.
+    pub fn with_destage_threshold(mut self, bytes: u64) -> BackendConf {
+        self.destage_threshold = bytes;
+        self
+    }
+}
+
+/// Which backend stack sits under a mount (the `backend` plfsrc key and the
+/// `LDPLFS_BACKEND` environment knob). Orthogonal to [`BackendConf`]: any
+/// kind can additionally be wrapped in the batched submission layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Plain synchronous backing (the default; today's behaviour).
+    #[default]
+    Direct,
+    /// The mount's backing wrapped in [`crate::BatchedBacking`].
+    Batched,
+    /// [`crate::TieredBacking`]: the mount's first backend directory is the
+    /// fast tier, the remaining backends the slow tier.
+    Tiered,
+    /// [`crate::ObjectBacking`] over the mount's backing.
+    Object,
+}
+
+impl BackendKind {
+    /// Parse the plfsrc / environment spelling.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "direct" | "sync" | "posix" => Some(BackendKind::Direct),
+            "batched" | "async" => Some(BackendKind::Batched),
+            "tiered" | "burst" | "burst_buffer" => Some(BackendKind::Tiered),
+            "object" | "object_store" => Some(BackendKind::Object),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Direct => "direct",
+            BackendKind::Batched => "batched",
+            BackendKind::Tiered => "tiered",
+            BackendKind::Object => "object",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,6 +594,30 @@ mod tests {
         assert_eq!(OpenMarkers::parse("lazy"), Some(OpenMarkers::Lazy));
         assert_eq!(OpenMarkers::parse("off"), Some(OpenMarkers::Off));
         assert_eq!(OpenMarkers::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn backend_defaults_are_synchronous() {
+        let c = BackendConf::default();
+        assert_eq!(c.submit_depth, 0);
+        assert!(!c.batching());
+        assert_eq!(c.destage_threshold, 0);
+        assert_eq!(BackendConf::disabled(), c);
+    }
+
+    #[test]
+    fn backend_batched_and_builders_clamp() {
+        let c = BackendConf::batched();
+        assert!(c.batching());
+        assert_eq!(c.submit_depth, DEFAULT_SUBMIT_DEPTH);
+        assert_eq!(c.submit_workers, DEFAULT_SUBMIT_WORKERS);
+        let c = BackendConf::default()
+            .with_submit_depth(8)
+            .with_submit_workers(0)
+            .with_destage_threshold(1 << 20);
+        assert_eq!(c.submit_depth, 8);
+        assert_eq!(c.submit_workers, 1);
+        assert_eq!(c.destage_threshold, 1 << 20);
     }
 
     #[test]

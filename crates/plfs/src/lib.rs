@@ -43,10 +43,13 @@
 //! * [`faults`] — failure injection for error-path testing.
 //! * [`meta`] — the container metadata cache (the metadata fast path).
 //! * [`meter`] — a counting backing decorator for op-cost measurement.
+//! * [`backend`] — pluggable scale-out backends: batched submission,
+//!   tiered burst-buffer staging, and an object-store mapping.
 
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod backend;
 pub mod backing;
 pub mod check;
 pub mod conf;
@@ -64,9 +67,13 @@ pub mod reader;
 pub mod writer;
 
 pub use api::{Dirent, Plfs, Stat};
+pub use backend::{
+    BatchedBacking, FsObjectStore, ObjectBacking, ObjectStore, TierStats, TieredBacking,
+    TIER_MAP_FILE,
+};
 pub use backing::{BackStat, Backing, BackingFile, MemBacking, RealBacking};
 pub use check::{check, repair, CheckReport, Finding, RepairReport, Severity};
-pub use conf::{ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf};
+pub use conf::{BackendConf, BackendKind, ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf};
 pub use container::{ContainerParams, LayoutMode};
 pub use error::{Error, Result};
 pub use faults::{FaultKind, FaultOp, FaultRule, Faulty};

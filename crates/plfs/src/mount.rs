@@ -20,9 +20,10 @@
 
 use crate::backing::{BackStat, Backing, BackingFile};
 use crate::conf::{
-    ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf, DEFAULT_DATA_BUFFER_BYTES,
-    DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS, DEFAULT_LIST_IO_MAX_EXTENTS,
-    DEFAULT_META_CACHE_ENTRIES, DEFAULT_META_CACHE_SHARDS, DEFAULT_WRITE_SHARDS,
+    BackendConf, BackendKind, ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf,
+    DEFAULT_DATA_BUFFER_BYTES, DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS,
+    DEFAULT_LIST_IO_MAX_EXTENTS, DEFAULT_META_CACHE_ENTRIES, DEFAULT_META_CACHE_SHARDS,
+    DEFAULT_SUBMIT_WORKERS, DEFAULT_WRITE_SHARDS,
 };
 use crate::container::{ContainerParams, LayoutMode, HOSTDIR_PREFIX};
 use crate::error::{Error, Result};
@@ -95,6 +96,16 @@ pub struct PlfsRc {
     pub list_io: bool,
     /// Per-batch extent cap for list I/O (`list_io_max_extents` key).
     pub list_io_max_extents: usize,
+    /// Which backend stack to build under each mount (`backend` key:
+    /// `direct`, `batched`, `tiered`, or `object`).
+    pub backend: BackendKind,
+    /// Async submission-queue depth (`submit_depth` key; 0 = synchronous).
+    pub submit_depth: usize,
+    /// Async submission worker count (`submit_workers` key).
+    pub submit_workers: usize,
+    /// Tiered-backend destage size threshold in bytes
+    /// (`destage_threshold` key; 0 = destage every sealed dropping).
+    pub destage_threshold: u64,
 }
 
 impl PlfsRc {
@@ -116,6 +127,10 @@ impl PlfsRc {
             compact_droppings_threshold: 0,
             list_io: true,
             list_io_max_extents: DEFAULT_LIST_IO_MAX_EXTENTS,
+            backend: BackendKind::default(),
+            submit_depth: 0,
+            submit_workers: DEFAULT_SUBMIT_WORKERS,
+            destage_threshold: 0,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -192,6 +207,19 @@ impl PlfsRc {
                     rc.open_markers = OpenMarkers::parse(value).ok_or_else(|| {
                         config_error("unknown open_markers policy in plfsrc", lineno)
                     })?;
+                }
+                "backend" => {
+                    rc.backend = BackendKind::parse(value)
+                        .ok_or_else(|| config_error("unknown backend kind in plfsrc", lineno))?;
+                }
+                "submit_depth" => {
+                    rc.submit_depth = parse_num(value, lineno)? as usize;
+                }
+                "submit_workers" => {
+                    rc.submit_workers = parse_num(value, lineno)? as usize;
+                }
+                "destage_threshold" => {
+                    rc.destage_threshold = parse_num(value, lineno)?;
                 }
                 _ => {
                     let Some(m) = rc.mounts.last_mut() else {
@@ -273,6 +301,15 @@ impl PlfsRc {
         ListIoConf::default()
             .with_enabled(self.list_io)
             .with_max_extents(self.list_io_max_extents)
+    }
+
+    /// The backend-layer configuration these global knobs describe, ready
+    /// to hand to [`crate::api::Plfs::with_backend_conf`].
+    pub fn backend_conf(&self) -> BackendConf {
+        BackendConf::default()
+            .with_submit_depth(self.submit_depth)
+            .with_submit_workers(self.submit_workers)
+            .with_destage_threshold(self.destage_threshold)
     }
 
     /// The metadata fast-path configuration these global knobs describe,
@@ -441,6 +478,10 @@ impl Backing for SpreadBacking {
     fn truncate(&self, path: &str, len: u64) -> Result<()> {
         self.route(path).truncate(path, len)
     }
+
+    fn seal(&self, path: &str) -> Result<()> {
+        self.route(path).seal(path)
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +513,36 @@ mod tests {
         assert_eq!(m.params.num_hostdirs, 16);
         assert_eq!(m.index_buffer_entries, 128);
         assert_eq!(rc.mounts[1].mount_point, "/plfs2");
+    }
+
+    #[test]
+    fn parse_backend_knobs_into_backend_conf() {
+        let rc = PlfsRc::parse(
+            "backend tiered\n\
+             submit_depth 32\n\
+             submit_workers 2\n\
+             destage_threshold 1048576\n\
+             mount_point /p\n\
+             backends /fast,/slow\n",
+        )
+        .unwrap();
+        assert_eq!(rc.backend, BackendKind::Tiered);
+        let conf = rc.backend_conf();
+        assert_eq!(conf.submit_depth, 32);
+        assert_eq!(conf.submit_workers, 2);
+        assert_eq!(conf.destage_threshold, 1 << 20);
+        assert!(conf.batching());
+        // Defaults: direct backend, submission layer off.
+        let rc = PlfsRc::parse("mount_point /p\nbackends /b\n").unwrap();
+        assert_eq!(rc.backend, BackendKind::Direct);
+        assert!(!rc.backend_conf().batching());
+        // Aliases parse; junk is a line-numbered error.
+        let rc = PlfsRc::parse("backend burst_buffer\nmount_point /p\nbackends /a,/b\n").unwrap();
+        assert_eq!(rc.backend, BackendKind::Tiered);
+        let err = PlfsRc::parse("mount_point /p\nbackend warp_drive\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = PlfsRc::parse("submit_depth many\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 
     #[test]

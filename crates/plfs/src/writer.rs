@@ -32,6 +32,7 @@ pub struct WriteFile {
     data: Box<dyn BackingFile>,
     index: Box<dyn BackingFile>,
     data_path: String,
+    index_path: String,
     mode: LayoutMode,
     pid: u64,
     buffered: Vec<IndexEntry>,
@@ -103,7 +104,7 @@ impl WriteFile {
         pid: u64,
         conf: &WriteConf,
     ) -> Result<WriteFile> {
-        let (data, index, data_path) = match params.mode {
+        let (data, index, data_path, index_path) = match params.mode {
             LayoutMode::LogStructured => {
                 // All pids share dropping pair 0; first creator wins, the
                 // rest open for append.
@@ -119,7 +120,7 @@ impl WriteFile {
                     Err(Error::Exists(_)) => b.open(&ip, true)?,
                     Err(e) => return Err(e),
                 };
-                (data, index, dp)
+                (data, index, dp, ip)
             }
             _ => {
                 // Probe for the first unused dropping pair with exclusive
@@ -133,7 +134,7 @@ impl WriteFile {
                     match b.create(&dp, true) {
                         Ok(data) => {
                             let ip = container::index_dropping_path(container, params, pid, seq);
-                            break (data, b.create(&ip, true)?, dp);
+                            break (data, b.create(&ip, true)?, dp, ip);
                         }
                         Err(Error::Exists(_)) => seq += 1,
                         Err(e) => return Err(e),
@@ -145,6 +146,7 @@ impl WriteFile {
             data,
             index,
             data_path,
+            index_path,
             mode: params.mode,
             pid,
             buffered: Vec::new(),
@@ -278,6 +280,11 @@ impl WriteFile {
     /// Backend path of this writer's data dropping.
     pub fn data_path(&self) -> &str {
         &self.data_path
+    }
+
+    /// Backend path of this writer's index dropping.
+    pub fn index_path(&self) -> &str {
+        &self.index_path
     }
 
     /// Total bytes written through this stream.

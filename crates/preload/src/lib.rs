@@ -41,6 +41,17 @@
 //! per-extent single ops), and `LDPLFS_LIST_IO_MAX_EXTENTS` (extents per
 //! internal list-I/O batch).
 //!
+//! Scale-out backend knobs (mirror the plfsrc `backend`/`submit_*` keys):
+//! `LDPLFS_BACKEND_KIND=direct|batched|tiered|object` picks the backend
+//! stack over the `LDPLFS_BACKEND` directory; `tiered` additionally needs
+//! `LDPLFS_FAST_BACKEND=<dir>` as the burst-buffer tier (writes land there
+//! and sealed droppings destage to `LDPLFS_BACKEND` in the background).
+//! `LDPLFS_SUBMIT_DEPTH` / `LDPLFS_SUBMIT_WORKERS` size the async
+//! submission queue (depth 0 keeps the synchronous path), and
+//! `LDPLFS_DESTAGE_THRESHOLD` keeps droppings smaller than this many bytes
+//! on the fast tier. As with every other knob, unparsable values keep the
+//! defaults — the shim must never refuse to start over tuning.
+//!
 //! Known limitation (shared with the original): descriptors inherited
 //! *across `execve`* lose their PLFS identity, so shell output redirection
 //! `> /mount/file` feeding an exec'd child is not supported; tools that
@@ -89,6 +100,7 @@ extern "C" {
     fn __errno_location() -> *mut c_int;
     fn syscall(num: c_long, ...) -> c_long;
     fn getpid() -> c_int;
+    fn atexit(cb: extern "C" fn()) -> c_int;
 }
 
 const SYS_MEMFD_CREATE: c_long = 319; // x86_64
@@ -153,6 +165,21 @@ struct Shim {
 
 static SHIM: OnceLock<Option<Shim>> = OnceLock::new();
 
+/// The tiered backing, if the shim built one — kept so the atexit hook
+/// can flush queued destages before a short-lived host process dies.
+static TIERED: OnceLock<Arc<plfs::TieredBacking>> = OnceLock::new();
+
+// plfs-lint: allow(ffi-barrier, "atexit callback returns (); has its own catch_unwind, errno is meaningless here")
+extern "C" fn drain_tiered_at_exit() {
+    // Never unwind into libc's exit machinery; a failed drain just leaves
+    // droppings fast-resident, which the crash-safe read path tolerates.
+    let _ = std::panic::catch_unwind(|| {
+        if let Some(t) = TIERED.get() {
+            t.drain();
+        }
+    });
+}
+
 thread_local! {
     /// Guards against re-entrant initialization: building the shim touches
     /// the file system (create_dir_all on the backend), which re-enters the
@@ -182,8 +209,58 @@ fn init_shim() -> Option<Shim> {
         if mount.is_empty() {
             return None;
         }
-        let backing = RealBacking::new(backend).ok()?;
-        let mut plfs = Plfs::new(Arc::new(backing));
+        let mut backing: Arc<dyn plfs::Backing> = Arc::new(RealBacking::new(backend).ok()?);
+        // Scale-out backend stack (LDPLFS_BACKEND_KIND + submission knobs).
+        // A tiered request without a usable fast directory degrades to the
+        // direct stack rather than refusing to start.
+        let kind = std::env::var("LDPLFS_BACKEND_KIND")
+            .ok()
+            .and_then(|v| plfs::BackendKind::parse(&v))
+            .unwrap_or_default();
+        let mut bconf = plfs::BackendConf::default();
+        if let Ok(n) = std::env::var("LDPLFS_SUBMIT_DEPTH") {
+            if let Ok(n) = n.parse::<usize>() {
+                bconf = bconf.with_submit_depth(n);
+            }
+        }
+        if let Ok(n) = std::env::var("LDPLFS_SUBMIT_WORKERS") {
+            if let Ok(n) = n.parse::<usize>() {
+                bconf = bconf.with_submit_workers(n);
+            }
+        }
+        if let Ok(n) = std::env::var("LDPLFS_DESTAGE_THRESHOLD") {
+            if let Ok(n) = n.parse::<u64>() {
+                bconf = bconf.with_destage_threshold(n);
+            }
+        }
+        match kind {
+            plfs::BackendKind::Direct => {}
+            plfs::BackendKind::Batched => {
+                if !bconf.batching() {
+                    bconf = bconf.with_submit_depth(plfs::conf::DEFAULT_SUBMIT_DEPTH);
+                }
+            }
+            plfs::BackendKind::Tiered => {
+                if let Some(fast) = std::env::var("LDPLFS_FAST_BACKEND")
+                    .ok()
+                    .and_then(|d| RealBacking::new(d).ok())
+                {
+                    let tiered = Arc::new(plfs::TieredBacking::new(Arc::new(fast), backing, bconf));
+                    // Destage runs on background workers; short-lived hosts
+                    // (dd, cp, md5sum) would exit before the queue drains,
+                    // leaving every dropping fast-resident. Drain on normal
+                    // exit; an actual crash still has the copy→persist→unlink
+                    // ordering to fall back on.
+                    let _ = TIERED.set(Arc::clone(&tiered));
+                    unsafe { atexit(drain_tiered_at_exit) };
+                    backing = tiered;
+                }
+            }
+            plfs::BackendKind::Object => {
+                backing = Arc::new(plfs::ObjectBacking::over(backing));
+            }
+        }
+        let mut plfs = Plfs::new(backing).with_backend_conf(bconf);
         if let Ok(n) = std::env::var("LDPLFS_HOSTDIRS") {
             if let Ok(n) = n.parse::<u32>() {
                 plfs = plfs.with_params(plfs::ContainerParams {

@@ -12,6 +12,7 @@
 //! plfs-tools du      /path/to/backend           # logical vs physical usage
 //! plfs-tools rm      /path/to/backend/file      # delete a container
 //! plfs-tools version /path/to/backend/file
+//! plfs-tools backend FAST_DIR SLOW_DIR          # tier residency + destage state
 //! plfs-tools rccheck /path/to/plfsrc            # validate a config file
 //! plfs-tools trace   /path/to/trace.jsonl       # summarize a recorded trace
 //! plfs-tools trace   /path/to/trace.jsonl --dump  # one line per op
@@ -36,8 +37,8 @@ fn main() {
 fn run(args: &[String]) -> plfs_tools::ToolResult {
     let usage = || {
         plfs_tools::ToolError::Usage(
-            "commands: stat|map|flatten|compact|check|repair|ls|du|rm|version|rccheck|trace|\
-             benchcheck|benchgate|lint (see --help)"
+            "commands: stat|map|flatten|compact|check|repair|ls|du|rm|version|backend|rccheck|\
+             trace|benchcheck|benchgate|lint (see --help)"
                 .to_string(),
         )
     };
@@ -114,6 +115,14 @@ fn run(args: &[String]) -> plfs_tools::ToolResult {
         } else {
             plfs_tools::trace_summary(&text)
         };
+    }
+    if cmd == "backend" {
+        let slow_path = args
+            .get(2)
+            .ok_or_else(|| plfs_tools::ToolError::Usage("backend FAST_DIR SLOW_DIR".to_string()))?;
+        let fast = RealBacking::new(path.as_str())?;
+        let slow = RealBacking::new(slow_path.as_str())?;
+        return plfs_tools::backend_report(&fast, &slow);
     }
     if cmd == "ls" || cmd == "du" {
         let b = RealBacking::new(path.as_str())?;

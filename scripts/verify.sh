@@ -34,6 +34,8 @@ cargo run --offline --release -q -p bench --bin paperbench -- \
     indexscale --quick --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p bench --bin paperbench -- \
     noncontig --quick --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    staging2 --quick --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p plfs-tools -- benchcheck "$tmp"/BENCH_*.json
 
 echo "verify: OK"
