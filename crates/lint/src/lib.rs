@@ -5,9 +5,11 @@
 //! concurrency work (relaxed atomics, lock sharding, a lock-free trace
 //! ring) only stays correct if its invariants outlive the author. This
 //! crate enforces those invariants mechanically, with a comment- and
-//! string-aware lexical scanner (see [`lexer`]) and a small rule engine.
+//! string-aware lexical scanner (see [`lexer`]), a small per-file rule
+//! engine, and — since PR 9 — a syntactic workspace [`callgraph`] that
+//! four dataflow passes walk for cross-function and cross-crate facts.
 //!
-//! ## Rules
+//! ## Per-file rules
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
@@ -15,8 +17,24 @@
 //! | `ffi-barrier` | `crates/preload` | every `extern "C"` entry point routes through `ffi_guard!` (catch_unwind → errno) |
 //! | `errno-discipline` | `crates/preload` | any function returning `-1` must set errno (directly or via `ffi_guard!`) |
 //! | `relaxed-ordering-audit` | whole workspace | every `Ordering::Relaxed` carries a `// relaxed: <why>` justification |
-//! | `lock-across-io` | `crates/plfs` | no `lock()`/`read()`/`write()` guard held across a backing-store call |
+//! | `lock-across-io` | `crates/plfs` | no `lock()`/`read()`/`write()` guard held across a backing-store call — direct, or (PR 9) transitively through resolved callees |
 //! | `no-direct-backing-io` | `crates/plfs` (except `backing.rs`) | file I/O goes through the `Backing` trait, never `std::fs` directly |
+//!
+//! ## Call-graph passes
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `deadlock-cycle` | `crates/plfs` | the per-crate lock-order graph (lock class held → lock class acquired, including acquisitions by transitive callees) is acyclic; same-class self-edges are exempt (sharded siblings lock in index order by convention) |
+//! | `signal-safety` | `crates/preload` | on every path from an interposed `#[no_mangle] extern "C"` entry point, no allocation/formatting, no lock-guard binding, and no re-entry into an interposed symbol before the `real!`/`dlsym` next-symbol resolution; escape hatch: `// signal-safe: <why>` within three lines above the `fn` |
+//! | `errno-clobber` | `crates/preload` | nothing that can overwrite errno (a `real!` call, a call through a `real!`-bound local, or a callee that sets errno) runs between `set_errno(e)` and the `-1` return, or between capturing a real libc return value and returning it |
+//! | `symbol-coverage` | `crates/preload` | the interposed symbol set matches the declarative alias-family matrix: no family partially covered (e.g. `open` without `open64`), no unknown symbol outside the matrix, and 64-bit/`at`-twins dispatch to the same `do_*` handler |
+//!
+//! The graph is deliberately syntactic and conservative: plain calls
+//! resolve same-file → same-crate → workspace-unique; method and
+//! path-qualified calls resolve within the caller's crate only and never
+//! through a blocklist of generic names (`get`, `insert`, `run`, …).
+//! Unresolved calls contribute no edges, so the passes under-approximate
+//! rather than guess.
 //!
 //! ## Suppressions
 //!
@@ -35,13 +53,25 @@
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt from
 //! every rule: tests are allowed to unwrap.
+//!
+//! ## Output
+//!
+//! Findings render as text (`render_text`), JSON (`render_json`), or SARIF
+//! 2.1.0 (`render_sarif`) for code-scanning UIs; `check_sarif` is an
+//! independent validator the CI round-trips every report through.
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+mod passes;
 mod rules;
+mod sarif;
+
+pub use sarif::{check_sarif, render_sarif};
 
 use lexer::Line;
+use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -69,8 +99,33 @@ pub const RULES: &[&str] = &[
     "relaxed-ordering-audit",
     "lock-across-io",
     "no-direct-backing-io",
+    "deadlock-cycle",
+    "signal-safety",
+    "errno-clobber",
+    "symbol-coverage",
     "bad-suppression",
 ];
+
+/// One-line description per rule id, used by the SARIF `rules` array.
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "panic-in-ffi" => "no panic-capable calls in shim code",
+        "ffi-barrier" => "every preload extern \"C\" fn routes through ffi_guard!",
+        "errno-discipline" => "functions returning -1 must set errno",
+        "relaxed-ordering-audit" => "every Ordering::Relaxed carries a `// relaxed:` note",
+        "lock-across-io" => "no lock guard held across backing-store I/O (directly or via callees)",
+        "no-direct-backing-io" => "crates/plfs I/O goes through the Backing trait",
+        "deadlock-cycle" => "no lock-order inversion cycles across lock classes",
+        "signal-safety" => {
+            "no allocation, formatting, held locks or interposed-symbol re-entry \
+             before dlsym-next resolution in the preload shim"
+        }
+        "errno-clobber" => "no errno-clobbering call between set_errno/libc return and the return",
+        "symbol-coverage" => "every interposed symbol's alias family is fully covered",
+        "bad-suppression" => "suppressions must carry a non-empty justification",
+        _ => "project-specific invariant",
+    }
+}
 
 /// One parsed `plfs-lint: allow(rule, "why")` suppression.
 #[derive(Debug, Clone)]
@@ -83,23 +138,28 @@ struct Suppression {
 
 /// A contiguous function span in the scrubbed source.
 #[derive(Debug, Clone)]
-struct FnSpan {
+pub(crate) struct FnSpan {
     /// 0-based line of the `fn` keyword.
-    start: usize,
+    pub(crate) start: usize,
     /// 0-based line of the closing brace (inclusive).
-    end: usize,
-    is_extern_c: bool,
+    pub(crate) end: usize,
+    pub(crate) is_extern_c: bool,
+    /// Identifier after `fn`; empty for fn-pointer types (`fn(c_int) -> …`).
+    pub(crate) name: String,
+    /// `#[no_mangle]` on the same or one of the three preceding lines —
+    /// i.e. an interposition entry point rather than an internal helper.
+    pub(crate) no_mangle: bool,
 }
 
 /// Everything the rules need to know about one file.
 pub struct FileCtx {
     /// Workspace-relative path, forward slashes.
     pub path: String,
-    lines: Vec<Line>,
+    pub(crate) lines: Vec<Line>,
     /// `in_test[i]` — line `i` is inside `#[cfg(test)]` / `#[test]` code.
-    in_test: Vec<bool>,
-    suppressions: Vec<Suppression>,
-    fns: Vec<FnSpan>,
+    pub(crate) in_test: Vec<bool>,
+    pub(crate) suppressions: Vec<Suppression>,
+    pub(crate) fns: Vec<FnSpan>,
 }
 
 impl FileCtx {
@@ -118,13 +178,13 @@ impl FileCtx {
         }
     }
 
-    fn line_in_test(&self, i: usize) -> bool {
+    pub(crate) fn line_in_test(&self, i: usize) -> bool {
         self.in_test.get(i).copied().unwrap_or(false)
     }
 
     /// Is a finding of `rule` on 0-based line `i` suppressed (same line or
     /// the line above), with a non-empty justification?
-    fn suppressed(&self, rule: &str, i: usize) -> bool {
+    pub(crate) fn suppressed(&self, rule: &str, i: usize) -> bool {
         self.suppressions
             .iter()
             .any(|s| s.rule == rule && s.has_reason && (s.line == i || s.line + 1 == i))
@@ -132,7 +192,7 @@ impl FileCtx {
 
     /// Comment text of line `i` and the line above, joined — used by the
     /// `// relaxed:` annotation check.
-    fn nearby_comments(&self, i: usize) -> String {
+    pub(crate) fn nearby_comments(&self, i: usize) -> String {
         let mut out = String::new();
         if i > 0 {
             out.push_str(&self.lines[i - 1].comment);
@@ -142,7 +202,7 @@ impl FileCtx {
         out
     }
 
-    fn finding(&self, rule: &'static str, i: usize, message: String) -> Finding {
+    pub(crate) fn finding(&self, rule: &'static str, i: usize, message: String) -> Finding {
         Finding {
             file: self.path.clone(),
             line: i + 1,
@@ -259,6 +319,21 @@ fn find_fn_spans(lines: &[Line]) -> Vec<FnSpan> {
         }
         head.push_str(&code[..fn_col]);
         let is_extern_c = head.contains("extern \"") && !head.trim_end().ends_with('}');
+        // The identifier after `fn`, if any. Fn-pointer types (`fn(c_int)`)
+        // and closures yield an empty name, which the call graph skips.
+        let after_fn = code[fn_col + 2..].trim_start();
+        let name: String = after_fn
+            .bytes()
+            .take_while(|&b| is_ident_byte(b))
+            .map(char::from)
+            .collect();
+        // `#[no_mangle]` sits on its own line above the (possibly
+        // attribute-laden) declaration head.
+        let no_mangle = lines
+            .iter()
+            .take(i + 1)
+            .skip(i.saturating_sub(3))
+            .any(|l| l.code.contains("#[no_mangle]"));
         // Find the body: first '{' at or after the fn, matched to close.
         let mut depth = 0i32;
         let mut opened = false;
@@ -292,6 +367,8 @@ fn find_fn_spans(lines: &[Line]) -> Vec<FnSpan> {
             start: i,
             end,
             is_extern_c,
+            name,
+            no_mangle,
         });
     }
     spans
@@ -318,17 +395,14 @@ pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-/// Lint one file's source text. `path` is the workspace-relative path used
-/// both for reporting and rule scoping.
-pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    let ctx = FileCtx::new(path, src);
-    let mut findings = Vec::new();
-    rules::panic_in_ffi(&ctx, &mut findings);
-    rules::ffi_barrier(&ctx, &mut findings);
-    rules::errno_discipline(&ctx, &mut findings);
-    rules::relaxed_ordering_audit(&ctx, &mut findings);
-    rules::lock_across_io(&ctx, &mut findings);
-    rules::no_direct_backing_io(&ctx, &mut findings);
+/// Per-file rules plus the engine's own suppression meta-rule.
+fn run_file_rules(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    rules::panic_in_ffi(ctx, findings);
+    rules::ffi_barrier(ctx, findings);
+    rules::errno_discipline(ctx, findings);
+    rules::relaxed_ordering_audit(ctx, findings);
+    rules::lock_across_io(ctx, findings);
+    rules::no_direct_backing_io(ctx, findings);
     // Suppressions without a justification are findings themselves.
     for s in &ctx.suppressions {
         if !s.has_reason && !ctx.line_in_test(s.line) {
@@ -343,8 +417,44 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
             ));
         }
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+}
+
+/// Lint a set of files together: per-file line rules, then the four
+/// call-graph passes (deadlock cycles, signal safety, errno clobber,
+/// symbol coverage) over the combined workspace graph. Each `(path, src)`
+/// pair is a workspace-relative path and its source text. Per-file work is
+/// parallelized with rayon; the graph passes run once over the whole set.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    let per_file: Vec<(FileCtx, Vec<Finding>)> = files
+        .par_iter()
+        .map(|(path, src)| {
+            let ctx = FileCtx::new(path, src);
+            let mut findings = Vec::new();
+            run_file_rules(&ctx, &mut findings);
+            (ctx, findings)
+        })
+        .collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(per_file.len());
+    for (ctx, f) in per_file {
+        findings.extend(f);
+        ctxs.push(ctx);
+    }
+    let graph = callgraph::Graph::build(&ctxs);
+    passes::deadlock::run(&graph, &mut findings);
+    passes::signal_safety::run(&graph, &mut findings);
+    passes::errno_clobber::run(&graph, &mut findings);
+    passes::symbol_matrix::run(&graph, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup();
     findings
+}
+
+/// Lint one file's source text. `path` is the workspace-relative path used
+/// both for reporting and rule scoping. Call-graph passes still run, with
+/// the single file as the whole visible workspace.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    lint_files(&[(path.to_string(), src.to_string())])
 }
 
 /// Walk the workspace at `root` and lint every first-party source file:
@@ -373,18 +483,23 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, std::io::Error> {
             format!("no .rs sources under {} — wrong root?", root.display()),
         ));
     }
-    let mut findings = Vec::new();
-    for f in &files {
-        let src = std::fs::read_to_string(f)?;
-        let rel = f
-            .strip_prefix(root)
-            .unwrap_or(f)
-            .to_string_lossy()
-            .replace('\\', "/");
-        findings.extend(lint_source(&rel, &src));
+    let sources: Vec<Result<(String, String), std::io::Error>> = files
+        .par_iter()
+        .map(|f| {
+            let src = std::fs::read_to_string(f)?;
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            Ok((rel, src))
+        })
+        .collect();
+    let mut pairs = Vec::with_capacity(sources.len());
+    for s in sources {
+        pairs.push(s?);
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
+    Ok(lint_files(&pairs))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {

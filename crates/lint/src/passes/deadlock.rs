@@ -1,0 +1,200 @@
+//! **deadlock-cycle** + transitive **lock-across-io**.
+//!
+//! From the per-line events we build, per crate, a lock-order digraph:
+//! an edge `a → b` means some function acquires a lock of class `b`
+//! (directly, or anywhere inside a resolved callee) while holding a guard
+//! of class `a`. A cycle in that digraph is a lock-order inversion — two
+//! threads entering the cycle from different edges can deadlock. Classes
+//! are syntactic (the identifier in front of `.lock()` / `.read()` /
+//! `.write()`), so distinct fields that happen to share a name collapse
+//! into one class: that over-approximates edges but never invents a held
+//! guard. Self-edges (`shard → shard`) are excluded by design: the sharded
+//! structures in `crates/plfs` acquire siblings in fixed index order,
+//! which cannot invert.
+//!
+//! The same walk extends PR 4's `lock-across-io` transitively: a call made
+//! under a live guard into a callee that (transitively) touches the
+//! backing store is the same bug the per-line rule catches, one hop
+//! removed.
+
+use crate::callgraph::{crate_of, Graph};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Provenance of one lock-order edge: file index + 0-based line.
+type Site = (usize, usize);
+
+pub(crate) fn run(graph: &Graph, out: &mut Vec<Finding>) {
+    let trans_acquires = graph.transitive_acquires();
+    let trans_io = graph.transitive_io();
+
+    // crate name → (edge (a, b) → first provenance site)
+    let mut edges: BTreeMap<&str, BTreeMap<(String, String), Site>> = BTreeMap::new();
+
+    for (fi, f) in graph.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let ctx = &graph.ctxs[f.file];
+        let krate = crate_of(&ctx.path);
+        for e in &f.events {
+            if ctx.line_in_test(e.line) {
+                continue;
+            }
+            let held: BTreeSet<&String> = e.held.iter().filter(|c| *c != "<anon>").collect();
+            if held.is_empty() {
+                continue;
+            }
+            // Directly acquired classes, plus anything a resolved callee
+            // may acquire.
+            let mut acquired: BTreeSet<String> = e
+                .acquires
+                .iter()
+                .map(|(c, _)| c.clone())
+                .filter(|c| c != "<anon>")
+                .collect();
+            let mut io_callee: Option<String> = None;
+            for call in &e.calls {
+                if let Some(g) = graph.resolve(fi, call) {
+                    acquired.extend(trans_acquires[g].iter().filter(|c| *c != "<anon>").cloned());
+                    if trans_io[g] && io_callee.is_none() {
+                        io_callee = Some(graph.fns[g].name.clone());
+                    }
+                }
+            }
+            for h in &held {
+                for a in &acquired {
+                    if *h != a && !e.held.contains(a) {
+                        edges
+                            .entry(krate)
+                            .or_default()
+                            .entry(((*h).clone(), a.clone()))
+                            .or_insert((f.file, e.line));
+                    }
+                }
+            }
+            // Transitive IO-under-lock: the per-line rule already fires
+            // when the backing mention is on this very line.
+            if !e.io && crate::rules::in_plfs(&ctx.path) {
+                if let Some(callee) = io_callee {
+                    if !ctx.suppressed("lock-across-io", e.line) {
+                        let held_list: Vec<&str> = held.iter().map(|s| s.as_str()).collect();
+                        out.push(ctx.finding(
+                            "lock-across-io",
+                            e.line,
+                            format!(
+                                "guard `{}` held across call to `{}`, which reaches \
+                                 backing-store I/O transitively; drop the guard first \
+                                 or justify with allow(lock-across-io, \"…\")",
+                                held_list.join("`, `"),
+                                callee
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection per crate, self-edges excluded.
+    for (_krate, emap) in edges {
+        let nodes: BTreeSet<&String> = emap.keys().flat_map(|(a, b)| [a, b]).collect();
+        let idx: BTreeMap<&String, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let names: Vec<&String> = nodes.iter().copied().collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        for (a, b) in emap.keys() {
+            if a != b {
+                adj[idx[a]].push(idx[b]);
+            }
+        }
+        for scc in sccs(&adj) {
+            if scc.len() < 2 {
+                continue;
+            }
+            let classes: Vec<&str> = scc.iter().map(|&i| names[i].as_str()).collect();
+            // Provenance: the lexicographically first edge inside the SCC.
+            let in_scc: BTreeSet<&str> = classes.iter().copied().collect();
+            let Some(((a, b), &(file, line))) = emap
+                .iter()
+                .find(|((a, b), _)| in_scc.contains(a.as_str()) && in_scc.contains(b.as_str()))
+            else {
+                continue;
+            };
+            let ctx = &graph.ctxs[file];
+            if ctx.suppressed("deadlock-cycle", line) {
+                continue;
+            }
+            out.push(ctx.finding(
+                "deadlock-cycle",
+                line,
+                format!(
+                    "lock-order inversion: classes {{{}}} form a cycle (edge `{a}` → `{b}` \
+                     anchored here); impose a single acquisition order or justify with \
+                     allow(deadlock-cycle, \"…\")",
+                    classes.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Tarjan strongly-connected components (iterative-friendly sizes here, so
+/// plain recursion is fine: the node set is lock classes, a handful).
+fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct State<'s> {
+        adj: &'s [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn strongconnect(s: &mut State, v: usize) {
+        s.index[v] = Some(s.next);
+        s.low[v] = s.next;
+        s.next += 1;
+        s.stack.push(v);
+        s.on_stack[v] = true;
+        for &w in &s.adj[v].to_vec() {
+            match s.index[w] {
+                None => {
+                    strongconnect(s, w);
+                    s.low[v] = s.low[v].min(s.low[w]);
+                }
+                Some(wi) if s.on_stack[w] => s.low[v] = s.low[v].min(wi),
+                _ => {}
+            }
+        }
+        if s.low[v] == s.index[v].unwrap() {
+            let mut comp = Vec::new();
+            while let Some(w) = s.stack.pop() {
+                s.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort_unstable();
+            s.out.push(comp);
+        }
+    }
+    let n = adj.len();
+    let mut s = State {
+        adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if s.index[v].is_none() {
+            strongconnect(&mut s, v);
+        }
+    }
+    s.out.sort();
+    s.out
+}

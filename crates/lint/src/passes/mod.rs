@@ -1,0 +1,12 @@
+//! Call-graph passes over [`crate::callgraph::Graph`].
+//!
+//! Each pass takes the built graph plus the shared findings sink and emits
+//! through the same suppression machinery as the per-file rules. Pass
+//! scoping mirrors the rule table: deadlock + transitive IO-under-lock in
+//! `crates/plfs` (anywhere locks are classed, really), signal safety /
+//! errno clobber / symbol coverage in `crates/preload`.
+
+pub(crate) mod deadlock;
+pub(crate) mod errno_clobber;
+pub(crate) mod signal_safety;
+pub(crate) mod symbol_matrix;

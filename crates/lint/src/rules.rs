@@ -3,13 +3,13 @@
 
 use crate::{find_word, is_ident_byte, FileCtx, Finding};
 
-fn in_preload(p: &str) -> bool {
+pub(crate) fn in_preload(p: &str) -> bool {
     p.contains("crates/preload/src")
 }
 fn in_ldplfs(p: &str) -> bool {
     p.contains("crates/ldplfs/src")
 }
-fn in_plfs(p: &str) -> bool {
+pub(crate) fn in_plfs(p: &str) -> bool {
     p.contains("crates/plfs/src")
 }
 
@@ -183,7 +183,7 @@ pub fn errno_discipline(ctx: &FileCtx, out: &mut Vec<Finding>) {
 }
 
 /// Does this code line contain a literal `-1` (the POSIX error sentinel)?
-fn mentions_minus_one(code: &str) -> bool {
+pub(crate) fn mentions_minus_one(code: &str) -> bool {
     let b = code.as_bytes();
     (0..b.len().saturating_sub(1)).any(|i| {
         b[i] == b'-'
@@ -290,7 +290,7 @@ pub fn lock_across_io(ctx: &FileCtx, out: &mut Vec<Finding>) {
 /// Parse `let [mut] NAME = <expr>.lock();` (or `.read();` / `.write();`,
 /// empty argument lists only, so `file.read(buf)` never matches). Returns
 /// the bound name.
-fn guard_binding(code: &str) -> Option<String> {
+pub(crate) fn guard_binding(code: &str) -> Option<String> {
     let let_at = find_word(code, "let")?;
     let rest = &code[let_at + 3..];
     let rest = rest.trim_start();

@@ -1,0 +1,169 @@
+//! SARIF 2.1.0 rendering and schema checking (via `jsonlite`).
+//!
+//! The emitted document is the minimal profile GitHub code scanning
+//! accepts: one run, one driver, a `rules` array carrying every rule id
+//! with its short description, and one `result` per finding with a
+//! `ruleIndex` back-reference and a physical location (workspace-relative
+//! URI + 1-based start line + snippet). [`check_sarif`] validates exactly
+//! the invariants [`render_sarif`] promises, so `verify.sh` can round-trip
+//! the output through an independent parse instead of trusting the
+//! renderer.
+
+use crate::{rule_description, Finding, RULES};
+use jsonlite::Value;
+
+/// Render findings as a SARIF 2.1.0 document.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|r| {
+            Value::object().with("id", *r).with(
+                "shortDescription",
+                Value::object().with("text", rule_description(r)),
+            )
+        })
+        .collect();
+    let results: Vec<Value> = findings
+        .iter()
+        .map(|f| {
+            let rule_index = RULES.iter().position(|r| *r == f.rule).unwrap_or(0);
+            Value::object()
+                .with("ruleId", f.rule)
+                .with("ruleIndex", rule_index)
+                .with("level", "error")
+                .with("message", Value::object().with("text", f.message.as_str()))
+                .with(
+                    "locations",
+                    vec![Value::object().with(
+                        "physicalLocation",
+                        Value::object()
+                            .with(
+                                "artifactLocation",
+                                Value::object()
+                                    .with("uri", f.file.as_str())
+                                    .with("uriBaseId", "SRCROOT"),
+                            )
+                            .with(
+                                "region",
+                                Value::object().with("startLine", f.line).with(
+                                    "snippet",
+                                    Value::object().with("text", f.snippet.as_str()),
+                                ),
+                            ),
+                    )],
+                )
+        })
+        .collect();
+    Value::object()
+        .with("$schema", "https://json.schemastore.org/sarif-2.1.0.json")
+        .with("version", "2.1.0")
+        .with(
+            "runs",
+            vec![Value::object()
+                .with(
+                    "tool",
+                    Value::object().with(
+                        "driver",
+                        Value::object()
+                            .with("name", "plfs-lint")
+                            .with("informationUri", "https://github.com/plfs/plfs-core")
+                            .with("rules", rules),
+                    ),
+                )
+                .with("results", results)],
+        )
+        .to_json_pretty()
+}
+
+/// Parse a SARIF document and check the invariants this crate's renderer
+/// guarantees. Returns the number of results on success.
+pub fn check_sarif(text: &str) -> Result<usize, String> {
+    let doc = jsonlite::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if doc.get("version").and_then(Value::as_str) != Some("2.1.0") {
+        return Err("version must be \"2.1.0\"".to_string());
+    }
+    if doc.get("$schema").and_then(Value::as_str).is_none() {
+        return Err("$schema is missing".to_string());
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("runs must be an array")?;
+    if runs.len() != 1 {
+        return Err(format!("expected exactly 1 run, got {}", runs.len()));
+    }
+    let run = &runs[0];
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .ok_or("runs[0].tool.driver is missing")?;
+    if driver.get("name").and_then(Value::as_str) != Some("plfs-lint") {
+        return Err("tool.driver.name must be \"plfs-lint\"".to_string());
+    }
+    let rules = driver
+        .get("rules")
+        .and_then(Value::as_array)
+        .ok_or("tool.driver.rules must be an array")?;
+    for (i, r) in rules.iter().enumerate() {
+        if r.get("id").and_then(Value::as_str).is_none() {
+            return Err(format!("rules[{i}] lacks a string id"));
+        }
+    }
+    let results = run
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or("runs[0].results must be an array")?;
+    for (i, res) in results.iter().enumerate() {
+        let rule_id = res
+            .get("ruleId")
+            .and_then(Value::as_str)
+            .ok_or(format!("results[{i}].ruleId missing"))?;
+        let idx = res
+            .get("ruleIndex")
+            .and_then(Value::as_u64)
+            .ok_or(format!("results[{i}].ruleIndex missing"))?;
+        let declared = rules
+            .get(idx as usize)
+            .and_then(|r| r.get("id"))
+            .and_then(Value::as_str)
+            .ok_or(format!("results[{i}].ruleIndex {idx} out of range"))?;
+        if declared != rule_id {
+            return Err(format!(
+                "results[{i}]: ruleIndex {idx} points at `{declared}`, not `{rule_id}`"
+            ));
+        }
+        if res
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Value::as_str)
+            .is_none()
+        {
+            return Err(format!("results[{i}].message.text missing"));
+        }
+        let loc = res
+            .get("locations")
+            .and_then(Value::as_array)
+            .and_then(|l| l.first().cloned())
+            .ok_or(format!("results[{i}].locations missing"))?;
+        let phys = loc
+            .get("physicalLocation")
+            .ok_or(format!("results[{i}] lacks physicalLocation"))?;
+        if phys
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(Value::as_str)
+            .is_none()
+        {
+            return Err(format!("results[{i}].artifactLocation.uri missing"));
+        }
+        let line = phys
+            .get("region")
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_u64)
+            .ok_or(format!("results[{i}].region.startLine missing"))?;
+        if line == 0 {
+            return Err(format!("results[{i}].region.startLine must be 1-based"));
+        }
+    }
+    Ok(results.len())
+}

@@ -1,0 +1,131 @@
+//! Unit tests for the workspace call graph on a synthetic two-crate
+//! fixture: name resolution across crates, conservative method handling,
+//! and the transitive lock/IO closures the dataflow passes consume.
+
+use plfs_lint::callgraph::{Call, Graph};
+use plfs_lint::FileCtx;
+
+/// Two files in different crates. `entry` (crate alpha) takes a lock and
+/// calls into crate beta, where `deep` takes a second lock and
+/// `backing_write` touches the backing store.
+fn two_crate_ctxs() -> Vec<FileCtx> {
+    let alpha = "pub fn entry(s: &S) {\n\
+                 \x20   let g = state.lock();\n\
+                 \x20   cross_helper(s);\n\
+                 }\n";
+    let beta = "pub fn cross_helper(s: &S) {\n\
+                \x20   deep(s);\n\
+                }\n\
+                fn deep(s: &S) {\n\
+                \x20   let d = inner.lock();\n\
+                \x20   backing_write(s);\n\
+                }\n\
+                fn backing_write(s: &S) {\n\
+                \x20   s.backing.put(0);\n\
+                }\n";
+    vec![
+        FileCtx::new("crates/alpha/src/lib.rs", alpha),
+        FileCtx::new("crates/beta/src/lib.rs", beta),
+    ]
+}
+
+fn idx(graph: &Graph, name: &str) -> usize {
+    graph
+        .fns
+        .iter()
+        .position(|f| f.name == name)
+        .unwrap_or_else(|| panic!("fn {name} not in graph"))
+}
+
+#[test]
+fn finds_all_functions_and_their_events() {
+    let ctxs = two_crate_ctxs();
+    let graph = Graph::build(&ctxs);
+    assert_eq!(graph.fns.len(), 4);
+    let entry = &graph.fns[idx(&graph, "entry")];
+    assert_eq!(entry.file, 0);
+    // Guard bound on line 1 is held on line 2 where the call happens.
+    let call_line = &entry.events[2];
+    assert_eq!(call_line.held, ["state"]);
+    assert_eq!(
+        call_line.calls,
+        [Call {
+            name: "cross_helper".into(),
+            method: false
+        }]
+    );
+    let deep = &graph.fns[idx(&graph, "deep")];
+    assert_eq!(deep.events[1].acquires, [("inner".to_string(), true)]);
+}
+
+#[test]
+fn plain_calls_resolve_across_crates_generic_methods_do_not() {
+    let ctxs = two_crate_ctxs();
+    let graph = Graph::build(&ctxs);
+    let (entry, helper) = (idx(&graph, "entry"), idx(&graph, "cross_helper"));
+    // Unique plain call resolves even though caller and callee live in
+    // different crates.
+    assert_eq!(graph.edges[entry], [helper]);
+    // `.put(…)` is a method call on an untracked receiver: it must not
+    // resolve to anything, even if a `fn put` existed somewhere.
+    let bw = idx(&graph, "backing_write");
+    assert!(graph.edges[bw].is_empty());
+    // resolve() agrees with the edge list.
+    assert_eq!(
+        graph.resolve(
+            entry,
+            &Call {
+                name: "cross_helper".into(),
+                method: false
+            }
+        ),
+        Some(helper)
+    );
+}
+
+#[test]
+fn transitive_closures_propagate_through_the_chain() {
+    let ctxs = two_crate_ctxs();
+    let graph = Graph::build(&ctxs);
+    let entry = idx(&graph, "entry");
+    let acquires = graph.transitive_acquires();
+    // entry's closure sees its own lock and deep's, two hops away.
+    assert!(acquires[entry].contains("state"));
+    assert!(acquires[entry].contains("inner"));
+    // backing IO in the leaf is visible from the root, and from every
+    // link of the chain, but leaf-ward facts never flow backwards.
+    let io = graph.transitive_io();
+    assert!(io[entry]);
+    assert!(io[idx(&graph, "cross_helper")]);
+    assert!(io[idx(&graph, "backing_write")]);
+    let leaf_acquires = &graph.transitive_acquires()[idx(&graph, "backing_write")];
+    assert!(leaf_acquires.is_empty());
+}
+
+#[test]
+fn ambiguous_and_test_only_names_do_not_resolve() {
+    let a = "pub fn caller() {\n\
+             \x20   twin();\n\
+             }\n";
+    let b = "pub fn twin() {}\n";
+    let c = "pub fn twin() {}\n";
+    let ctxs = vec![
+        FileCtx::new("crates/alpha/src/lib.rs", a),
+        FileCtx::new("crates/beta/src/lib.rs", b),
+        FileCtx::new("crates/gamma/src/lib.rs", c),
+    ];
+    let graph = Graph::build(&ctxs);
+    // Two candidate `twin`s in two other crates: ambiguous, no edge.
+    assert!(graph.edges[idx(&graph, "caller")].is_empty());
+    // A #[cfg(test)] definition is not a resolution candidate.
+    let main = "pub fn run() {\n\
+                \x20   helper();\n\
+                }\n\
+                #[cfg(test)]\n\
+                mod tests {\n\
+                \x20   pub fn helper() {}\n\
+                }\n";
+    let ctxs = vec![FileCtx::new("crates/alpha/src/lib.rs", main)];
+    let graph = Graph::build(&ctxs);
+    assert!(graph.edges[idx(&graph, "run")].is_empty());
+}

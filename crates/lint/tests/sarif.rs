@@ -1,0 +1,96 @@
+//! SARIF renderer round-trip: everything `render_sarif` emits must pass
+//! the independent `check_sarif` validator, and the validator must reject
+//! structurally broken documents — the same gate verify.sh applies to the
+//! live workspace report.
+
+use plfs_lint::{check_sarif, lint_source, render_sarif, Finding};
+
+const PLFS: &str = "crates/plfs/src/fd.rs";
+
+#[test]
+fn empty_report_round_trips() {
+    let doc = render_sarif(&[]);
+    assert_eq!(check_sarif(&doc), Ok(0));
+}
+
+#[test]
+fn findings_round_trip_with_locations_intact() {
+    let src = "impl S {\n\
+               \x20   fn a(&self) {\n\
+               \x20       let g = self.alpha.lock();\n\
+               \x20       let h = self.beta.lock();\n\
+               \x20   }\n\
+               \x20   fn b(&self) {\n\
+               \x20       let g = self.beta.lock();\n\
+               \x20       let h = self.alpha.lock();\n\
+               \x20   }\n\
+               }\n";
+    let findings = lint_source(PLFS, src);
+    assert!(!findings.is_empty());
+    let doc = render_sarif(&findings);
+    assert_eq!(check_sarif(&doc), Ok(findings.len()));
+    // Line numbers are 1-based in SARIF; our findings are 1-based too, so
+    // the rendered region must match the finding verbatim.
+    let parsed = jsonlite::parse(&doc).expect("renderer emits valid JSON");
+    let result = &parsed.get("runs").unwrap().as_array().unwrap()[0]
+        .get("results")
+        .unwrap()
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(
+        result.get("ruleId").and_then(|v| v.as_str()),
+        Some(findings[0].rule)
+    );
+    let region = result
+        .get("locations")
+        .and_then(|l| l.as_array())
+        .map(|l| &l[0])
+        .and_then(|l| l.get("physicalLocation"))
+        .and_then(|p| p.get("region"))
+        .expect("physicalLocation.region present");
+    assert_eq!(
+        region.get("startLine").and_then(|v| v.as_u64()),
+        Some(findings[0].line as u64)
+    );
+}
+
+#[test]
+fn every_rule_id_is_indexed() {
+    // One synthetic finding per rule: ruleIndex back-references must hold
+    // for all of them, not just the ones the live tree happens to emit.
+    let findings: Vec<Finding> = plfs_lint::RULES
+        .iter()
+        .map(|rule| Finding {
+            file: "crates/plfs/src/fd.rs".to_string(),
+            line: 1,
+            rule,
+            snippet: "let x = 0;".to_string(),
+            message: format!("synthetic {rule}"),
+        })
+        .collect();
+    let doc = render_sarif(&findings);
+    assert_eq!(check_sarif(&doc), Ok(findings.len()));
+}
+
+#[test]
+fn validator_rejects_broken_documents() {
+    let doc = render_sarif(&[]);
+    // Not JSON at all.
+    assert!(check_sarif("not json").is_err());
+    // Wrong version.
+    let bad = doc.replace("\"2.1.0\"", "\"9.9\"");
+    assert!(check_sarif(&bad).is_err());
+    // Wrong driver name.
+    let bad = doc.replace("plfs-lint", "other-tool");
+    assert!(check_sarif(&bad).is_err());
+    // Zero-based line number in a result.
+    let findings = vec![Finding {
+        file: "crates/plfs/src/fd.rs".to_string(),
+        line: 1,
+        rule: "lock-across-io",
+        snippet: "let g = self.map.lock();".to_string(),
+        message: "m".to_string(),
+    }];
+    let bad = render_sarif(&findings).replace("\"startLine\": 1", "\"startLine\": 0");
+    assert!(check_sarif(&bad).is_err());
+}

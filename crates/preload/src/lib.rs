@@ -188,6 +188,11 @@ thread_local! {
     static IN_INIT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+// One-time init on the first interposed call; nested interposed calls made
+// while init allocates re-enter through the IN_INIT latch above and fall
+// straight through to real libc. After init this is a lock-free read.
+// signal-safe: init's allocation cannot recurse into the shim (IN_INIT
+// latch); every later call is a OnceLock read with no allocation.
 fn shim() -> Option<&'static Shim> {
     if IN_INIT.with(|c| c.get()) {
         return None;
@@ -1128,6 +1133,14 @@ pub unsafe extern "C" fn fsync(fd: c_int) -> c_int {
     ffi_guard!(-1, do_fsync(fd))
 }
 
+/// `fdatasync(2)` — containers have no metadata/data distinction the shim
+/// could exploit, so it shares `do_fsync` (strictly stronger durability;
+/// passthrough fds pay one real fsync instead of fdatasync).
+#[no_mangle]
+pub unsafe extern "C" fn fdatasync(fd: c_int) -> c_int {
+    ffi_guard!(-1, do_fsync(fd))
+}
+
 unsafe fn do_dup(fd: c_int) -> c_int {
     let real_dup = real!(dup, unsafe extern "C" fn(c_int) -> c_int);
     let new = real_dup(fd);
@@ -1154,29 +1167,35 @@ pub unsafe extern "C" fn dup(fd: c_int) -> c_int {
     ffi_guard!(-1, do_dup(fd))
 }
 
+/// Shared `dup2`/`dup3` fd-table bookkeeping after the real call
+/// succeeded: newfd silently closed any previous identity, then inherits
+/// oldfd's snapshot and container state.
+unsafe fn dup_bookkeeping(sh: &Shim, oldfd: c_int, newfd: c_int) {
+    {
+        let mut snaps = sh.snapshots.write();
+        snaps.remove(&newfd);
+        if let Some(&info) = snaps.get(&oldfd) {
+            snaps.insert(newfd, info);
+        }
+    }
+    let old_state = {
+        let mut t = sh.table.write();
+        t.remove(&newfd);
+        t.get(&oldfd).cloned()
+    };
+    if let Some(st) = old_state {
+        st.refs.fetch_add(1, Ordering::AcqRel);
+        st.plfs_fd.add_ref(getpid() as u64);
+        sh.table.write().insert(newfd, st);
+    }
+}
+
 unsafe fn do_dup2(oldfd: c_int, newfd: c_int) -> c_int {
     let real_dup2 = real!(dup2, unsafe extern "C" fn(c_int, c_int) -> c_int);
     let ret = real_dup2(oldfd, newfd);
     if ret >= 0 {
         if let Some(sh) = shim() {
-            // newfd silently closed any previous identity.
-            {
-                let mut snaps = sh.snapshots.write();
-                snaps.remove(&newfd);
-                if let Some(&info) = snaps.get(&oldfd) {
-                    snaps.insert(newfd, info);
-                }
-            }
-            let old_state = {
-                let mut t = sh.table.write();
-                t.remove(&newfd);
-                t.get(&oldfd).cloned()
-            };
-            if let Some(st) = old_state {
-                st.refs.fetch_add(1, Ordering::AcqRel);
-                st.plfs_fd.add_ref(getpid() as u64);
-                sh.table.write().insert(newfd, st);
-            }
+            dup_bookkeeping(sh, oldfd, newfd);
         }
     }
     ret
@@ -1186,6 +1205,25 @@ unsafe fn do_dup2(oldfd: c_int, newfd: c_int) -> c_int {
 #[no_mangle]
 pub unsafe extern "C" fn dup2(oldfd: c_int, newfd: c_int) -> c_int {
     ffi_guard!(-1, do_dup2(oldfd, newfd))
+}
+
+unsafe fn do_dup3(oldfd: c_int, newfd: c_int, flags: c_int) -> c_int {
+    // The real call enforces dup3's contract (EINVAL on oldfd == newfd,
+    // atomic O_CLOEXEC); the shim only mirrors the fd-table transfer.
+    let real_dup3 = real!(dup3, unsafe extern "C" fn(c_int, c_int, c_int) -> c_int);
+    let ret = real_dup3(oldfd, newfd, flags);
+    if ret >= 0 {
+        if let Some(sh) = shim() {
+            dup_bookkeeping(sh, oldfd, newfd);
+        }
+    }
+    ret
+}
+
+/// `dup3(2)` — the O_CLOEXEC-capable dup2, used by modern shells.
+#[no_mangle]
+pub unsafe extern "C" fn dup3(oldfd: c_int, newfd: c_int, flags: c_int) -> c_int {
+    ffi_guard!(-1, do_dup3(oldfd, newfd, flags))
 }
 
 // ---------------------------------------------------------------------------
@@ -1339,6 +1377,13 @@ pub unsafe extern "C" fn fstat64(fd: c_int, out: *mut CStat) -> c_int {
 }
 
 unsafe fn do_fstatat(dirfd: c_int, path: *const c_char, out: *mut CStat, flags: c_int) -> c_int {
+    // Resolve the next-in-chain symbol before the logical-path probe: the
+    // probe allocates (logical returns an owned String), which is off the
+    // table while this symbol is still unresolved.
+    let f = real!(
+        fstatat,
+        unsafe extern "C" fn(c_int, *const c_char, *mut CStat, c_int) -> c_int
+    );
     let absolute = cstr(path).map(|p| p.starts_with('/')).unwrap_or(false);
     if dirfd == AT_FDCWD || absolute {
         if let Some(sh) = shim() {
@@ -1347,10 +1392,6 @@ unsafe fn do_fstatat(dirfd: c_int, path: *const c_char, out: *mut CStat, flags: 
             }
         }
     }
-    let f = real!(
-        fstatat,
-        unsafe extern "C" fn(c_int, *const c_char, *mut CStat, c_int) -> c_int
-    );
     f(dirfd, path, out, flags)
 }
 
@@ -1397,6 +1438,34 @@ unsafe fn do_unlink(path: *const c_char) -> c_int {
 #[no_mangle]
 pub unsafe extern "C" fn unlink(path: *const c_char) -> c_int {
     ffi_guard!(-1, do_unlink(path))
+}
+
+const AT_REMOVEDIR: c_int = 0x200;
+
+unsafe fn do_unlinkat(dirfd: c_int, path: *const c_char, flags: c_int) -> c_int {
+    let f = real!(
+        unlinkat,
+        unsafe extern "C" fn(c_int, *const c_char, c_int) -> c_int
+    );
+    let absolute = cstr(path).map(|p| p.starts_with('/')).unwrap_or(false);
+    if dirfd == AT_FDCWD || absolute {
+        // unlinkat(AT_FDCWD, p, 0) ≡ unlink(p); with AT_REMOVEDIR it is
+        // rmdir(p). Both helpers fall through to their own real symbol for
+        // paths outside the mount, which matches the real unlinkat.
+        return if flags & AT_REMOVEDIR != 0 {
+            do_rmdir(path)
+        } else {
+            do_unlink(path)
+        };
+    }
+    f(dirfd, path, flags)
+}
+
+/// `unlinkat(2)` for `AT_FDCWD` and absolute paths (the spellings modern
+/// coreutils `rm` uses); directory-fd-relative paths pass through.
+#[no_mangle]
+pub unsafe extern "C" fn unlinkat(dirfd: c_int, path: *const c_char, flags: c_int) -> c_int {
+    ffi_guard!(-1, do_unlinkat(dirfd, path, flags))
 }
 
 unsafe fn do_access(path: *const c_char, amode: c_int) -> c_int {
@@ -1504,6 +1573,45 @@ unsafe fn do_ftruncate(fd: c_int, len: OffT) -> c_int {
             }
         }
     }
+}
+
+unsafe fn do_truncate(path: *const c_char, len: OffT) -> c_int {
+    let real_truncate = real!(truncate, unsafe extern "C" fn(*const c_char, OffT) -> c_int);
+    let Some(sh) = shim() else {
+        return real_truncate(path, len);
+    };
+    match cstr(path).and_then(|p| logical(sh, p)) {
+        None => real_truncate(path, len),
+        Some(rel) => {
+            if len < 0 {
+                set_errno(EINVAL);
+                return -1;
+            }
+            // Path-based truncate of a container. Unlike do_ftruncate
+            // there is no fd whose writers need quiescing: an unopened (or
+            // other-process) container is rewritten directly, same as the
+            // kernel truncates a file nobody has open.
+            match sh.plfs.trunc(&rel, len as u64) {
+                Ok(()) => 0,
+                Err(e) => {
+                    set_errno(plfs_errno(&e));
+                    -1
+                }
+            }
+        }
+    }
+}
+
+/// `truncate(2)`.
+#[no_mangle]
+pub unsafe extern "C" fn truncate(path: *const c_char, len: OffT) -> c_int {
+    ffi_guard!(-1, do_truncate(path, len))
+}
+
+/// `truncate64(2)` — the LFS twin.
+#[no_mangle]
+pub unsafe extern "C" fn truncate64(path: *const c_char, len: OffT) -> c_int {
+    ffi_guard!(-1, do_truncate(path, len))
 }
 
 /// `ftruncate(2)`.

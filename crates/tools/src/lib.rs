@@ -712,19 +712,41 @@ pub fn benchgate(baseline: &str, fresh: &str, threshold: f64) -> ToolResult {
     }
 }
 
+/// Output format for [`lint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LintFormat {
+    /// Human-readable `file:line: [rule] message` report.
+    Text,
+    /// `{"findings": […], "count": N}` via jsonlite.
+    Json,
+    /// SARIF 2.1.0 for code-scanning upload.
+    Sarif,
+}
+
 /// `lint`: run the project's static-analysis rules (`plfs-lint`) over the
-/// workspace rooted at `root`. Returns the rendered report (text or JSON)
-/// and the finding count — the CLI turns a nonzero count into exit 1, so
-/// the report itself still reaches stdout for both formats.
-pub fn lint(root: &str, json: bool) -> Result<(String, usize), ToolError> {
+/// workspace rooted at `root` — the per-file line rules plus the four
+/// call-graph passes. Returns the rendered report and the finding count —
+/// the CLI turns a nonzero count into exit 1, so the report itself still
+/// reaches stdout for every format.
+pub fn lint(root: &str, format: LintFormat) -> Result<(String, usize), ToolError> {
     let findings = plfs_lint::lint_workspace(Path::new(root))
         .map_err(|e| ToolError::Usage(format!("lint {root}: {e}")))?;
-    let report = if json {
-        plfs_lint::render_json(&findings) + "\n"
-    } else {
-        plfs_lint::render_text(&findings)
+    let report = match format {
+        LintFormat::Json => plfs_lint::render_json(&findings) + "\n",
+        LintFormat::Sarif => plfs_lint::render_sarif(&findings) + "\n",
+        LintFormat::Text => plfs_lint::render_text(&findings),
     };
     Ok((report, findings.len()))
+}
+
+/// `sarifcheck`: independently re-parse a SARIF document and verify the
+/// invariants `lint --sarif` promises (version, single run, rule-index
+/// back references, 1-based locations). Returns a one-line summary.
+pub fn sarifcheck(text: &str, path: &str) -> ToolResult {
+    match plfs_lint::check_sarif(text) {
+        Ok(n) => Ok(format!("{path}: valid SARIF 2.1.0, {n} result(s)\n")),
+        Err(e) => Err(ToolError::Usage(format!("{path}: invalid SARIF: {e}"))),
+    }
 }
 
 #[cfg(test)]

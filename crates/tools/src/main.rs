@@ -18,7 +18,8 @@
 //! plfs-tools trace   /path/to/trace.jsonl --dump  # one line per op
 //! plfs-tools benchcheck BENCH.json [...]        # validate emitted bench JSON
 //! plfs-tools benchgate  BASELINE.json FRESH.json [--threshold 0.30]
-//! plfs-tools lint [ROOT] [--json]               # workspace static analysis
+//! plfs-tools lint [ROOT] [--json|--sarif]       # workspace static analysis
+//! plfs-tools sarifcheck REPORT.sarif            # validate a SARIF report
 //! ```
 
 use plfs::RealBacking;
@@ -38,7 +39,7 @@ fn run(args: &[String]) -> plfs_tools::ToolResult {
     let usage = || {
         plfs_tools::ToolError::Usage(
             "commands: stat|map|flatten|compact|check|repair|ls|du|rm|version|backend|rccheck|\
-             trace|benchcheck|benchgate|lint (see --help)"
+             trace|benchcheck|benchgate|lint|sarifcheck (see --help)"
                 .to_string(),
         )
     };
@@ -54,19 +55,33 @@ fn run(args: &[String]) -> plfs_tools::ToolResult {
             + "\n");
     }
     if cmd == "lint" {
-        let json = args.iter().any(|a| a == "--json");
+        let format = if args.iter().any(|a| a == "--sarif") {
+            plfs_tools::LintFormat::Sarif
+        } else if args.iter().any(|a| a == "--json") {
+            plfs_tools::LintFormat::Json
+        } else {
+            plfs_tools::LintFormat::Text
+        };
         let root = args
             .iter()
             .skip(1)
             .find(|a| !a.starts_with("--"))
             .map(String::as_str)
             .unwrap_or(".");
-        let (report, count) = plfs_tools::lint(root, json)?;
+        let (report, count) = plfs_tools::lint(root, format)?;
         print!("{report}");
         if count > 0 {
             std::process::exit(1);
         }
         return Ok(String::new());
+    }
+    if cmd == "sarifcheck" {
+        let path = args
+            .get(1)
+            .ok_or_else(|| plfs_tools::ToolError::Usage("sarifcheck REPORT.sarif".to_string()))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| plfs_tools::ToolError::Usage(format!("{path}: {e}")))?;
+        return plfs_tools::sarifcheck(&text, path);
     }
     let path = args
         .get(1)

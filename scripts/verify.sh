@@ -8,10 +8,20 @@ cargo test --workspace -q --offline
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
 # plfs-lint gate: the workspace must be clean under the project's own
-# static rules (panic-in-ffi, ffi-barrier, errno-discipline,
-# relaxed-ordering-audit, lock-across-io, no-direct-backing-io).
+# static rules — the per-line set (panic-in-ffi, ffi-barrier,
+# errno-discipline, relaxed-ordering-audit, lock-across-io,
+# no-direct-backing-io) plus the call-graph passes (deadlock-cycle,
+# signal-safety, errno-clobber, symbol-coverage).
 # Exit code 1 + a findings listing on any hit.
 cargo run --offline --release -q -p plfs-tools -- lint .
+
+# SARIF round-trip: the --sarif renderer's output must satisfy the
+# independent sarifcheck validator (version, driver, ruleIndex
+# back-references, 1-based regions). Catches renderer schema drift.
+sarif_tmp=$(mktemp)
+cargo run --offline --release -q -p plfs-tools -- lint . --sarif > "$sarif_tmp" || true
+cargo run --offline --release -q -p plfs-tools -- sarifcheck "$sarif_tmp"
+rm -f "$sarif_tmp"
 
 # Bench smoke: a fast pass through the micro benches (CRITERION_QUICK
 # shrinks the measurement budget; benches still execute every group).
