@@ -13,6 +13,7 @@
 //! paperbench indexscale [--quick] # eager vs bounded merged-index residency
 //! paperbench noncontig [--quick] # list I/O vs data sieving on strided views
 //! paperbench staging2 [--quick]  # tiered burst-buffer + batched submission vs direct
+//! paperbench readcache [--quick] # data block cache + adaptive readahead vs direct reads
 //! paperbench all [--quick]       # everything above
 //! paperbench ... --json PATH     # also dump JSON for EXPERIMENTS.md
 //! paperbench ... --emit-json DIR # figure data + per-layer op/latency trace
@@ -334,6 +335,19 @@ fn cmd_staging2(args: &Args) {
     trace_emit(args, "staging2", &report);
 }
 
+fn cmd_readcache(args: &Args) {
+    println!("# Read cache: block cache + adaptive readahead vs direct reads\n");
+    trace_begin(args);
+    let report = bench::readcache_comparison(scale(args.quick));
+    println!("## Measured backing preads (in-memory container), costed at preset rates\n");
+    println!("{}", bench::render_readcache(&report));
+    println!(
+        "(the direct arm pays the device's per-op latency for every\n          application read; the cached arm pays it once per block, readahead\n          coalesces adjacent blocks into prefetch runs, and a warm re-read\n          never touches the device at all)\n"
+    );
+    dump_json(&args.json, "readcache", &report);
+    trace_emit(args, "readcache", &report);
+}
+
 fn cmd_crossover(args: &Args) {
     println!("# PLFS benefit crossover (FLASH-IO, LDPLFS vs MPI-IO)\n");
     for (platform, label) in [
@@ -368,6 +382,7 @@ fn main() {
         "ior" => cmd_ior(&args),
         "staging" => cmd_staging(&args),
         "staging2" => cmd_staging2(&args),
+        "readcache" => cmd_readcache(&args),
         "readpath" => cmd_readpath(&args),
         "writepath" => cmd_writepath(&args),
         "metadata" => cmd_metadata(&args),
@@ -383,6 +398,7 @@ fn main() {
             cmd_ior(&args);
             cmd_staging(&args);
             cmd_staging2(&args);
+            cmd_readcache(&args);
             cmd_readpath(&args);
             cmd_writepath(&args);
             cmd_metadata(&args);
@@ -391,7 +407,7 @@ fn main() {
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|staging2|readpath|writepath|metadata|indexscale|noncontig|all] \
+                "usage: paperbench [table1|fig3|table2|fig4|fig5|crossover|ior|staging|staging2|readcache|readpath|writepath|metadata|indexscale|noncontig|all] \
                  [--quick] [--gb N] [--class C|D] [--subdirs N] [--json DIR] [--emit-json DIR]"
             );
         }

@@ -143,11 +143,26 @@ pub enum OpKind {
     TierHit,
     /// A tiered-backing open/stat that fell through to the slow tier.
     TierMiss,
+    /// A data-block-cache lookup served from memory (no backing pread).
+    /// `hit` = the block was prefetched by readahead and this is its
+    /// first use (a prefetched-and-used block).
+    CacheHit,
+    /// A data-block-cache lookup that fetched the block from the backing
+    /// store (bytes = block bytes fetched).
+    CacheMiss,
+    /// A readahead window issued by the sequential-stream detector
+    /// (offset = prefetch start, bytes = window length).
+    Readahead,
+    /// A data block evicted from the cache under the byte budget.
+    /// `hit` = the block was used at least once; false means it was
+    /// prefetched and evicted without ever serving a read (wasted
+    /// readahead).
+    CacheEvict,
 }
 
 impl OpKind {
     /// Every op kind, in reporting order.
-    pub const ALL: [OpKind; 24] = [
+    pub const ALL: [OpKind; 28] = [
         OpKind::Open,
         OpKind::Close,
         OpKind::Read,
@@ -172,6 +187,10 @@ impl OpKind {
         OpKind::BatchSubmit,
         OpKind::TierHit,
         OpKind::TierMiss,
+        OpKind::CacheHit,
+        OpKind::CacheMiss,
+        OpKind::Readahead,
+        OpKind::CacheEvict,
     ];
 
     /// Stable lower-case name (JSON field value).
@@ -201,6 +220,10 @@ impl OpKind {
             OpKind::BatchSubmit => "batch_submit",
             OpKind::TierHit => "tier_hit",
             OpKind::TierMiss => "tier_miss",
+            OpKind::CacheHit => "cache_hit",
+            OpKind::CacheMiss => "cache_miss",
+            OpKind::Readahead => "readahead",
+            OpKind::CacheEvict => "cache_evict",
         }
     }
 
@@ -225,6 +248,9 @@ impl OpKind {
                 | OpKind::SieveFallback
                 | OpKind::Destage
                 | OpKind::BatchSubmit
+                | OpKind::CacheHit
+                | OpKind::CacheMiss
+                | OpKind::Readahead
         )
     }
 
@@ -254,6 +280,10 @@ impl OpKind {
             OpKind::BatchSubmit => 21,
             OpKind::TierHit => 22,
             OpKind::TierMiss => 23,
+            OpKind::CacheHit => 24,
+            OpKind::CacheMiss => 25,
+            OpKind::Readahead => 26,
+            OpKind::CacheEvict => 27,
         }
     }
 }

@@ -148,7 +148,8 @@ pub fn from_plfsrc(
                 .with_read_conf(rc.read_conf())
                 .with_write_conf(write_conf)
                 .with_meta_conf(rc.meta_conf())
-                .with_list_io_conf(rc.list_io_conf());
+                .with_list_io_conf(rc.list_io_conf())
+                .with_cache_conf(rc.cache_conf());
         builder = builder.mount(spec.mount_point.clone(), plfs);
     }
     builder.build()
@@ -258,6 +259,35 @@ mod tests {
         let conf = s.mounts()[0].plfs.list_io_conf();
         assert!(!conf.enabled);
         assert_eq!(conf.max_extents, 7);
+    }
+
+    #[test]
+    fn from_plfsrc_plumbs_cache_conf() {
+        let rc = "data_cache_mbs 4\ndata_cache_block_kbs 8\nreadahead_kbs 16\n\
+                  readahead_max_kbs 128\nmount_point /ckpt\nbackends /be\n";
+        let s = from_plfsrc(under("dcconf"), rc, |_| Arc::new(MemBacking::new())).unwrap();
+        let conf = s.mounts()[0].plfs.cache_conf();
+        assert!(conf.enabled());
+        assert_eq!(conf.cache_bytes, 4 << 20);
+        assert_eq!(conf.block_bytes, 8 << 10);
+        assert_eq!(conf.readahead_min, 16 << 10);
+        assert_eq!(conf.readahead_max, 128 << 10);
+        // Cached reads still round-trip through the shim.
+        let fd = s
+            .open("/ckpt/dump", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
+        s.write(fd, b"cached bytes").unwrap();
+        s.lseek(fd, 0, crate::posix::Whence::Set).unwrap();
+        let mut buf = [0u8; 12];
+        assert_eq!(s.read(fd, &mut buf).unwrap(), 12);
+        assert_eq!(&buf, b"cached bytes");
+        s.close(fd).unwrap();
+        // Plain plfsrc leaves the data cache off.
+        let s = from_plfsrc(under("dcoff"), "mount_point /ckpt\nbackends /be\n", |_| {
+            Arc::new(MemBacking::new())
+        })
+        .unwrap();
+        assert!(!s.mounts()[0].plfs.cache_conf().enabled());
     }
 
     #[test]

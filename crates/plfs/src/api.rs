@@ -10,7 +10,7 @@
 //! (`/checkpoint/dump.0001`), mapped onto backend paths internally.
 
 use crate::backing::{join, Backing};
-use crate::conf::{BackendConf, ListIoConf, MetaConf, ReadConf, WriteConf};
+use crate::conf::{BackendConf, CacheConf, ListIoConf, MetaConf, ReadConf, WriteConf};
 use crate::container::{self, ContainerParams};
 use crate::error::{Error, Result};
 use crate::fd::PlfsFd;
@@ -56,6 +56,7 @@ pub struct Plfs {
     write_conf: WriteConf,
     meta_conf: MetaConf,
     list_io_conf: ListIoConf,
+    cache_conf: CacheConf,
     backend_conf: BackendConf,
     cache: Arc<MetaCache>,
 }
@@ -71,6 +72,7 @@ impl Plfs {
             write_conf: WriteConf::default(),
             meta_conf,
             list_io_conf: ListIoConf::default(),
+            cache_conf: CacheConf::default(),
             backend_conf: BackendConf::default(),
             cache: Arc::new(MetaCache::new(
                 meta_conf.meta_cache_entries.max(1),
@@ -151,6 +153,19 @@ impl Plfs {
     /// The list-I/O configuration open fds inherit.
     pub fn list_io_conf(&self) -> &ListIoConf {
         &self.list_io_conf
+    }
+
+    /// Set the data block cache and readahead configuration (see
+    /// [`CacheConf`]). Each fd opened afterwards gets its own block cache
+    /// under this budget; the default conf keeps caching off.
+    pub fn with_cache_conf(mut self, conf: CacheConf) -> Plfs {
+        self.cache_conf = conf;
+        self
+    }
+
+    /// The data-cache configuration open fds inherit.
+    pub fn cache_conf(&self) -> &CacheConf {
+        &self.cache_conf
     }
 
     /// Set the backend-layer configuration (see [`BackendConf`]). When the
@@ -377,7 +392,8 @@ impl Plfs {
         )
         .with_read_conf(self.read_conf)
         .with_meta_conf(self.meta_conf)
-        .with_list_io_conf(self.list_io_conf);
+        .with_list_io_conf(self.list_io_conf)
+        .with_cache_conf(self.cache_conf);
         let fd = if self.meta_conf.cache_enabled() {
             fd.with_meta_cache(Arc::clone(&self.cache))
         } else {
@@ -704,6 +720,24 @@ mod tests {
     }
 
     const CREATE_RW: OpenFlags = OpenFlags(0o2 | 0o100); // RDWR|CREAT
+
+    #[test]
+    fn open_plumbs_cache_conf_into_fds() {
+        let p = plfs().with_cache_conf(CacheConf::sized(1 << 20).with_block_bytes(512));
+        let fd = p.open("/f", CREATE_RW, 0).unwrap();
+        assert!(fd.cache_conf().enabled());
+        assert!(fd.block_cache().is_some());
+        p.write(&fd, &[7u8; 1024], 0, 0).unwrap();
+        let mut buf = [0u8; 1024];
+        p.read(&fd, &mut buf, 0).unwrap();
+        p.read(&fd, &mut buf, 0).unwrap();
+        assert!(buf.iter().all(|&x| x == 7));
+        assert!(fd.block_cache().unwrap().stats().hits > 0);
+        // Default mount: no cache attached.
+        let p0 = plfs();
+        let fd0 = p0.open("/g", CREATE_RW, 0).unwrap();
+        assert!(fd0.block_cache().is_none());
+    }
 
     #[test]
     fn open_create_write_read_close() {

@@ -440,6 +440,120 @@ impl BackendConf {
     }
 }
 
+/// Tuning knobs for the client-side data block cache and adaptive
+/// readahead.
+///
+/// The cache holds fixed-size blocks of dropping data keyed by
+/// (dropping, block index), LRU-evicted under `cache_bytes`. It sits
+/// below index resolution — every physical dropping read, whether from
+/// the eager or the memory-bounded compact index path, a plain `pread`
+/// or a `read_list` extent, probes it — so it composes with every
+/// backend kind (a tiered read that fell to the slow tier populates the
+/// cache like any other miss). Sequential streams additionally ramp a
+/// readahead window from `readahead_min` to `readahead_max` (doubling
+/// per consecutive sequential read, reset on seek) and batch-fetch the
+/// window ahead of the reader through the pread fan-out pool.
+///
+/// Disabled by default (`cache_bytes = 0`): with the knob off the read
+/// path is byte- and op-identical to the uncached stack, which is the
+/// property-test reference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConf {
+    /// Total cache budget in bytes (0 = cache off).
+    pub cache_bytes: usize,
+    /// Cache block size in bytes (clamped to at least 512).
+    pub block_bytes: usize,
+    /// Initial readahead window in bytes once a sequential stream is
+    /// detected.
+    pub readahead_min: usize,
+    /// Readahead window ceiling in bytes (0 = readahead off; the cache
+    /// still works demand-fetch only).
+    pub readahead_max: usize,
+    /// Number of lock shards the block table is split over (rounded up
+    /// to a power of two).
+    pub shards: usize,
+}
+
+/// Default cache block size: 64 KiB.
+pub const DEFAULT_CACHE_BLOCK_BYTES: usize = 64 << 10;
+/// Default data-cache shard count.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+/// Default initial readahead window: 2 blocks.
+pub const DEFAULT_READAHEAD_MIN: usize = 2 * DEFAULT_CACHE_BLOCK_BYTES;
+/// Default readahead window ceiling: 1 MiB.
+pub const DEFAULT_READAHEAD_MAX: usize = 1 << 20;
+
+impl Default for CacheConf {
+    fn default() -> CacheConf {
+        CacheConf {
+            cache_bytes: 0,
+            block_bytes: DEFAULT_CACHE_BLOCK_BYTES,
+            readahead_min: DEFAULT_READAHEAD_MIN,
+            readahead_max: DEFAULT_READAHEAD_MAX,
+            shards: DEFAULT_CACHE_SHARDS,
+        }
+    }
+}
+
+impl CacheConf {
+    /// The disabled configuration: no cache, no readahead — the read
+    /// path is identical to the pre-cache stack. This is the
+    /// property-test reference path.
+    pub fn disabled() -> CacheConf {
+        CacheConf::default()
+    }
+
+    /// An enabled configuration with `cache_bytes` of budget and default
+    /// block size, shards, and readahead.
+    pub fn sized(cache_bytes: usize) -> CacheConf {
+        CacheConf {
+            cache_bytes,
+            ..CacheConf::default()
+        }
+    }
+
+    /// Is the data cache enabled at all?
+    pub fn enabled(&self) -> bool {
+        self.cache_bytes > 0
+    }
+
+    /// Is adaptive readahead enabled (requires the cache itself on)?
+    pub fn readahead_enabled(&self) -> bool {
+        self.enabled() && self.readahead_max > 0
+    }
+
+    /// Builder-style: set the cache budget in bytes (0 = off).
+    pub fn with_cache_bytes(mut self, bytes: usize) -> CacheConf {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: set the block size in bytes (min 512).
+    pub fn with_block_bytes(mut self, bytes: usize) -> CacheConf {
+        self.block_bytes = bytes.max(512);
+        self
+    }
+
+    /// Builder-style: set the readahead window range in bytes
+    /// (`max` = 0 turns readahead off; `min` is clamped to one block and
+    /// to at most `max` when readahead is on).
+    pub fn with_readahead(mut self, min: usize, max: usize) -> CacheConf {
+        self.readahead_max = max;
+        self.readahead_min = if max == 0 {
+            min
+        } else {
+            min.max(self.block_bytes).min(max)
+        };
+        self
+    }
+
+    /// Builder-style: set the shard count (min 1).
+    pub fn with_shards(mut self, shards: usize) -> CacheConf {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
 /// Which backend stack sits under a mount (the `backend` plfsrc key and the
 /// `LDPLFS_BACKEND` environment knob). Orthogonal to [`BackendConf`]: any
 /// kind can additionally be wrapped in the batched submission layer.
@@ -618,6 +732,40 @@ mod tests {
         assert_eq!(c.submit_depth, 8);
         assert_eq!(c.submit_workers, 1);
         assert_eq!(c.destage_threshold, 1 << 20);
+    }
+
+    #[test]
+    fn cache_defaults_off_and_identical_to_disabled() {
+        let c = CacheConf::default();
+        assert_eq!(c.cache_bytes, 0, "data cache is opt-in");
+        assert!(!c.enabled());
+        assert!(!c.readahead_enabled(), "no readahead without a cache");
+        assert_eq!(c, CacheConf::disabled());
+        assert_eq!(c.block_bytes, DEFAULT_CACHE_BLOCK_BYTES);
+        assert_eq!(c.shards, DEFAULT_CACHE_SHARDS);
+    }
+
+    #[test]
+    fn cache_sized_enables_with_defaults() {
+        let c = CacheConf::sized(8 << 20);
+        assert!(c.enabled());
+        assert!(c.readahead_enabled());
+        assert_eq!(c.readahead_min, DEFAULT_READAHEAD_MIN);
+        assert_eq!(c.readahead_max, DEFAULT_READAHEAD_MAX);
+    }
+
+    #[test]
+    fn cache_builders_clamp() {
+        let c = CacheConf::sized(1 << 20).with_block_bytes(1).with_shards(0);
+        assert_eq!(c.block_bytes, 512);
+        assert_eq!(c.shards, 1);
+        let c = CacheConf::sized(1 << 20).with_readahead(0, 1 << 20);
+        assert_eq!(c.readahead_min, c.block_bytes, "min clamped to a block");
+        let c = CacheConf::sized(1 << 20).with_readahead(1 << 30, 1 << 20);
+        assert_eq!(c.readahead_min, 1 << 20, "min clamped to max");
+        let c = CacheConf::sized(1 << 20).with_readahead(1 << 20, 0);
+        assert!(!c.readahead_enabled(), "max = 0 turns readahead off");
+        assert!(c.enabled(), "cache itself stays on");
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //! to the same container concurrently is not serialized against this one.
 
 use crate::backing::Backing;
-use crate::conf::{ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf};
+use crate::cache::BlockCache;
+use crate::conf::{CacheConf, ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf};
 use crate::container::{self, ContainerParams, DroppingRef};
 use crate::error::{Error, Result};
 use crate::flags::OpenFlags;
@@ -54,6 +55,11 @@ pub struct PlfsFd {
     read_conf: ReadConf,
     meta_conf: MetaConf,
     list_io_conf: ListIoConf,
+    cache_conf: CacheConf,
+    /// The fd's data block cache ([`CacheConf::cache_bytes`] > 0): shared
+    /// by every read view this fd builds, so warm blocks survive the
+    /// write-triggered view refreshes. Holds the readahead stream state.
+    block_cache: Option<Arc<BlockCache>>,
     /// Process-wide container metadata cache, shared with the owning
     /// [`crate::api::Plfs`] (absent for directly constructed fds and when
     /// caching is off). The fd keeps its writer counts and fast-stat
@@ -104,6 +110,8 @@ impl PlfsFd {
             read_conf: ReadConf::default(),
             meta_conf: MetaConf::default(),
             list_io_conf: ListIoConf::default(),
+            cache_conf: CacheConf::default(),
+            block_cache: None,
             cache: None,
             hostdirs_ready: Mutex::new(HashSet::new()),
             lazy_marker: Mutex::new(None),
@@ -154,6 +162,20 @@ impl PlfsFd {
         self
     }
 
+    /// Set the data block cache configuration (builder style, pre-Arc).
+    /// A cache is instantiated only when the conf enables one
+    /// ([`CacheConf::enabled`]); the default conf keeps the fd cacheless
+    /// and byte-for-byte on the uncached read path.
+    pub fn with_cache_conf(mut self, conf: CacheConf) -> PlfsFd {
+        self.block_cache = if conf.enabled() {
+            Some(Arc::new(BlockCache::new(conf)))
+        } else {
+            None
+        };
+        self.cache_conf = conf;
+        self
+    }
+
     /// Attach the process-wide metadata cache this fd keeps current.
     pub(crate) fn with_meta_cache(mut self, cache: Arc<MetaCache>) -> PlfsFd {
         self.cache = Some(cache);
@@ -178,6 +200,16 @@ impl PlfsFd {
     /// The noncontiguous list-I/O configuration this fd runs under.
     pub fn list_io_conf(&self) -> &ListIoConf {
         &self.list_io_conf
+    }
+
+    /// The data-cache configuration this fd runs under.
+    pub fn cache_conf(&self) -> &CacheConf {
+        &self.cache_conf
+    }
+
+    /// The fd's block cache, when one is configured (for stats and tests).
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
     }
 
     /// Backend path of the container.
@@ -482,6 +514,23 @@ impl PlfsFd {
             return Err(Error::BadMode("file not open for reading"));
         }
         let reader = self.reader()?;
+        if let Some(c) = &self.block_cache {
+            if let Some((start, len)) = c.plan_readahead(offset, buf.len()) {
+                let t0 = iotrace::global().start();
+                // Best-effort: a failed prefetch only costs the warm-up;
+                // the demand read below still surfaces real errors.
+                let _ = reader.prefetch(self.backing.as_ref(), start, len);
+                if let Some(t0) = t0 {
+                    iotrace::global().record(
+                        t0,
+                        iotrace::OpEvent::new(iotrace::Layer::Plfs, iotrace::OpKind::Readahead)
+                            .path(&self.container)
+                            .offset(start)
+                            .bytes(len as u64),
+                    );
+                }
+            }
+        }
         reader.pread_auto(self.backing.as_ref(), buf, offset)
     }
 
@@ -518,6 +567,19 @@ impl PlfsFd {
                     }
                 }
             }
+            // Freshly flushed entries overwrite logical ranges whose old
+            // bytes may be cached: drop every block their physical ranges
+            // touch. The length-rule in `BlockCache::lookup` already covers
+            // appended tails; this covers rewritten droppings (truncate +
+            // reuse) too, keeping read-your-writes unconditional.
+            if let Some(c) = &self.block_cache {
+                for (data_path, ents) in &fresh {
+                    let id = c.id_for(data_path);
+                    for e in ents {
+                        c.invalidate(id, e.physical_offset, e.physical_offset + e.length);
+                    }
+                }
+            }
             // The memory-bounded reader has no resident full index to
             // patch; it rebuilds (cheaply — records stay compact) instead.
             let patchable = !self.read_conf.bounded_index();
@@ -539,11 +601,11 @@ impl PlfsFd {
             return Ok(r.clone());
         }
         let t0 = iotrace::global().start();
-        let r = Arc::new(ReadFile::open_with(
-            self.backing.as_ref(),
-            &self.container,
-            self.read_conf,
-        )?);
+        let mut rf = ReadFile::open_with(self.backing.as_ref(), &self.container, self.read_conf)?;
+        if let Some(c) = &self.block_cache {
+            rf = rf.with_cache(Arc::clone(c));
+        }
+        let r = Arc::new(rf);
         if let Some(t0) = t0 {
             let op = if r.merged_parallel() {
                 iotrace::OpKind::IndexMergePar
@@ -598,7 +660,11 @@ impl PlfsFd {
         for e in entries {
             index.insert(e);
         }
-        let r = Arc::new(ReadFile::from_parts(index, droppings, self.read_conf));
+        let mut rf = ReadFile::from_parts(index, droppings, self.read_conf);
+        if let Some(c) = &self.block_cache {
+            rf = rf.with_cache(Arc::clone(c));
+        }
+        let r = Arc::new(rf);
         if let Some(t0) = t0 {
             iotrace::global().record(
                 t0,
@@ -689,6 +755,11 @@ impl PlfsFd {
         // Truncate removes hostdir trees: forget what existed.
         self.hostdirs_ready.lock().clear();
         self.orphans.lock().clear();
+        // Truncate may unlink and re-create droppings at the same paths:
+        // every cached block (and the readahead stream state) is stale.
+        if let Some(c) = &self.block_cache {
+            c.clear();
+        }
         *guard = None;
         // relaxed: truncate path: callers quiesced all writers via reset_writers' shard locks
         self.dirty.store(false, Ordering::Relaxed);
@@ -1283,6 +1354,220 @@ mod tests {
         let mut out = vec![0u8; 28];
         fd.read_list(&mut out, &extents).unwrap();
         assert_eq!(out, data);
+    }
+
+    fn open_cached_fd(cache: CacheConf) -> (Arc<dyn Backing>, Arc<PlfsFd>) {
+        let b: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let params = ContainerParams::default();
+        create_container(b.as_ref(), "/f", &params, true).unwrap();
+        let fd = Arc::new(
+            PlfsFd::new(
+                b.clone(),
+                "/f".to_string(),
+                params,
+                OpenFlags::RDWR,
+                WriteConf::default().with_index_buffer_entries(64),
+                100,
+            )
+            .with_cache_conf(cache),
+        );
+        (b, fd)
+    }
+
+    #[test]
+    fn default_cache_conf_attaches_no_cache() {
+        let (_b, fd) = open_fd(OpenFlags::RDWR);
+        assert!(fd.block_cache().is_none());
+        assert!(!fd.cache_conf().enabled());
+    }
+
+    #[test]
+    fn cached_fd_reads_match_and_warm_reads_skip_the_store() {
+        use crate::meter::MeterBacking;
+        let inner: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let params = ContainerParams::default();
+        create_container(inner.as_ref(), "/f", &params, true).unwrap();
+        let meter = Arc::new(MeterBacking::new(inner));
+        let fd = PlfsFd::new(
+            meter.clone(),
+            "/f".to_string(),
+            params,
+            OpenFlags::RDWR,
+            WriteConf::default().with_index_buffer_entries(64),
+            100,
+        )
+        .with_cache_conf(CacheConf::sized(1 << 20).with_block_bytes(512));
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        fd.write(&data, 0, 100).unwrap();
+        let mut got = vec![0u8; 4096];
+        assert_eq!(fd.read(&mut got, 0).unwrap(), 4096);
+        assert_eq!(got, data);
+        let before = meter.snapshot();
+        let mut again = vec![0u8; 4096];
+        assert_eq!(fd.read(&mut again, 0).unwrap(), 4096);
+        assert_eq!(again, data);
+        assert_eq!(
+            meter.snapshot().delta(&before).pread,
+            0,
+            "warm re-read must be served from the block cache"
+        );
+        let stats = fd.block_cache().unwrap().stats();
+        assert!(stats.hits > 0, "warm re-read recorded no hits: {stats:?}");
+    }
+
+    #[test]
+    fn overwrite_invalidates_cached_blocks() {
+        // Same-fd read-your-writes through the cache, on both refresh
+        // paths: full rebuild and incremental patch.
+        for incremental in [false, true] {
+            let (_b, fd) = open_cached_fd(CacheConf::sized(1 << 20).with_block_bytes(512));
+            let fd = Arc::new(
+                Arc::try_unwrap(fd)
+                    .unwrap_or_else(|_| panic!("sole ref"))
+                    .with_write_conf(
+                        WriteConf::default()
+                            .with_index_buffer_entries(64)
+                            .with_incremental_refresh(incremental),
+                    ),
+            );
+            fd.write(&[b'a'; 2048], 0, 100).unwrap();
+            let mut buf = vec![0u8; 2048];
+            fd.read(&mut buf, 0).unwrap(); // warm the cache with old bytes
+            assert!(buf.iter().all(|&x| x == b'a'));
+            fd.write(&[b'B'; 1024], 512, 100).unwrap();
+            fd.read(&mut buf, 0).unwrap();
+            assert!(buf[..512].iter().all(|&x| x == b'a'), "incr={incremental}");
+            assert!(
+                buf[512..1536].iter().all(|&x| x == b'B'),
+                "stale cached bytes after overwrite (incr={incremental})"
+            );
+            assert!(buf[1536..].iter().all(|&x| x == b'a'), "incr={incremental}");
+        }
+    }
+
+    #[test]
+    fn write_then_read_through_second_fd_returns_new_bytes() {
+        // A writer fd and a freshly opened cached reader fd: the reader
+        // must observe the just-written bytes, never a stale cache image.
+        let b: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let params = ContainerParams::default();
+        create_container(b.as_ref(), "/f", &params, true).unwrap();
+        let cache = CacheConf::sized(1 << 20).with_block_bytes(512);
+        let wfd = PlfsFd::new(
+            b.clone(),
+            "/f".to_string(),
+            params,
+            OpenFlags::RDWR,
+            WriteConf::default().with_index_buffer_entries(64),
+            100,
+        )
+        .with_cache_conf(cache);
+        wfd.write(&[1u8; 1024], 0, 100).unwrap();
+        let mut buf = vec![0u8; 1024];
+        wfd.read(&mut buf, 0).unwrap(); // warm the writer fd's cache
+        wfd.write(&[2u8; 1024], 0, 100).unwrap();
+        wfd.sync(100).unwrap();
+        let rfd = PlfsFd::new(
+            b.clone(),
+            "/f".to_string(),
+            params,
+            OpenFlags::RDONLY,
+            WriteConf::default(),
+            200,
+        )
+        .with_cache_conf(cache);
+        let mut got = vec![0u8; 1024];
+        assert_eq!(rfd.read(&mut got, 0).unwrap(), 1024);
+        assert!(
+            got.iter().all(|&x| x == 2),
+            "second fd read stale bytes through the cache"
+        );
+        // And the writer fd itself still reads its own latest bytes.
+        wfd.read(&mut buf, 0).unwrap();
+        assert!(buf.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn sequential_reads_trigger_readahead() {
+        let (_b, fd) = open_cached_fd(
+            CacheConf::sized(1 << 20)
+                .with_block_bytes(512)
+                .with_readahead(1024, 4096),
+        );
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 241) as u8).collect();
+        fd.write(&data, 0, 100).unwrap();
+        let mut buf = vec![0u8; 512];
+        for i in 0..16u64 {
+            assert_eq!(fd.read(&mut buf, i * 512).unwrap(), 512);
+            assert_eq!(buf[..], data[i as usize * 512..(i as usize + 1) * 512]);
+        }
+        let stats = fd.block_cache().unwrap().stats();
+        assert!(
+            stats.readaheads >= 2,
+            "sequential stream never ramped readahead: {stats:?}"
+        );
+        assert!(
+            stats.prefetched_used > 0,
+            "no prefetched block was ever used: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn truncate_reset_clears_the_cache() {
+        let (_b, fd) = open_cached_fd(CacheConf::sized(1 << 20).with_block_bytes(512));
+        fd.write(&[9u8; 1024], 0, 100).unwrap();
+        let mut buf = vec![0u8; 1024];
+        fd.read(&mut buf, 0).unwrap();
+        assert!(fd.block_cache().unwrap().resident_bytes() > 0);
+        fd.reset_writers().unwrap();
+        assert_eq!(fd.block_cache().unwrap().resident_bytes(), 0);
+    }
+
+    #[test]
+    fn tiered_backend_composes_with_cache() {
+        use crate::backend::TieredBacking;
+        use crate::conf::BackendConf;
+        let fast: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let slow: Arc<dyn Backing> = Arc::new(MemBacking::new());
+        let tiered: Arc<dyn Backing> =
+            Arc::new(TieredBacking::new(fast, slow, BackendConf::default()));
+        let params = ContainerParams::default();
+        create_container(tiered.as_ref(), "/f", &params, true).unwrap();
+        let cache = CacheConf::sized(1 << 20).with_block_bytes(512);
+        {
+            let wfd = PlfsFd::new(
+                tiered.clone(),
+                "/f".to_string(),
+                params,
+                OpenFlags::RDWR,
+                WriteConf::default().with_index_buffer_entries(64),
+                100,
+            );
+            wfd.write(&[5u8; 4096], 0, 100).unwrap();
+            wfd.close(100).unwrap(); // seals droppings; destage may begin
+        }
+        let fd = PlfsFd::new(
+            tiered.clone(),
+            "/f".to_string(),
+            params,
+            OpenFlags::RDONLY,
+            WriteConf::default(),
+            200,
+        )
+        .with_cache_conf(cache);
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(fd.read(&mut buf, 0).unwrap(), 4096);
+        assert!(buf.iter().all(|&x| x == 5));
+        // The cold read populated the cache through whichever tier held
+        // the dropping; the warm read is pure cache.
+        let cold = fd.block_cache().unwrap().stats();
+        assert!(cold.misses > 0 || cold.readaheads > 0);
+        fd.read(&mut buf, 4096 - 512).unwrap(); // non-sequential: no readahead
+        let mut again = vec![0u8; 4096];
+        assert_eq!(fd.read(&mut again, 0).unwrap(), 4096);
+        assert!(again.iter().all(|&x| x == 5));
+        let warm = fd.block_cache().unwrap().stats();
+        assert!(warm.hits > cold.hits, "warm tiered read missed the cache");
     }
 
     #[test]

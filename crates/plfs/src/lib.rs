@@ -42,6 +42,8 @@
 //! * [`check`] — container integrity checking and repair.
 //! * [`faults`] — failure injection for error-path testing.
 //! * [`meta`] — the container metadata cache (the metadata fast path).
+//! * [`cache`] — the data block cache and adaptive readahead (the data
+//!   fast path: re-reads and sequential streams skip the backing store).
 //! * [`meter`] — a counting backing decorator for op-cost measurement.
 //! * [`backend`] — pluggable scale-out backends: batched submission,
 //!   tiered burst-buffer staging, and an object-store mapping.
@@ -51,6 +53,7 @@
 pub mod api;
 pub mod backend;
 pub mod backing;
+pub mod cache;
 pub mod check;
 pub mod conf;
 pub mod container;
@@ -72,8 +75,11 @@ pub use backend::{
     TIER_MAP_FILE,
 };
 pub use backing::{BackStat, Backing, BackingFile, MemBacking, RealBacking};
+pub use cache::{BlockCache, CacheStats};
 pub use check::{check, repair, CheckReport, Finding, RepairReport, Severity};
-pub use conf::{BackendConf, BackendKind, ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf};
+pub use conf::{
+    BackendConf, BackendKind, CacheConf, ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf,
+};
 pub use container::{ContainerParams, LayoutMode};
 pub use error::{Error, Result};
 pub use faults::{FaultKind, FaultOp, FaultRule, Faulty};

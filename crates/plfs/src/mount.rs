@@ -20,10 +20,11 @@
 
 use crate::backing::{BackStat, Backing, BackingFile};
 use crate::conf::{
-    BackendConf, BackendKind, ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf,
-    DEFAULT_DATA_BUFFER_BYTES, DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS,
-    DEFAULT_LIST_IO_MAX_EXTENTS, DEFAULT_META_CACHE_ENTRIES, DEFAULT_META_CACHE_SHARDS,
-    DEFAULT_SUBMIT_WORKERS, DEFAULT_WRITE_SHARDS,
+    BackendConf, BackendKind, CacheConf, ListIoConf, MetaConf, OpenMarkers, ReadConf, WriteConf,
+    DEFAULT_CACHE_BLOCK_BYTES, DEFAULT_CACHE_SHARDS, DEFAULT_DATA_BUFFER_BYTES,
+    DEFAULT_FANOUT_THRESHOLD, DEFAULT_HANDLE_SHARDS, DEFAULT_LIST_IO_MAX_EXTENTS,
+    DEFAULT_META_CACHE_ENTRIES, DEFAULT_META_CACHE_SHARDS, DEFAULT_READAHEAD_MAX,
+    DEFAULT_READAHEAD_MIN, DEFAULT_SUBMIT_WORKERS, DEFAULT_WRITE_SHARDS,
 };
 use crate::container::{ContainerParams, LayoutMode, HOSTDIR_PREFIX};
 use crate::error::{Error, Result};
@@ -106,6 +107,18 @@ pub struct PlfsRc {
     /// Tiered-backend destage size threshold in bytes
     /// (`destage_threshold` key; 0 = destage every sealed dropping).
     pub destage_threshold: u64,
+    /// Data block cache budget per fd in bytes (`data_cache_mbs` key, in
+    /// MiB; 0 — the default — disables data caching and readahead).
+    pub data_cache_bytes: usize,
+    /// Cache block size in bytes (`data_cache_block_kbs` key, in KiB).
+    pub data_cache_block_bytes: usize,
+    /// Initial readahead window in bytes (`readahead_kbs` key, in KiB).
+    pub readahead_min_bytes: usize,
+    /// Readahead window ceiling in bytes (`readahead_max_kbs` key, in
+    /// KiB; 0 keeps the cache but turns readahead off).
+    pub readahead_max_bytes: usize,
+    /// Data-cache lock-shard count (`data_cache_shards` key).
+    pub data_cache_shards: usize,
 }
 
 impl PlfsRc {
@@ -131,6 +144,11 @@ impl PlfsRc {
             submit_depth: 0,
             submit_workers: DEFAULT_SUBMIT_WORKERS,
             destage_threshold: 0,
+            data_cache_bytes: 0,
+            data_cache_block_bytes: DEFAULT_CACHE_BLOCK_BYTES,
+            readahead_min_bytes: DEFAULT_READAHEAD_MIN,
+            readahead_max_bytes: DEFAULT_READAHEAD_MAX,
+            data_cache_shards: DEFAULT_CACHE_SHARDS,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -221,6 +239,35 @@ impl PlfsRc {
                 "destage_threshold" => {
                     rc.destage_threshold = parse_num(value, lineno)?;
                 }
+                "data_cache_mbs" => {
+                    // Checked like data_buffer_mbs: absurd values are parse
+                    // errors, not debug-build multiply overflows.
+                    rc.data_cache_bytes = parse_num(value, lineno)?
+                        .checked_mul(1 << 20)
+                        .and_then(|b| usize::try_from(b).ok())
+                        .ok_or_else(|| config_error("data_cache_mbs out of range", lineno))?;
+                }
+                "data_cache_block_kbs" => {
+                    rc.data_cache_block_bytes = parse_num(value, lineno)?
+                        .checked_mul(1 << 10)
+                        .and_then(|b| usize::try_from(b).ok())
+                        .ok_or_else(|| config_error("data_cache_block_kbs out of range", lineno))?;
+                }
+                "readahead_kbs" => {
+                    rc.readahead_min_bytes = parse_num(value, lineno)?
+                        .checked_mul(1 << 10)
+                        .and_then(|b| usize::try_from(b).ok())
+                        .ok_or_else(|| config_error("readahead_kbs out of range", lineno))?;
+                }
+                "readahead_max_kbs" => {
+                    rc.readahead_max_bytes = parse_num(value, lineno)?
+                        .checked_mul(1 << 10)
+                        .and_then(|b| usize::try_from(b).ok())
+                        .ok_or_else(|| config_error("readahead_max_kbs out of range", lineno))?;
+                }
+                "data_cache_shards" => {
+                    rc.data_cache_shards = parse_num(value, lineno)? as usize;
+                }
                 _ => {
                     let Some(m) = rc.mounts.last_mut() else {
                         return Err(config_error(
@@ -310,6 +357,16 @@ impl PlfsRc {
             .with_submit_depth(self.submit_depth)
             .with_submit_workers(self.submit_workers)
             .with_destage_threshold(self.destage_threshold)
+    }
+
+    /// The data block cache and readahead configuration these global knobs
+    /// describe, ready to hand to [`crate::api::Plfs::with_cache_conf`].
+    pub fn cache_conf(&self) -> CacheConf {
+        CacheConf::default()
+            .with_cache_bytes(self.data_cache_bytes)
+            .with_block_bytes(self.data_cache_block_bytes)
+            .with_readahead(self.readahead_min_bytes, self.readahead_max_bytes)
+            .with_shards(self.data_cache_shards)
     }
 
     /// The metadata fast-path configuration these global knobs describe,
@@ -613,6 +670,49 @@ mod tests {
         assert!(err.to_string().contains("line 1"), "{err}");
         let err = PlfsRc::parse("mount_point /p\nlist_io_max_extents many\n").unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parse_data_cache_knobs_into_cache_conf() {
+        let rc = PlfsRc::parse(
+            "data_cache_mbs 8\n\
+             data_cache_block_kbs 16\n\
+             readahead_kbs 32\n\
+             readahead_max_kbs 256\n\
+             data_cache_shards 4\n\
+             mount_point /p\n\
+             backends /b\n",
+        )
+        .unwrap();
+        let conf = rc.cache_conf();
+        assert!(conf.enabled());
+        assert_eq!(conf.cache_bytes, 8 << 20);
+        assert_eq!(conf.block_bytes, 16 << 10);
+        assert_eq!(conf.readahead_min, 32 << 10);
+        assert_eq!(conf.readahead_max, 256 << 10);
+        assert_eq!(conf.shards, 4);
+        // Defaults: cache (and with it readahead) off.
+        let rc = PlfsRc::parse("mount_point /p\nbackends /b\n").unwrap();
+        let conf = rc.cache_conf();
+        assert!(!conf.enabled());
+        assert_eq!(conf.block_bytes, DEFAULT_CACHE_BLOCK_BYTES);
+        assert_eq!(conf.readahead_max, DEFAULT_READAHEAD_MAX);
+        // readahead_max_kbs 0 keeps the cache but turns readahead off.
+        let rc =
+            PlfsRc::parse("data_cache_mbs 1\nreadahead_max_kbs 0\nmount_point /p\nbackends /b\n")
+                .unwrap();
+        let conf = rc.cache_conf();
+        assert!(conf.enabled());
+        assert!(!conf.readahead_enabled());
+        // Malformed values are line-numbered errors; overflow is a parse
+        // error, not a panic.
+        let err = PlfsRc::parse("data_cache_mbs lots\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err =
+            PlfsRc::parse("mount_point /p\ndata_cache_mbs 18446744073709551615\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = PlfsRc::parse("readahead_kbs 18446744073709551615\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 
     #[test]

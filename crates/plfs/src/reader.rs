@@ -7,6 +7,7 @@
 //! thousands of opens to read one block.
 
 use crate::backing::{Backing, BackingFile};
+use crate::cache::BlockCache;
 use crate::conf::ReadConf;
 use crate::container::{self, DroppingRef};
 use crate::error::{Error, Result};
@@ -151,6 +152,15 @@ enum IndexSource {
     Compact(CompactSource),
 }
 
+/// The data block cache attached to a view: the cache itself (owned by
+/// the fd, surviving view rebuilds) plus this view's positional
+/// dropping-id -> interned cache-id mapping, computed once at attach so
+/// the hot path never touches the intern table.
+struct CacheHandle {
+    cache: Arc<BlockCache>,
+    ids: Vec<u32>,
+}
+
 /// An open read view of a container.
 pub struct ReadFile {
     source: IndexSource,
@@ -158,6 +168,7 @@ pub struct ReadFile {
     handles: HandleCache,
     conf: ReadConf,
     merged_parallel: bool,
+    cache: Option<CacheHandle>,
 }
 
 impl ReadFile {
@@ -191,7 +202,23 @@ impl ReadFile {
             handles: HandleCache::new(conf.handle_shards),
             conf,
             merged_parallel,
+            cache: None,
         })
+    }
+
+    /// Attach a data block cache: every physical dropping read in this
+    /// view is served block-by-block through `cache` (see
+    /// [`crate::cache`]). The cache is owned by the fd and survives view
+    /// rebuilds; block keys intern dropping paths here so positional id
+    /// churn across rebuilds cannot alias blocks.
+    pub fn with_cache(mut self, cache: Arc<BlockCache>) -> ReadFile {
+        let ids = self
+            .droppings
+            .iter()
+            .map(|d| cache.id_for(&d.data_path))
+            .collect();
+        self.cache = Some(CacheHandle { cache, ids });
+        self
     }
 
     /// Build a read view from an already-merged index — the incremental
@@ -210,6 +237,7 @@ impl ReadFile {
             handles: HandleCache::new(conf.handle_shards),
             conf,
             merged_parallel: false,
+            cache: None,
         }
     }
 
@@ -334,23 +362,105 @@ impl ReadFile {
         for s in &slices {
             let dst_start = (s.logical_offset - off) as usize;
             let dst = &mut buf[dst_start..dst_start + s.length as usize];
-            match s.dropping_id {
-                None => dst.fill(0),
-                Some(id) => {
-                    let h = self.handle(b, id)?;
-                    let n = h.pread(dst, s.physical_offset)?;
-                    if (n as u64) < s.length {
-                        return Err(Error::Corrupt(format!(
-                            "data dropping {id} shorter than its index claims \
-                             (wanted {} at {}, got {n})",
-                            s.length, s.physical_offset
-                        )));
-                    }
-                }
-            }
+            self.read_slice(b, dst, s)?;
             total = dst_start + s.length as usize;
         }
         Ok(total)
+    }
+
+    /// Fill `dst` from one resolved slice: zeros for a hole, dropping
+    /// bytes otherwise — through the block cache when one is attached.
+    /// The single physical-read choke point shared by the serial, fanned,
+    /// and windowed paths.
+    fn read_slice(&self, b: &dyn Backing, dst: &mut [u8], s: &ChunkSlice) -> Result<()> {
+        let Some(id) = s.dropping_id else {
+            dst.fill(0);
+            return Ok(());
+        };
+        if let Some(ch) = &self.cache {
+            return self.read_slice_cached(ch, b, id, dst, s.physical_offset);
+        }
+        let h = self.handle(b, id)?;
+        let n = h.pread(dst, s.physical_offset)?;
+        if n < dst.len() {
+            return Err(Error::Corrupt(format!(
+                "data dropping {id} shorter than its index claims \
+                 (wanted {} at {}, got {n})",
+                dst.len(),
+                s.physical_offset
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serve `dst` (physical bytes `[phys, phys + dst.len())` of dropping
+    /// `id`) block-by-block from the cache, fetching missing blocks whole
+    /// from the backing store. A cached block shorter than what the index
+    /// claims means the dropping's tail grew since it was cached — that
+    /// lookup misses and the refetch replaces it (see [`crate::cache`]).
+    fn read_slice_cached(
+        &self,
+        ch: &CacheHandle,
+        b: &dyn Backing,
+        id: u32,
+        dst: &mut [u8],
+        phys: u64,
+    ) -> Result<()> {
+        let cid = *ch
+            .ids
+            .get(id as usize)
+            .ok_or_else(|| Error::Corrupt(format!("dropping id {id} out of range")))?;
+        let bs = ch.cache.block_bytes() as u64;
+        let end = phys + dst.len() as u64;
+        let mut pos = phys;
+        while pos < end {
+            let blk = pos / bs;
+            let blk_start = blk * bs;
+            let within = (pos - blk_start) as usize;
+            let take = ((blk_start + bs).min(end) - pos) as usize;
+            let need = within + take;
+            let out = {
+                let dst_off = (pos - phys) as usize;
+                &mut dst[dst_off..dst_off + take]
+            };
+            let t0 = iotrace::global().start();
+            if let Some((data, prefetched_first_use)) = ch.cache.lookup(cid, blk, need) {
+                out.copy_from_slice(&data[within..within + take]);
+                if let Some(t0) = t0 {
+                    iotrace::global().record(
+                        t0,
+                        OpEvent::new(Layer::Plfs, OpKind::CacheHit)
+                            .offset(blk_start)
+                            .bytes(take as u64)
+                            .hit(prefetched_first_use),
+                    );
+                }
+            } else {
+                let h = self.handle(b, id)?;
+                let mut block = vec![0u8; bs as usize];
+                let n = h.pread(&mut block, blk_start)?;
+                if n < need {
+                    return Err(Error::Corrupt(format!(
+                        "data dropping {id} shorter than its index claims \
+                         (wanted {need} at {blk_start}, got {n})"
+                    )));
+                }
+                block.truncate(n);
+                out.copy_from_slice(&block[within..within + take]);
+                let evicted = ch.cache.insert(cid, blk, block, false);
+                if let Some(t0) = t0 {
+                    iotrace::global().record(
+                        t0,
+                        OpEvent::new(Layer::Plfs, OpKind::CacheMiss)
+                            .offset(blk_start)
+                            .bytes(n as u64),
+                    );
+                    trace_evictions(&evicted);
+                }
+            }
+            pos += take as u64;
+        }
+        Ok(())
     }
 
     /// Positional read that picks the fan-out path when this view's
@@ -427,28 +537,12 @@ impl ReadFile {
                 let errors = &errors;
                 scope.spawn(move |_| {
                     for (dst, s) in chunk {
-                        match s.dropping_id {
-                            None => dst.fill(0),
-                            Some(id) => {
-                                // Misses open through the sharded cache, so
-                                // workers on distinct droppings open their
-                                // handles concurrently.
-                                let h = match self.handle(b, id) {
-                                    Ok(h) => h,
-                                    Err(e) => {
-                                        errors.lock().push(e);
-                                        continue;
-                                    }
-                                };
-                                match h.pread(dst, s.physical_offset) {
-                                    Ok(n) if (n as u64) == s.length => {}
-                                    Ok(n) => errors.lock().push(Error::Corrupt(format!(
-                                        "short dropping read: wanted {}, got {n}",
-                                        s.length
-                                    ))),
-                                    Err(e) => errors.lock().push(e),
-                                }
-                            }
+                        // Handle misses open through the sharded cache, so
+                        // workers on distinct droppings open their handles
+                        // concurrently; with a block cache attached the
+                        // slice is served through it like the serial path.
+                        if let Err(e) = self.read_slice(b, dst, &s) {
+                            errors.lock().push(e);
                         }
                     }
                 });
@@ -461,6 +555,154 @@ impl ReadFile {
         Ok(total)
     }
 
+    /// The attached block cache, if any.
+    pub fn cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref().map(|c| &c.cache)
+    }
+
+    /// Resolve logical range `[off, off + want)` to physical slices,
+    /// window by window for a bounded index (each window resolves
+    /// identically to the eager index, same as [`ReadFile::pread_windows`]).
+    fn resolve_range(&self, off: u64, want: u64) -> Vec<ChunkSlice> {
+        match &self.source {
+            IndexSource::Eager(i) => {
+                if off >= i.eof() || want == 0 {
+                    Vec::new()
+                } else {
+                    i.resolve(off, want)
+                }
+            }
+            IndexSource::Compact(cs) => {
+                let eof = cs.compact.eof();
+                if off >= eof || want == 0 {
+                    return Vec::new();
+                }
+                let end = off.saturating_add(want).min(eof);
+                let mut out = Vec::new();
+                let mut cursor = off;
+                while cursor < end {
+                    let w = cursor / cs.window;
+                    let wend = (w + 1).saturating_mul(cs.window).min(end);
+                    out.extend(cs.view(w).resolve(cursor, wend - cursor));
+                    cursor = wend;
+                }
+                out
+            }
+        }
+    }
+
+    /// Batch-fetch the cache blocks covering logical range
+    /// `[off, off + want)` that are not yet resident — the readahead
+    /// fetch path. Adjacent missing blocks of one dropping are coalesced
+    /// into single large backing reads, fanned over the same worker pool
+    /// as [`ReadFile::pread_parallel`] when the view's [`ReadConf`] allows
+    /// it. Returns device bytes fetched (0 without an attached cache).
+    /// Best-effort on short droppings: corruption is only enforced on the
+    /// demand path.
+    pub fn prefetch(&self, b: &dyn Backing, off: u64, want: usize) -> Result<u64> {
+        let Some(ch) = &self.cache else { return Ok(0) };
+        let bs = ch.cache.block_bytes() as u64;
+        // Collect the not-yet-resident (dropping, block) pairs in range.
+        let mut missing: Vec<(u32, u64)> = Vec::new();
+        for s in self.resolve_range(off, want as u64) {
+            let Some(id) = s.dropping_id else { continue };
+            let Some(&cid) = ch.ids.get(id as usize) else {
+                continue;
+            };
+            let first = s.physical_offset / bs;
+            let last = (s.physical_offset + s.length - 1) / bs;
+            for blk in first..=last {
+                if !ch.cache.contains(cid, blk) {
+                    missing.push((id, blk));
+                }
+            }
+        }
+        missing.sort_unstable();
+        missing.dedup();
+        // Coalesce adjacent blocks of one dropping into contiguous runs,
+        // each fetched with a single backing read.
+        let mut runs: Vec<(u32, u64, u64)> = Vec::new();
+        for (id, blk) in missing {
+            match runs.last_mut() {
+                Some((rid, first, n)) if *rid == id && *first + *n == blk => *n += 1,
+                _ => runs.push((id, blk, 1)),
+            }
+        }
+        if runs.is_empty() {
+            return Ok(0);
+        }
+        let fetched = Mutex::new(0u64);
+        let errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
+        let fetch_run = |(id, first, n): (u32, u64, u64)| match self.fetch_run(b, ch, id, first, n)
+        {
+            Ok(bytes) => *fetched.lock() += bytes,
+            Err(e) => errors.lock().push(e),
+        };
+        let threads = self.conf.threads.min(runs.len());
+        if threads > 1 {
+            // Round-robin the runs over the fan-out pool, exactly like
+            // pread_parallel carves slice regions.
+            let mut work: Vec<Vec<(u32, u64, u64)>> = (0..threads).map(|_| Vec::new()).collect();
+            for (i, r) in runs.into_iter().enumerate() {
+                work[i % threads].push(r);
+            }
+            crossbeam::scope(|scope| {
+                for chunk in work {
+                    let fetch_run = &fetch_run;
+                    scope.spawn(move |_| {
+                        for r in chunk {
+                            fetch_run(r);
+                        }
+                    });
+                }
+            })
+            .expect("prefetch thread panicked");
+        } else {
+            for r in runs {
+                fetch_run(r);
+            }
+        }
+        if let Some(e) = errors.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        Ok(fetched.into_inner())
+    }
+
+    /// Fetch `nblocks` consecutive blocks of dropping `id` starting at
+    /// block `first` with one backing read, and insert whatever exists
+    /// (the run may extend past the dropping's tail) as prefetched
+    /// blocks. Returns bytes inserted.
+    fn fetch_run(
+        &self,
+        b: &dyn Backing,
+        ch: &CacheHandle,
+        id: u32,
+        first: u64,
+        nblocks: u64,
+    ) -> Result<u64> {
+        let bs = ch.cache.block_bytes();
+        let cid = *ch
+            .ids
+            .get(id as usize)
+            .ok_or_else(|| Error::Corrupt(format!("dropping id {id} out of range")))?;
+        let h = self.handle(b, id)?;
+        let mut buf = vec![0u8; nblocks as usize * bs];
+        let n = h.pread(&mut buf, first * bs as u64)?;
+        buf.truncate(n);
+        let mut inserted = 0u64;
+        for i in 0..nblocks {
+            let s = i as usize * bs;
+            if s >= buf.len() {
+                break;
+            }
+            let e = (s + bs).min(buf.len());
+            let evicted = ch.cache.insert(cid, first + i, buf[s..e].to_vec(), true);
+            trace_evictions(&evicted);
+            inserted += (e - s) as u64;
+        }
+        Ok(inserted)
+    }
+
     /// Read the entire logical file into a vector (test and flatten helper).
     pub fn read_all(&self, b: &dyn Backing) -> Result<Vec<u8>> {
         let mut out = vec![0u8; self.eof() as usize];
@@ -469,6 +711,21 @@ impl ReadFile {
             out.truncate(n);
         }
         Ok(out)
+    }
+}
+
+/// Record one `cache_evict` per evicted block (no-ops when tracing is
+/// off). `hit` carries the used-bit: false = prefetched and never read.
+fn trace_evictions(evicted: &[crate::cache::Eviction]) {
+    for &(bytes, used) in evicted {
+        if let Some(t0) = iotrace::global().start() {
+            iotrace::global().record(
+                t0,
+                OpEvent::new(Layer::Plfs, OpKind::CacheEvict)
+                    .bytes(bytes)
+                    .hit(used),
+            );
+        }
     }
 }
 
@@ -884,6 +1141,166 @@ mod tests {
             r.index_resident_bytes(),
             eager.index_resident_bytes()
         );
+    }
+
+    #[test]
+    fn cached_reads_match_uncached() {
+        use crate::conf::CacheConf;
+        let (b, _p) = strided_container();
+        let plain = ReadFile::open(&b, "/c").unwrap();
+        let expect = plain.read_all(&b).unwrap();
+        let cache = Arc::new(BlockCache::new(
+            CacheConf::sized(1 << 20).with_block_bytes(512),
+        ));
+        let r = ReadFile::open(&b, "/c").unwrap().with_cache(cache.clone());
+        // Cold pass fills the cache, warm pass serves from it; both must
+        // be byte-identical to the uncached view.
+        for pass in 0..2 {
+            assert_eq!(r.read_all(&b).unwrap(), expect, "pass {pass}");
+            for (off, len) in [(0u64, 1usize), (200, 300), (500, 3000), (8000, 400)] {
+                let mut got = vec![0u8; len];
+                let n = r.pread(&b, &mut got, off).unwrap();
+                let mut want = vec![0u8; len];
+                let m = plain.pread(&b, &mut want, off).unwrap();
+                assert_eq!(n, m, "count at ({off},{len}) pass {pass}");
+                assert_eq!(got[..n], want[..m], "bytes at ({off},{len}) pass {pass}");
+            }
+        }
+        assert!(cache.stats().hits > 0, "warm pass must hit");
+    }
+
+    #[test]
+    fn warm_reread_skips_the_backing_store() {
+        use crate::conf::CacheConf;
+        use crate::meter::MeterBacking;
+        let (b, _p) = strided_container();
+        let m = MeterBacking::new(Arc::new(b));
+        let cache = Arc::new(BlockCache::new(CacheConf::sized(8 << 20)));
+        let r = ReadFile::open(&m, "/c").unwrap().with_cache(cache);
+        let cold = r.read_all(&m).unwrap();
+        let before = m.snapshot();
+        let warm = r.read_all(&m).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(
+            m.snapshot().delta(&before).pread,
+            0,
+            "warm re-read is fully cache-absorbed"
+        );
+    }
+
+    #[test]
+    fn prefetch_populates_and_demand_reads_hit() {
+        use crate::conf::CacheConf;
+        use crate::meter::MeterBacking;
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        w.write(&[5u8; 8192], 0).unwrap();
+        w.sync().unwrap();
+        let m = MeterBacking::new(Arc::new(b));
+        let cache = Arc::new(BlockCache::new(
+            CacheConf::sized(1 << 20).with_block_bytes(512),
+        ));
+        let r = ReadFile::open(&m, "/c").unwrap().with_cache(cache.clone());
+        let before = m.snapshot();
+        assert_eq!(r.prefetch(&m, 0, 8192).unwrap(), 8192);
+        assert_eq!(
+            m.snapshot().delta(&before).pread,
+            1,
+            "16 adjacent blocks coalesce into one backing read"
+        );
+        let before = m.snapshot();
+        let mut buf = vec![0u8; 8192];
+        assert_eq!(r.pread(&m, &mut buf, 0).unwrap(), 8192);
+        assert_eq!(buf, vec![5u8; 8192]);
+        assert_eq!(
+            m.snapshot().delta(&before).pread,
+            0,
+            "demand read served from prefetched blocks"
+        );
+        assert!(cache.stats().prefetched_used >= 1);
+        // Everything resident: a repeat prefetch fetches nothing.
+        assert_eq!(r.prefetch(&m, 0, 8192).unwrap(), 0);
+    }
+
+    #[test]
+    fn prefetch_fans_out_and_clamps_at_eof() {
+        use crate::conf::CacheConf;
+        let (b, _p) = strided_container();
+        let plain = ReadFile::open(&b, "/c").unwrap();
+        let expect = plain.read_all(&b).unwrap();
+        let conf = ReadConf::default().with_threads(4);
+        let cache = Arc::new(BlockCache::new(
+            CacheConf::sized(1 << 20).with_block_bytes(512),
+        ));
+        let r = ReadFile::open_with(&b, "/c", conf)
+            .unwrap()
+            .with_cache(cache.clone());
+        // Ask far past EOF: the resolver clamps, nothing explodes.
+        let fetched = r.prefetch(&b, 0, expect.len() * 10).unwrap();
+        assert!(fetched > 0);
+        assert_eq!(r.prefetch(&b, r.eof() + 100, 4096).unwrap(), 0);
+        assert_eq!(r.read_all(&b).unwrap(), expect);
+    }
+
+    #[test]
+    fn bounded_index_composes_with_cache() {
+        use crate::conf::CacheConf;
+        let (b, _p) = strided_container();
+        let eager = ReadFile::open(&b, "/c").unwrap();
+        let expect = eager.read_all(&b).unwrap();
+        let cache = Arc::new(BlockCache::new(
+            CacheConf::sized(1 << 20).with_block_bytes(512),
+        ));
+        let conf = ReadConf::default().with_index_memory_bytes(1 << 20);
+        let r = ReadFile::open_with(&b, "/c", conf)
+            .unwrap()
+            .with_cache(cache.clone());
+        assert!(r.bounded_index());
+        for pass in 0..2 {
+            assert_eq!(r.read_all(&b).unwrap(), expect, "pass {pass}");
+        }
+        // The prefetcher resolves through the windowed views too.
+        cache.clear();
+        assert!(r.prefetch(&b, 0, expect.len()).unwrap() > 0);
+        assert_eq!(r.read_all(&b).unwrap(), expect);
+    }
+
+    #[test]
+    fn fanned_reads_through_cache_match_serial() {
+        use crate::conf::CacheConf;
+        let (b, _p) = strided_container();
+        let plain = ReadFile::open(&b, "/c").unwrap();
+        let expect = plain.read_all(&b).unwrap();
+        let conf = ReadConf::default()
+            .with_threads(4)
+            .with_fanout_threshold(64);
+        let cache = Arc::new(BlockCache::new(
+            CacheConf::sized(1 << 20).with_block_bytes(512),
+        ));
+        let r = ReadFile::open_with(&b, "/c", conf)
+            .unwrap()
+            .with_cache(cache.clone());
+        for pass in 0..2 {
+            let mut buf = vec![0u8; expect.len()];
+            assert_eq!(r.pread_auto(&b, &mut buf, 0).unwrap(), expect.len());
+            assert_eq!(buf, expect, "pass {pass}");
+        }
+        assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn cache_detects_truncated_dropping() {
+        use crate::conf::CacheConf;
+        let (b, p) = setup();
+        let mut w = WriteFile::open(&b, "/c", &p, 1, 64).unwrap();
+        w.write(b"0123456789", 0).unwrap();
+        w.sync().unwrap();
+        let dp = container::data_dropping_path("/c", &p, 1, 0);
+        b.truncate(&dp, 4).unwrap();
+        let cache = Arc::new(BlockCache::new(CacheConf::sized(1 << 20)));
+        let r = ReadFile::open(&b, "/c").unwrap().with_cache(cache);
+        let mut buf = [0u8; 10];
+        assert!(matches!(r.pread(&b, &mut buf, 0), Err(Error::Corrupt(_))));
     }
 
     #[test]

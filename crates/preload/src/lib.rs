@@ -38,8 +38,11 @@
 //! merged index; 0 keeps the eager index), `LDPLFS_COMPACT_THRESHOLD`
 //! (fold droppings in the background after last close once a container
 //! exceeds this many), `LDPLFS_LIST_IO` (`0` lowers vectored/list calls to
-//! per-extent single ops), and `LDPLFS_LIST_IO_MAX_EXTENTS` (extents per
-//! internal list-I/O batch).
+//! per-extent single ops), `LDPLFS_LIST_IO_MAX_EXTENTS` (extents per
+//! internal list-I/O batch), `LDPLFS_DATA_CACHE` (per-fd data block cache
+//! budget in bytes; 0 or unset keeps caching off), and `LDPLFS_READAHEAD`
+//! (readahead window ceiling in bytes for cached sequential streams; 0
+//! keeps the cache but disables readahead).
 //!
 //! Scale-out backend knobs (mirror the plfsrc `backend`/`submit_*` keys):
 //! `LDPLFS_BACKEND_KIND=direct|batched|tiered|object` picks the backend
@@ -322,6 +325,23 @@ fn init_shim() -> Option<Shim> {
             }
         }
         plfs = plfs.with_list_io_conf(list_conf);
+        // LDPLFS_DATA_CACHE sizes the per-fd data block cache in bytes
+        // (mirrors the plfsrc data_cache_mbs key; 0 or unset keeps the
+        // uncached read path). LDPLFS_READAHEAD caps the adaptive readahead
+        // window in bytes (mirrors readahead_max_kbs; 0 disables readahead
+        // while keeping the cache).
+        let mut cache_conf = *plfs.cache_conf();
+        if let Ok(n) = std::env::var("LDPLFS_DATA_CACHE") {
+            if let Ok(n) = n.parse::<usize>() {
+                cache_conf = cache_conf.with_cache_bytes(n);
+            }
+        }
+        if let Ok(n) = std::env::var("LDPLFS_READAHEAD") {
+            if let Ok(n) = n.parse::<usize>() {
+                cache_conf = cache_conf.with_readahead(cache_conf.readahead_min, n);
+            }
+        }
+        plfs = plfs.with_cache_conf(cache_conf);
         Some(Shim {
             mount,
             plfs,

@@ -81,6 +81,12 @@ pub struct CacheConfig {
     pub per_op_threshold: u64,
     /// Background drain rate to the servers (bytes/s).
     pub drain_bw: f64,
+    /// Per-node *clean* read-cache capacity (bytes). 0 disables read
+    /// caching: every read pays the device. When set, a re-read of bytes
+    /// this node already fetched completes at memory bandwidth instead —
+    /// the cache-aware read cost term the `readcache` figure models at
+    /// the PLFS layer.
+    pub read_capacity: u64,
 }
 
 /// The storage side.
@@ -269,14 +275,22 @@ impl CacheConfig {
             .with("capacity", self.capacity)
             .with("per_op_threshold", self.per_op_threshold)
             .with("drain_bw", self.drain_bw)
+            .with("read_capacity", self.read_capacity)
     }
 
-    /// Parse from a JSON object.
+    /// Parse from a JSON object. `read_capacity` is optional (defaults to
+    /// 0 = no read caching) so platform files written before the field
+    /// existed keep loading; the write-cache fields stay mandatory.
     pub fn from_json(v: &Value) -> Result<CacheConfig, ParseError> {
         Ok(CacheConfig {
             capacity: get_u64(v, "capacity")?,
             per_op_threshold: get_u64(v, "per_op_threshold")?,
             drain_bw: get_f64(v, "drain_bw")?,
+            read_capacity: if v.get("read_capacity").is_some() {
+                get_u64(v, "read_capacity")?
+            } else {
+                0
+            },
         })
     }
 }
@@ -391,6 +405,7 @@ mod tests {
                     capacity: units::GIB,
                     per_op_threshold: 4 * units::MIB,
                     drain_bw: 100e6,
+                    read_capacity: 0,
                 },
             },
         };
@@ -417,5 +432,23 @@ mod tests {
     fn platform_from_json_reports_missing_fields() {
         let err = Platform::from_json_str("{\"cluster\": {}}").unwrap_err();
         assert!(err.message.contains("missing field"));
+    }
+
+    #[test]
+    fn read_capacity_is_optional_in_json() {
+        // Round trip keeps an explicit value.
+        let mut p = presets::minerva();
+        p.fs.cache.read_capacity = 64 * units::MIB;
+        let back = Platform::from_json_str(&p.to_json().to_json()).unwrap();
+        assert_eq!(back.fs.cache.read_capacity, 64 * units::MIB);
+        // A cache object written before the field existed still parses,
+        // with read caching off...
+        let legacy =
+            jsonlite::parse("{\"capacity\": 1024, \"per_op_threshold\": 64, \"drain_bw\": 1.5}")
+                .unwrap();
+        assert_eq!(CacheConfig::from_json(&legacy).unwrap().read_capacity, 0);
+        // ...while the write-cache fields stay mandatory.
+        let broken = jsonlite::parse("{\"per_op_threshold\": 64, \"drain_bw\": 1.5}").unwrap();
+        assert!(CacheConfig::from_json(&broken).is_err());
     }
 }

@@ -87,6 +87,13 @@ pub struct FsStats {
     pub cache_hits: u64,
     /// Writes that went write-through.
     pub cache_misses: u64,
+    /// Reads absorbed by a node's clean read cache (memory speed).
+    pub read_cache_hits: u64,
+    /// Reads that went to the servers.
+    pub read_cache_misses: u64,
+    /// Bytes served from clean read caches (device bytes read are
+    /// `bytes_read - bytes_read_cached`).
+    pub bytes_read_cached: u64,
     /// Contended lock acquisitions.
     pub lock_conflicts: u64,
     /// Metadata operations served.
@@ -407,6 +414,11 @@ impl SimFs {
         }
         self.stats.write_ops += 1;
         self.stats.bytes_written += len;
+        // Whether absorbed or written through, the new bytes supersede any
+        // clean cached copy of the range on every node.
+        for cache in self.node_caches.iter_mut() {
+            cache.invalidate_read(fid.0 as u64, offset, len);
+        }
         let t0 = t + self.platform.cluster.syscall_overhead;
 
         // 1. Client cache: absorb small writes unless shared-file locking
@@ -523,12 +535,34 @@ impl SimFs {
         }
         self.stats.read_ops += 1;
         self.stats.bytes_read += len;
+        let t0 = t + self.platform.cluster.syscall_overhead;
+
+        // Clean read cache: a range this node already fetched completes at
+        // memory speed and adds no disk-head interference stream.
+        if self.node_caches[node].absorb_read(fid.0 as u64, offset, len) {
+            self.stats.read_cache_hits += 1;
+            self.stats.bytes_read_cached += len;
+            let c = t0 + len as f64 / self.platform.cluster.mem_bw;
+            self.trace.record(TraceRecord {
+                kind: TraceKind::Read,
+                node,
+                file: fid.0,
+                offset,
+                len,
+                start: t,
+                end: c,
+                cached: true,
+            });
+            return Ok(self.note(c));
+        }
+        self.stats.read_cache_misses += 1;
+
         if interference {
             self.files[fid.0].reading_nodes.insert(node);
         }
-        let t0 = t + self.platform.cluster.syscall_overhead;
         let t1 = self.node_links[node].serve(t0, len as f64 / self.platform.cluster.link_bw);
         let c = self.transfer(t1, fid, offset, len, false);
+        self.node_caches[node].fill_read(fid.0 as u64, offset, len);
         self.trace.record(TraceRecord {
             kind: TraceKind::Read,
             node,
@@ -760,6 +794,70 @@ mod tests {
         let r = f.read(c, 1, id, 0, 16 * MIB).unwrap();
         assert!(r > c);
         assert_eq!(f.stats().bytes_read, 16 * MIB);
+    }
+
+    fn read_cached_fs(read_capacity: u64) -> SimFs {
+        let mut p = presets::toy();
+        p.fs.cache.read_capacity = read_capacity;
+        SimFs::new(p)
+    }
+
+    #[test]
+    fn reread_absorbs_at_memory_speed() {
+        let mut f = read_cached_fs(64 * MIB);
+        let (t, id) = f.create(0.0, "/f", None).unwrap();
+        f.open(t, "/f", true).unwrap();
+        let wrote = f.write(t, 0, id, 0, 16 * MIB).unwrap();
+        let cold = f.read(wrote, 1, id, 0, 16 * MIB).unwrap();
+        let warm = f.read(cold, 1, id, 0, 16 * MIB).unwrap();
+        // The warm re-read never leaves the node: memory copy plus the
+        // syscall, orders of magnitude under the server path.
+        assert!(
+            (warm - cold) * 10.0 < cold - wrote,
+            "warm={} cold={}",
+            warm - cold,
+            cold - wrote
+        );
+        let s = f.stats();
+        assert_eq!((s.read_cache_hits, s.read_cache_misses), (1, 1));
+        assert_eq!(s.bytes_read_cached, 16 * MIB);
+        assert_eq!(s.bytes_read, 32 * MIB);
+        // Another node is still cold.
+        f.read(warm, 0, id, 0, 16 * MIB).unwrap();
+        assert_eq!(f.stats().read_cache_hits, 1);
+    }
+
+    #[test]
+    fn write_invalidates_cached_reads_on_every_node() {
+        let mut f = read_cached_fs(64 * MIB);
+        let (t, id) = f.create(0.0, "/f", None).unwrap();
+        f.open(t, "/f", true).unwrap();
+        let c = f.write(t, 0, id, 0, 8 * MIB).unwrap();
+        let c = f.read(c, 1, id, 0, 8 * MIB).unwrap();
+        // Node 0 overwrites the middle; node 1's cached copy is stale
+        // there but still clean at the prefix.
+        let c = f.write(c, 0, id, MIB, MIB).unwrap();
+        let c = f.read(c, 1, id, 0, MIB).unwrap();
+        let _ = f.read(c, 1, id, MIB, MIB).unwrap();
+        let s = f.stats();
+        assert_eq!(
+            (s.read_cache_hits, s.read_cache_misses),
+            (1, 2),
+            "prefix hits, overwritten range refetches: {s:?}"
+        );
+    }
+
+    #[test]
+    fn read_cache_off_by_default_in_presets() {
+        let mut f = fs(); // toy preset: read_capacity 0
+        let (t, id) = f.create(0.0, "/f", None).unwrap();
+        f.open(t, "/f", true).unwrap();
+        let c = f.write(t, 0, id, 0, 4 * MIB).unwrap();
+        let c = f.read(c, 1, id, 0, 4 * MIB).unwrap();
+        f.read(c, 1, id, 0, 4 * MIB).unwrap();
+        let s = f.stats();
+        assert_eq!(s.read_cache_hits, 0, "no read caching unless configured");
+        assert_eq!(s.bytes_read_cached, 0);
     }
 
     #[test]

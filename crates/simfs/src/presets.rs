@@ -58,6 +58,7 @@ pub fn minerva() -> Platform {
                 capacity: 256 * MIB,
                 per_op_threshold: 4 * MIB,
                 drain_bw: 120.0e6,
+                read_capacity: 0,
             },
         },
     }
@@ -114,6 +115,7 @@ pub fn sierra() -> Platform {
                 per_op_threshold: 4 * MIB,
                 // Background writeback per client under a loaded system.
                 drain_bw: 40.0e6,
+                read_capacity: 0,
             },
         },
     }
@@ -160,6 +162,7 @@ pub fn login_node() -> Platform {
                 capacity: 0, // measure the storage path, not the page cache
                 per_op_threshold: 0,
                 drain_bw: 1.0,
+                read_capacity: 0,
             },
         },
     }
@@ -178,6 +181,7 @@ pub fn zest_staging() -> Platform {
         capacity: 8 * 1024 * MIB,
         per_op_threshold: 1024 * MIB,
         drain_bw: 80.0e6,
+        read_capacity: 0,
     };
     // The staging tier is per-node and lock-free.
     p.fs.lock.revoke_cache_on_shared = false;
@@ -223,6 +227,7 @@ pub fn tier_fast() -> Platform {
                 capacity: 0, // measure the device, not DRAM
                 per_op_threshold: 0,
                 drain_bw: 1.0,
+                read_capacity: 0,
             },
         },
     }
@@ -267,6 +272,7 @@ pub fn tier_slow() -> Platform {
                 capacity: 0, // measure the storage path, not the page cache
                 per_op_threshold: 0,
                 drain_bw: 1.0,
+                read_capacity: 0,
             },
         },
     }
@@ -306,6 +312,7 @@ pub fn toy() -> Platform {
                 capacity: 16 * MIB,
                 per_op_threshold: MIB,
                 drain_bw: 50.0e6,
+                read_capacity: 0,
             },
         },
     }

@@ -477,6 +477,43 @@ pub fn trace_summary(jsonl: &str) -> ToolResult {
             100.0 * cache_hits as f64 / (cache_hits + cache_misses) as f64
         );
     }
+    // Data-cache breakout: how well the block cache absorbed demand reads,
+    // and whether readahead's prefetches were worth their device traffic.
+    // A cache_hit with the hit flag is a prefetched block's first use; a
+    // cache_evict without it is a block fetched by readahead and thrown
+    // away unused.
+    let count = |op: iotrace::OpKind| recs.iter().filter(|(r, _)| r.op == op).count() as u64;
+    let dc_hits = count(iotrace::OpKind::CacheHit);
+    let dc_misses = count(iotrace::OpKind::CacheMiss);
+    if dc_hits + dc_misses > 0 {
+        let _ = writeln!(
+            out,
+            "data-cache: {} hits, {} misses ({:.1}% hit rate)",
+            dc_hits,
+            dc_misses,
+            100.0 * dc_hits as f64 / (dc_hits + dc_misses) as f64
+        );
+    }
+    let readaheads = count(iotrace::OpKind::Readahead);
+    let prefetched_used = recs
+        .iter()
+        .filter(|(r, _)| r.op == iotrace::OpKind::CacheHit && r.hit)
+        .count() as u64;
+    let prefetched_wasted = recs
+        .iter()
+        .filter(|(r, _)| r.op == iotrace::OpKind::CacheEvict && !r.hit)
+        .count() as u64;
+    if readaheads + prefetched_used + prefetched_wasted > 0 {
+        let _ = writeln!(
+            out,
+            "readahead: {} windows, {} prefetched blocks used, {} evicted unused ({:.1}% efficiency)",
+            readaheads,
+            prefetched_used,
+            prefetched_wasted,
+            100.0 * prefetched_used as f64
+                / ((prefetched_used + prefetched_wasted) as f64).max(1.0)
+        );
+    }
     let _ = writeln!(out, "{} records total", recs.len());
     Ok(out)
 }
@@ -628,6 +665,17 @@ fn gate_metrics(doc: &jsonlite::Value) -> Result<Vec<(String, f64, bool)>, ToolE
             // committed baseline holds the >=2x bar from the issue.
             if let Some(v) = data.get("destage_overlap_speedup").and_then(|v| v.as_f64()) {
                 out.push(("destage_overlap_speedup".to_string(), v, true));
+            }
+        }
+        "readcache" => {
+            // Both ratios are costed from measured op counts at fixed
+            // preset device rates — deterministic on any runner.
+            // warm_vs_cold is the cache's re-read win, readahead_speedup
+            // the coalesced-prefetch win on a strided sequential scan.
+            for name in ["warm_vs_cold", "readahead_speedup"] {
+                if let Some(v) = data.get(name).and_then(|v| v.as_f64()) {
+                    out.push((name.to_string(), v, true));
+                }
             }
         }
         "table2" => {
@@ -1001,6 +1049,93 @@ mod tests {
         assert!(
             out.contains("meta-cache: 2 hits, 1 misses (66.7% hit rate)"),
             "{out}"
+        );
+    }
+
+    #[test]
+    fn trace_summary_breaks_out_data_cache_and_readahead() {
+        use iotrace::{Layer, OpKind, TraceRecord, NO_NODE, NO_PATH};
+        let jsonl = [
+            (OpKind::CacheMiss, false),
+            (OpKind::Readahead, false),
+            (OpKind::CacheHit, true),  // prefetched block, first use
+            (OpKind::CacheHit, false), // plain warm hit
+            (OpKind::CacheHit, false),
+            (OpKind::CacheEvict, true),  // evicted after use
+            (OpKind::CacheEvict, false), // prefetched and wasted
+        ]
+        .iter()
+        .map(|&(op, hit)| {
+            let r = TraceRecord {
+                layer: Layer::Plfs,
+                op,
+                path_id: NO_PATH,
+                node: NO_NODE,
+                fd: -1,
+                offset: 0,
+                bytes: 512,
+                start_ns: 0,
+                latency_ns: 50,
+                hit,
+            };
+            iotrace::record_to_json(&r, Some("/m/f")).to_json()
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+        let out = trace_summary(&jsonl).unwrap();
+        assert!(
+            out.contains("data-cache: 3 hits, 1 misses (75.0% hit rate)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("readahead: 1 windows, 1 prefetched blocks used, 1 evicted unused (50.0% efficiency)"),
+            "{out}"
+        );
+        // No data-cache traffic, no breakout lines.
+        let quiet = trace_summary(
+            &iotrace::record_to_json(
+                &TraceRecord {
+                    layer: Layer::Plfs,
+                    op: OpKind::Write,
+                    path_id: NO_PATH,
+                    node: NO_NODE,
+                    fd: -1,
+                    offset: 0,
+                    bytes: 1,
+                    start_ns: 0,
+                    latency_ns: 5,
+                    hit: false,
+                },
+                None,
+            )
+            .to_json(),
+        )
+        .unwrap();
+        assert!(!quiet.contains("data-cache:"), "{quiet}");
+        assert!(!quiet.contains("readahead:"), "{quiet}");
+    }
+
+    #[test]
+    fn benchgate_readcache_gates_both_ratios() {
+        let doc = |warm: f64, ra: f64| {
+            format!(
+                "{{\"figure\":\"readcache\",\"data\":{{\"rows\":[],\
+                 \"warm_vs_cold\":{warm},\"readahead_speedup\":{ra}}},\"trace\":{{}}}}"
+            )
+        };
+        let out = benchcheck(&doc(4.0, 3.0), "BENCH_readcache.json").unwrap();
+        assert!(out.contains("2 gated metric"), "{out}");
+        // Within threshold passes; either collapsed ratio trips its gate.
+        assert!(benchgate(&doc(4.0, 3.0), &doc(3.5, 2.5), 0.30).is_ok());
+        let err = benchgate(&doc(4.0, 3.0), &doc(1.5, 3.0), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("warm_vs_cold")),
+            "{err:?}"
+        );
+        let err = benchgate(&doc(4.0, 3.0), &doc(4.0, 1.0), 0.30).unwrap_err();
+        assert!(
+            matches!(err, ToolError::Gate(ref m) if m.contains("readahead_speedup")),
+            "{err:?}"
         );
     }
 

@@ -4,7 +4,8 @@
 # gated metric (read-path open speedup, write-path refresh speedup,
 # Table II shim-overhead ratio, metadata ops-per-open reduction and
 # MDS-storm speedup, index-residency memory/latency ratios, list-I/O vs
-# sieving/per-extent speedups, burst-buffer destage overlap speedup)
+# sieving/per-extent speedups, burst-buffer destage overlap speedup,
+# data-cache warm-vs-cold and readahead speedups)
 # regresses by more than the threshold.
 # Only runner-speed-independent ratios are gated, so the comparison is
 # meaningful across machines; CI runs this as a blocking job.
@@ -37,15 +38,17 @@ cargo run --offline --release -q -p bench --bin paperbench -- \
     indexscale $quick --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p bench --bin paperbench -- \
     noncontig $quick --emit-json "$tmp" > /dev/null
-# staging2 always runs at paper scale: the overlap speedup is costed from
-# op counts at fixed preset rates (deterministic, sub-second even at
-# paper scale) but its value shifts with workload volume, so the regen
-# must match the committed baseline's scale.
+# staging2 and readcache always run at paper scale: their gated ratios are
+# costed from op counts at fixed preset rates (deterministic, sub-second
+# even at paper scale) but their values shift with workload volume, so the
+# regen must match the committed baseline's scale.
 cargo run --offline --release -q -p bench --bin paperbench -- \
     staging2 --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    readcache --emit-json "$tmp" > /dev/null
 
 status=0
-for fig in readpath writepath table2 metadata indexscale noncontig staging2; do
+for fig in readpath writepath table2 metadata indexscale noncontig staging2 readcache; do
     base="results/BENCH_${fig}.json"
     fresh="$tmp/BENCH_${fig}.json"
     if [ ! -f "$base" ]; then

@@ -46,6 +46,8 @@ cargo run --offline --release -q -p bench --bin paperbench -- \
     noncontig --quick --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p bench --bin paperbench -- \
     staging2 --quick --emit-json "$tmp" > /dev/null
+cargo run --offline --release -q -p bench --bin paperbench -- \
+    readcache --quick --emit-json "$tmp" > /dev/null
 cargo run --offline --release -q -p plfs-tools -- benchcheck "$tmp"/BENCH_*.json
 
 echo "verify: OK"

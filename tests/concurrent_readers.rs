@@ -6,7 +6,10 @@
 //! fan-out configurations. Every read must be byte-identical to the
 //! serially-built reference, whatever interleaving the scheduler picks.
 
-use plfs::{Backing, ContainerParams, LayoutMode, MemBacking, OpenFlags, Plfs, ReadConf, ReadFile};
+use plfs::{
+    Backing, BlockCache, CacheConf, ContainerParams, LayoutMode, MemBacking, OpenFlags, Plfs,
+    ReadConf, ReadFile,
+};
 use std::sync::Arc;
 
 /// Write a strided N-writer pattern and return the expected logical bytes.
@@ -129,6 +132,84 @@ fn single_shard_cache_is_still_correct_under_contention() {
     .with_fanout_threshold(256);
     let rf = ReadFile::open_with(backing.as_ref(), "/shared", conf).unwrap();
     hammer(&rf, backing.as_ref(), &want, 8, 32);
+}
+
+#[test]
+fn cached_preads_match_under_thread_contention() {
+    let backing = Arc::new(MemBacking::new());
+    let want = build_container(&backing, 8, 16, 4096);
+    // Block cache with a budget far below the file size: threads race on
+    // the shard locks while LRU eviction churns, and every read must
+    // still be byte-identical to the reference.
+    let conf = ReadConf {
+        threads: 4,
+        parallel_merge_min_droppings: 1,
+        ..ReadConf::default()
+    }
+    .with_fanout_threshold(8 * 1024);
+    let cache = Arc::new(BlockCache::new(
+        CacheConf::sized(64 * 1024)
+            .with_block_bytes(4096)
+            .with_shards(4),
+    ));
+    let rf = ReadFile::open_with(backing.as_ref(), "/shared", conf)
+        .unwrap()
+        .with_cache(Arc::clone(&cache));
+    hammer(&rf, backing.as_ref(), &want, 8, 64);
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "contended hammer never hit the cache");
+    assert!(stats.evictions > 0, "undersized cache never evicted");
+}
+
+#[test]
+fn concurrent_prefetch_and_preads_agree() {
+    let backing = Arc::new(MemBacking::new());
+    let want = build_container(&backing, 6, 8, 1024);
+    let conf = ReadConf {
+        threads: 4,
+        parallel_merge_min_droppings: 1,
+        ..ReadConf::default()
+    }
+    .with_fanout_threshold(1);
+    let cache = Arc::new(BlockCache::new(
+        CacheConf::sized(1 << 20).with_block_bytes(512),
+    ));
+    let rf = ReadFile::open_with(backing.as_ref(), "/shared", conf)
+        .unwrap()
+        .with_cache(cache);
+    // Half the threads prefetch sliding windows (the readahead path),
+    // half issue demand preads over the same ranges, racing on the same
+    // cache blocks.
+    crossbeam::scope(|scope| {
+        for t in 0..4usize {
+            let rf = &rf;
+            let b = backing.as_ref();
+            let want = &want[..];
+            scope.spawn(move |_| {
+                let mut rng = 0xDEADBEEFu64.wrapping_add(t as u64);
+                for _ in 0..48 {
+                    let off = xorshift(&mut rng) % (want.len() as u64 + 512);
+                    let len = 1 + (xorshift(&mut rng) % 8192) as usize;
+                    if t % 2 == 0 {
+                        rf.prefetch(b, off, len).unwrap();
+                    } else {
+                        let mut buf = vec![0xA5u8; len];
+                        let n = rf.pread_auto(b, &mut buf, off).unwrap();
+                        let expect: &[u8] = if (off as usize) < want.len() {
+                            &want[off as usize..(off as usize + len).min(want.len())]
+                        } else {
+                            &[]
+                        };
+                        assert_eq!(n, expect.len());
+                        assert_eq!(&buf[..n], expect, "prefetch race corrupted a read");
+                    }
+                }
+            });
+        }
+    })
+    .expect("prefetch/read thread panicked");
+    // Full verification pass after the races settle.
+    assert_eq!(rf.read_all(backing.as_ref()).unwrap(), want);
 }
 
 #[test]

@@ -7,7 +7,7 @@
 //! container must show the N-stream structure of Figure 1.
 
 use ldplfs::{set_virtual_pid, LdPlfsBuilder, OpenFlags, PosixLayer, RealPosix};
-use plfs::{MemBacking, Plfs, WriteConf};
+use plfs::{CacheConf, MemBacking, Plfs, WriteConf};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -186,8 +186,29 @@ fn many_files_concurrently() {
 /// (read-your-writes under contention), and the final file is byte-exact.
 #[test]
 fn racing_pids_share_one_fd_read_your_writes() {
-    let plfs = Plfs::new(Arc::new(MemBacking::new()))
-        .with_write_conf(WriteConf::default().with_data_buffer_bytes(512));
+    racing_read_your_writes(
+        Plfs::new(Arc::new(MemBacking::new()))
+            .with_write_conf(WriteConf::default().with_data_buffer_bytes(512)),
+    );
+}
+
+/// Same race with the data block cache and readahead in the loop: every
+/// interleaved write must invalidate or out-date the cached blocks its
+/// region touched before the racing re-read observes them.
+#[test]
+fn racing_pids_read_your_writes_with_block_cache() {
+    racing_read_your_writes(
+        Plfs::new(Arc::new(MemBacking::new()))
+            .with_write_conf(WriteConf::default().with_data_buffer_bytes(512))
+            .with_cache_conf(
+                CacheConf::sized(32 * 1024)
+                    .with_block_bytes(512)
+                    .with_readahead(1024, 4096),
+            ),
+    );
+}
+
+fn racing_read_your_writes(plfs: Plfs) {
     let ranks = 8usize;
     let rows = 16usize;
     let block = 64usize;
@@ -354,7 +375,13 @@ fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
 /// and return the final logical bytes, checking interleaved reads against
 /// the running byte-vector model as we go.
 fn apply_ops(ops: &[Op], conf: WriteConf) -> Vec<u8> {
-    let plfs = Plfs::new(Arc::new(MemBacking::new())).with_write_conf(conf);
+    apply_ops_cached(ops, conf, CacheConf::disabled())
+}
+
+fn apply_ops_cached(ops: &[Op], conf: WriteConf, cache: CacheConf) -> Vec<u8> {
+    let plfs = Plfs::new(Arc::new(MemBacking::new()))
+        .with_write_conf(conf)
+        .with_cache_conf(cache);
     let fd = plfs
         .open("/prop", OpenFlags::RDWR | OpenFlags::CREAT, 0)
         .unwrap();
@@ -426,5 +453,23 @@ proptest! {
         );
         let slow = apply_ops(&ops, WriteConf::serial());
         prop_assert_eq!(fast, slow);
+    }
+
+    /// The same holds with the block cache and readahead in the write/read
+    /// interleave: caching must never let a read observe pre-write bytes.
+    #[test]
+    fn cached_interleave_matches_serial_path(ops in ops_strategy(40)) {
+        let cached = apply_ops_cached(
+            &ops,
+            WriteConf::default()
+                .with_write_shards(16)
+                .with_data_buffer_bytes(1024)
+                .with_incremental_refresh(true),
+            CacheConf::sized(2048)
+                .with_block_bytes(512)
+                .with_readahead(1024, 4096),
+        );
+        let slow = apply_ops(&ops, WriteConf::serial());
+        prop_assert_eq!(cached, slow);
     }
 }
